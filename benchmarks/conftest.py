@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper's
+evaluation.  One session-scoped :class:`~repro.experiments.Runner`
+caches traces, baselines, and named-predictor suites so the figures
+share work (Figures 6, 8 and 10 all need FVP-on-Skylake, for example).
+
+Scale knobs (environment variables):
+
+=================  ====================================================
+REPRO_LENGTH       trace length per workload (default 60 000)
+REPRO_WARMUP       warmup prefix excluded from statistics (default
+                   24 000)
+REPRO_PER_CATEGORY limit workloads per category (default: all 60)
+=================  ====================================================
+
+The defaults keep a full `pytest benchmarks/ --benchmark-only` run in
+the tens of minutes; raise REPRO_LENGTH for tighter statistics.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.figures import default_runner
+
+LENGTH = int(os.environ.get("REPRO_LENGTH", 60_000))
+WARMUP = int(os.environ.get("REPRO_WARMUP", 24_000))
+PER_CATEGORY = os.environ.get("REPRO_PER_CATEGORY")
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """Session-wide experiment runner over the workload suite."""
+    per_category = int(PER_CATEGORY) if PER_CATEGORY else None
+    return default_runner(length=LENGTH, warmup=WARMUP,
+                          per_category=per_category)
+
+
+@pytest.fixture(scope="session")
+def small_runner():
+    """Reduced runner for parameter sweeps (sensitivity studies)."""
+    return default_runner(length=LENGTH, warmup=WARMUP, per_category=2)
+
+
+def print_paper_vs_measured(title, paper, measured, key="gain"):
+    """Render a paper-vs-measured comparison block."""
+    print()
+    print(title)
+    print(f"  {'configuration':<22} {'paper':>8} {'measured':>9}")
+    for label in paper:
+        paper_value = paper[label].get(key) if isinstance(paper[label], dict) \
+            else paper[label]
+        measured_entry = measured.get(label, {})
+        measured_value = measured_entry.get(key) if \
+            isinstance(measured_entry, dict) else measured_entry
+        measured_text = f"{100 * measured_value:+8.1f}%" \
+            if measured_value is not None else "      n/a"
+        print(f"  {label:<22} {100 * paper_value:+7.1f}% {measured_text}")

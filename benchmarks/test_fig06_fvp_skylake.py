@@ -1,0 +1,25 @@
+"""Figure 6 — FVP performance and coverage per category on Skylake.
+
+Paper: FSPEC06 +2.6%/16%, ISPEC06 +4.6%/31%, Server +5.7%/35%,
+SPEC17 +0.9%/18%; geomean +3.3% at 25% coverage.
+"""
+
+from conftest import print_paper_vs_measured
+
+from repro.experiments import figures
+
+
+def test_figure6(benchmark, runner):
+    summary = benchmark.pedantic(figures.figure6, args=(runner,),
+                                 rounds=1, iterations=1)
+    print()
+    print(figures.render_figure6(summary))
+    print_paper_vs_measured("paper vs measured (IPC gain):",
+                            figures.PAPER_FIG6, summary)
+    # Shape assertions: positive overall gain, SPEC17 the weakest
+    # category, coverage far below the Composite's.
+    assert summary["Geomean"]["gain"] > 0.005
+    weakest = min(("FSPEC06", "ISPEC06", "Server", "SPEC17"),
+                  key=lambda c: summary[c]["gain"])
+    assert weakest == "SPEC17"
+    assert summary["Geomean"]["coverage"] < 0.50

@@ -1,0 +1,28 @@
+"""Figure 7 — FVP on the up-scaled Skylake-2X core.
+
+Paper: FSPEC06 +7.0%, ISPEC06 +15.1%, Server +11.7%, SPEC17 +2.5%;
+geomean +8.6% at ~24% coverage — substantially above the Skylake
+gains, because wider machines are more exposed to dependence
+bottlenecks.
+"""
+
+from conftest import print_paper_vs_measured
+
+from repro.experiments import figures
+
+
+def test_figure7(benchmark, runner):
+    summary = benchmark.pedantic(figures.figure7, args=(runner,),
+                                 rounds=1, iterations=1)
+    print()
+    print(figures.render_figure7(summary))
+    print_paper_vs_measured("paper vs measured (IPC gain):",
+                            figures.PAPER_FIG7, summary)
+    sky = figures.figure6(runner)
+    print(f"\nscaling: Skylake geomean {sky['Geomean']['gain']:+.1%} -> "
+          f"Skylake-2X {summary['Geomean']['gain']:+.1%}")
+    # The paper's headline scaling claim: 2X gains exceed Skylake's.
+    assert summary["Geomean"]["gain"] > sky["Geomean"]["gain"]
+    assert min(summary[c]["gain"]
+               for c in ("FSPEC06", "ISPEC06", "Server", "SPEC17")) == \
+        summary["SPEC17"]["gain"]

@@ -1,0 +1,28 @@
+"""Figure 9 — per-workload FVP speedup, Skylake vs Skylake-2X.
+
+Paper: the Skylake-2X line sits above the Skylake line for nearly
+every workload (gcc flips from no-gain to significant gain); a few
+server workloads stay flat because of front-end bottlenecks.
+"""
+
+from repro.analysis.metrics import geomean
+
+from repro.experiments import figures
+
+
+def test_figure9(benchmark, runner):
+    data = benchmark.pedantic(figures.figure9, args=(runner,),
+                              rounds=1, iterations=1)
+    print()
+    print(figures.render_figure9(data))
+
+    sky = [d["skylake"] for d in data.values()]
+    sky2 = [d["skylake_2x"] for d in data.values()]
+    print(f"\ngeomean speedup: skylake {geomean(sky):.3f}, "
+          f"skylake-2x {geomean(sky2):.3f}")
+    # Aggregate scaling: the 2X machine is more sensitive to FVP.
+    assert geomean(sky2) > geomean(sky)
+    # And that holds for a clear majority of individual workloads.
+    above = sum(1 for d in data.values()
+                if d["skylake_2x"] >= d["skylake"] - 0.005)
+    assert above > 0.6 * len(data)

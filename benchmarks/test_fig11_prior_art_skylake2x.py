@@ -1,0 +1,27 @@
+"""Figure 11 — the Figure-10 comparison repeated on Skylake-2X.
+
+Paper: MR-8KB +8.2%, Composite-8KB +8.7%, FVP +8.6%, MR-1KB +3.2%,
+Composite-1KB +4.7% — every gap from Figure 10 widens with machine
+scale, and FVP effectively matches the 8 KB predictors.
+"""
+
+from conftest import print_paper_vs_measured
+
+from repro.experiments import figures
+
+
+def test_figure11(benchmark, runner):
+    bars = benchmark.pedantic(figures.figure11, args=(runner,),
+                              rounds=1, iterations=1)
+    print()
+    print(figures.render_figure11(bars))
+    print_paper_vs_measured("paper vs measured (IPC gain):",
+                            figures.PAPER_FIG11, bars)
+
+    sky = figures.figure10(runner)
+    print(f"\nFVP: skylake {sky['fvp']['gain']:+.1%} -> "
+          f"skylake-2x {bars['fvp']['gain']:+.1%}")
+    assert bars["fvp"]["gain"] > sky["fvp"]["gain"]
+    assert bars["fvp"]["gain"] > bars["composite-1kb"]["gain"]
+    assert bars["fvp"]["gain"] > bars["mr-1kb"]["gain"]
+    assert bars["fvp"]["gain"] > 0.6 * bars["composite-8kb"]["gain"]

@@ -1,0 +1,29 @@
+"""Figure 12 — sensitivity to the criticality criterion.
+
+Paper: FVP-L1-Miss-Only +0.0%/6%, FVP-L1-Miss +2.1%/15% (~70% of
+FVP), FVP +3.3%/25%, DDG Oracle +3.87%/19% (slightly above FVP at
+lower coverage).
+"""
+
+from conftest import print_paper_vs_measured
+
+from repro.experiments import figures
+
+
+def test_figure12(benchmark, runner):
+    bars = benchmark.pedantic(figures.figure12, args=(runner,),
+                              kwargs={"include_oracle": True},
+                              rounds=1, iterations=1)
+    print()
+    print(figures.render_figure12(bars))
+    print_paper_vs_measured("paper vs measured (IPC gain):",
+                            figures.PAPER_FIG12, bars)
+
+    fvp = bars["fvp"]["gain"]
+    # Predicting only the misses themselves buys almost nothing.
+    assert bars["fvp-l1-miss-only"]["gain"] < 0.5 * fvp
+    # L1-miss-rooted walks recover part (not all) of FVP's gain.
+    assert bars["fvp-l1-miss"]["gain"] < fvp * 1.05
+    assert bars["fvp-l1-miss"]["gain"] > bars["fvp-l1-miss-only"]["gain"]
+    # The oracle is in FVP's neighbourhood.
+    assert bars["fvp-oracle"]["gain"] > 0.5 * fvp

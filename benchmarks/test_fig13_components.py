@@ -1,0 +1,29 @@
+"""Figure 13 — contribution of FVP's two components per category.
+
+Paper (Skylake): register dependencies dominate FSPEC06 (2.10% vs
+0.46%), memory dependencies dominate Server (5.28% vs 0.42%), ISPEC06
+benefits from both roughly equally (2.14% vs 2.42%).
+"""
+
+from repro.experiments import figures
+
+
+def test_figure13(benchmark, runner):
+    data = benchmark.pedantic(figures.figure13, args=(runner,),
+                              rounds=1, iterations=1)
+    print()
+    print(figures.render_figure13(data))
+    print("\npaper:   register: FSPEC 2.10  ISPEC 2.14  Server 0.42  "
+          "SPEC17 0.29")
+    print("         memory:   FSPEC 0.46  ISPEC 2.42  Server 5.28  "
+          "SPEC17 0.63")
+
+    register = data["register"]
+    memory = data["memory"]
+    # Shape: register deps dominate FSPEC06, memory deps dominate
+    # Server.
+    assert register["FSPEC06"] > memory["FSPEC06"]
+    assert memory["Server"] > register["Server"]
+    # Both components contribute overall.
+    assert register["Geomean"] > 0
+    assert memory["Geomean"] > 0

@@ -1,0 +1,37 @@
+"""§VI-B asides — MR+Composite fusion and the stride add-on.
+
+Paper: fusing MR with the Composite at 1 KB "causes significant
+thrashing and performs poorly"; a stride component on top of any
+predictor (including FVP) "gives a very small overall gain".
+"""
+
+from repro.experiments import sensitivity
+
+
+def test_combined_mr_composite(benchmark, runner):
+    # Full suite: the thrash is a population effect — it needs the
+    # spill/hot-PC pressure of the whole workload set to show.
+    data = benchmark.pedantic(sensitivity.combined_mr_composite_study,
+                              args=(runner,), rounds=1, iterations=1)
+    print()
+    for name, stats in data.items():
+        print(f"  {name:<20} gain {stats['gain']:+7.2%} "
+              f"coverage {stats['coverage']:6.1%}")
+    print("\npaper: the 1 KB fusion thrashes; FVP stays ahead at the "
+          "same storage")
+    assert data["fvp"]["gain"] > data["mr+composite-1kb"]["gain"]
+    assert data["mr+composite-8kb"]["gain"] >= \
+        data["mr+composite-1kb"]["gain"] - 0.005
+
+
+def test_stride_addition(benchmark, small_runner):
+    data = benchmark.pedantic(sensitivity.stride_addition_study,
+                              args=(small_runner,), rounds=1, iterations=1)
+    print()
+    for name, stats in data.items():
+        print(f"  {name:<12} gain {stats['gain']:+7.2%} "
+              f"coverage {stats['coverage']:6.1%}")
+    print("\npaper: stride on top of FVP adds a very small overall gain")
+    delta = data["fvp+stride"]["gain"] - data["fvp"]["gain"]
+    print(f"measured delta: {delta:+.2%}")
+    assert abs(delta) < 0.02

@@ -1,0 +1,22 @@
+"""§VI-C1 — Criticality Epoch sweep.
+
+Paper: very small epochs give the CIT too little time to learn;
+very large (or no) epochs leave stale roots across phase changes;
+400k retirements is the sweet spot.
+"""
+
+from repro.experiments import sensitivity
+
+
+def test_epoch_sweep(benchmark, small_runner):
+    epochs = (10_000, 100_000, 400_000, 0)
+    data = benchmark.pedantic(sensitivity.epoch_sweep,
+                              args=(small_runner, epochs),
+                              rounds=1, iterations=1)
+    print()
+    for epoch, gain in data.items():
+        label = f"{epoch:>9}" if epoch else "   never"
+        print(f"  epoch {label}: {gain:+7.2%}")
+    print("\npaper: peak near 400k; small epochs under-learn")
+    # A pathologically small epoch should not beat the default.
+    assert data[10_000] <= data[400_000] + 0.01

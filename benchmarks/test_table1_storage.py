@@ -1,0 +1,12 @@
+"""Table I — FVP storage accounting (paper: ~1.2 KB total)."""
+
+from repro.experiments import storage
+
+
+def test_table1_storage(benchmark):
+    table = benchmark(storage.table1)
+    print()
+    print(storage.format_table1())
+    print(f"\npaper total: ~1.2 KB   measured: {storage.total_bytes()} B")
+    assert storage.total_bytes() == 1196
+    assert table["Value Table"]["bytes"] == 492

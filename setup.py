@@ -1,0 +1,6 @@
+"""Legacy setup shim so `pip install -e .` works without the `wheel`
+package (the environment has setuptools 65 but no wheel backend)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""repro — a reproduction of *Focused Value Prediction* (Bandishte et
+al., ISCA 2020).
+
+The package is a complete trace-driven micro-architecture laboratory:
+
+* :mod:`repro.pipeline` — a cycle-level out-of-order core model
+  (Skylake-like and a 2× scaled variant), hosting pluggable value
+  predictors.
+* :mod:`repro.core` — the paper's contribution: Focused Value
+  Prediction (CIT + Learning Table + Value Table + Memory Renaming).
+* :mod:`repro.predictors` — the prior-art baselines: LVP, stride, FCM,
+  VTAGE, D-VTAGE, EVES, DLVP, the DLVP+EVES Composite, and Memory
+  Renaming.
+* :mod:`repro.trace` — a deterministic 60-workload synthetic suite
+  standing in for the paper's SPEC/server traces.
+* :mod:`repro.memory`, :mod:`repro.frontend` — the substrates: caches,
+  prefetchers, DRAM, TAGE/ITTAGE.
+* :mod:`repro.criticality` — Fields-style DDG analysis and the oracle.
+* :mod:`repro.experiments` — one driver per paper figure/table.
+
+Quickstart::
+
+    from repro import simulate, CoreConfig, build_workload
+    from repro.core import FVP
+
+    trace = build_workload("omnetpp", length=100_000)
+    baseline = simulate(trace, CoreConfig.skylake())
+    focused = simulate(trace, CoreConfig.skylake(), predictor=FVP())
+    print(focused.ipc / baseline.ipc)
+"""
+
+from typing import List
+
+from repro.core.fvp import FVP
+from repro.isa.instruction import MicroOp
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.engine import Engine, simulate
+from repro.pipeline.results import SimResult
+from repro.pipeline.vp_interface import Prediction, ValuePredictor
+from repro.predictors import make_predictor
+from repro.trace.builder import build_trace
+from repro.trace.workloads import CATALOGUE, get_profile, workload_names
+
+__version__ = "1.0.0"
+
+
+def build_workload(name: str, length: int = 100_000) -> List[MicroOp]:
+    """Build the named workload's deterministic trace.
+
+    >>> trace = build_workload("mcf", length=1000)
+    >>> len(trace) >= 1000
+    True
+    """
+    return build_trace(get_profile(name), length)
+
+
+__all__ = [
+    "FVP",
+    "MicroOp",
+    "CoreConfig",
+    "Engine",
+    "simulate",
+    "SimResult",
+    "ValuePredictor",
+    "Prediction",
+    "make_predictor",
+    "build_workload",
+    "build_trace",
+    "CATALOGUE",
+    "get_profile",
+    "workload_names",
+    "__version__",
+]

@@ -1,0 +1,112 @@
+"""Aggregation metrics matching the paper's reporting conventions.
+
+Speedups are IPC ratios over a same-trace baseline; aggregates are
+geometric means (the paper reports "geometric mean" throughout);
+coverage aggregates are arithmetic means of per-workload coverages.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.pipeline.results import SimResult
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; raises on empty or non-positive input."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+class WorkloadRun:
+    """Paired (baseline, predictor) results for one workload."""
+
+    __slots__ = ("workload", "category", "baseline", "result")
+
+    def __init__(self, workload: str, category: str,
+                 baseline: SimResult, result: SimResult) -> None:
+        self.workload = workload
+        self.category = category
+        self.baseline = baseline
+        self.result = result
+
+    @property
+    def speedup(self) -> float:
+        return self.result.speedup_over(self.baseline)
+
+    @property
+    def gain(self) -> float:
+        """Fractional IPC gain (0.033 = +3.3%)."""
+        return self.speedup - 1.0
+
+    @property
+    def coverage(self) -> float:
+        return self.result.coverage
+
+
+def by_category(runs: Sequence[WorkloadRun]) -> Dict[str, List[WorkloadRun]]:
+    groups: Dict[str, List[WorkloadRun]] = {}
+    for run in runs:
+        groups.setdefault(run.category, []).append(run)
+    return groups
+
+
+def category_summary(runs: Sequence[WorkloadRun]) -> Dict[str, Dict[str, float]]:
+    """Per-category geomean speedup and mean coverage, plus an overall
+    'Geomean' row — the structure of Figures 6/7/13."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for category, group in sorted(by_category(runs).items()):
+        summary[category] = {
+            "gain": geomean(r.speedup for r in group) - 1.0,
+            "coverage": mean(r.coverage for r in group),
+            "workloads": len(group),
+        }
+    summary["Geomean"] = {
+        "gain": geomean(r.speedup for r in runs) - 1.0,
+        "coverage": mean(r.coverage for r in runs),
+        "workloads": len(runs),
+    }
+    return summary
+
+
+def overall_gain(runs: Sequence[WorkloadRun]) -> float:
+    return geomean(r.speedup for r in runs) - 1.0
+
+
+def overall_coverage(runs: Sequence[WorkloadRun]) -> float:
+    return mean(r.coverage for r in runs)
+
+
+def shape_check(measured: Mapping[str, float], paper: Mapping[str, float],
+                tolerance: float = 0.5) -> Dict[str, bool]:
+    """Compare measured vs paper values *by shape*: same sign and the
+    same ordering of magnitudes.  Returns per-key pass/fail for the
+    ordering against every other key.  ``tolerance`` is unused for
+    ordering but kept for callers that also gate magnitudes."""
+    del tolerance
+    keys = [k for k in paper if k in measured]
+    outcome: Dict[str, bool] = {}
+    for key in keys:
+        ok = True
+        for other in keys:
+            if other == key:
+                continue
+            paper_order = paper[key] - paper[other]
+            measured_order = measured[key] - measured[other]
+            if paper_order * measured_order < 0 and \
+                    abs(paper_order) > 1e-9:
+                ok = False
+        outcome[key] = ok
+    return outcome

@@ -1,0 +1,76 @@
+"""Plain-text rendering of experiment outputs.
+
+Every figure/table driver in :mod:`repro.experiments` returns plain
+data structures; these helpers render them as the rows/series the
+paper's figures show, in simple aligned ASCII (benchmarks print them,
+EXPERIMENTS.md quotes them).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Aligned ASCII table."""
+    cells = [[str(h) for h in headers]]
+    cells.extend([str(c) for c in row] for row in rows)
+    widths = [max(len(row[col]) for row in cells)
+              for col in range(len(headers))]
+    lines = []
+    for row_index, row in enumerate(cells):
+        line = "  ".join(cell.ljust(width)
+                         for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if row_index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    return f"{100 * value:+.{digits}f}%"
+
+
+def format_category_summary(title: str,
+                            summary: Mapping[str, Mapping[str, float]]) -> str:
+    """Render a Figures-6/7-style per-category gain+coverage block."""
+    rows = []
+    for category, stats in summary.items():
+        rows.append((category,
+                     format_percent(stats["gain"]),
+                     f"{100 * stats['coverage']:.0f}%",
+                     int(stats.get("workloads", 0))))
+    table = format_table(("category", "IPC gain", "coverage", "n"), rows)
+    return f"{title}\n{table}"
+
+
+def format_bar_comparison(title: str,
+                          bars: Mapping[str, Mapping[str, float]]) -> str:
+    """Render a Figures-10/11-style predictor comparison."""
+    rows = []
+    for label, stats in bars.items():
+        coverage = stats.get("coverage")
+        rows.append((label,
+                     format_percent(stats["gain"]),
+                     f"{100 * coverage:.0f}%" if coverage is not None
+                     else "-"))
+    table = format_table(("predictor", "IPC gain", "coverage"), rows)
+    return f"{title}\n{table}"
+
+
+def format_series(title: str, labels: Sequence[str],
+                  series: Mapping[str, Sequence[float]],
+                  percent: bool = False) -> str:
+    """Render a Figures-8/9-style per-workload line-graph as rows."""
+    headers = ["workload"] + list(series)
+    rows = []
+    for index, label in enumerate(labels):
+        row = [label]
+        for name in series:
+            value = series[name][index]
+            row.append(format_percent(value) if percent
+                       else f"{value:.3f}")
+        rows.append(row)
+    table = format_table(headers, rows)
+    return f"{title}\n{table}"

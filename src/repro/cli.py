@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``      — list workloads (optionally one category)
+``run``       — simulate one workload under one predictor
+``compare``   — baseline vs a set of predictors on one workload
+``figure``    — regenerate one of the paper's figures
+``storage``   — print Table I
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.runner import DEFAULT_LENGTH, DEFAULT_WARMUP, Runner
+from repro.trace.workloads import CATALOGUE, CATEGORIES, get_profile
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--length", type=int, default=DEFAULT_LENGTH,
+                        help="trace length in micro-ops")
+    parser.add_argument("--warmup", type=int, default=None,
+                        help="warmup prefix excluded from statistics "
+                             "(default: 40%% of length)")
+    parser.add_argument("--core", choices=("skylake", "skylake-2x"),
+                        default="skylake")
+
+
+def _warmup(args) -> int:
+    if args.warmup is not None:
+        return args.warmup
+    return min(int(args.length * 0.4), DEFAULT_WARMUP)
+
+
+def cmd_list(args) -> int:
+    for category in CATEGORIES:
+        if args.category and category != args.category:
+            continue
+        names = [name for name, profile in CATALOGUE.items()
+                 if profile.category == category]
+        print(f"{category} ({len(names)}):")
+        print("  " + ", ".join(names))
+    return 0
+
+
+def cmd_run(args) -> int:
+    runner = Runner(length=args.length, warmup=_warmup(args),
+                    workloads=[args.workload])
+    run = runner.workload_run(args.workload, args.core, args.predictor)
+    result = run.result
+    print(result.summary())
+    print(f"speedup over baseline: {run.gain:+.2%}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    runner = Runner(length=args.length, warmup=_warmup(args),
+                    workloads=[args.workload])
+    baseline = runner.baseline(args.workload, args.core)
+    print(f"{args.workload} on {args.core}: baseline IPC "
+          f"{baseline.ipc:.3f}")
+    print(f"{'predictor':<16} {'speedup':>9} {'coverage':>9} "
+          f"{'accuracy':>9}")
+    for name in args.predictors:
+        result = runner.run(args.workload, args.core, name)
+        print(f"{name:<16} {result.ipc / baseline.ipc - 1:+9.2%} "
+              f"{result.coverage:9.1%} {result.accuracy:9.2%}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from repro.experiments import figures
+
+    driver = getattr(figures, f"figure{args.number}", None)
+    renderer = getattr(figures, f"render_figure{args.number}", None)
+    if driver is None or renderer is None:
+        print(f"no driver for figure {args.number}", file=sys.stderr)
+        return 2
+    runner = figures.default_runner(length=args.length,
+                                    warmup=_warmup(args),
+                                    per_category=args.per_category)
+    print(renderer(driver(runner)))
+    return 0
+
+
+def cmd_storage(_args) -> int:
+    from repro.experiments import storage
+
+    print(storage.format_table1())
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.figures import default_runner
+    from repro.experiments.report import write_report
+
+    runner = default_runner(length=args.length, warmup=_warmup(args),
+                            per_category=args.per_category)
+    write_report(args.output, runner, figure_numbers=args.figures,
+                 include_oracle=args.oracle)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Focused Value Prediction (ISCA 2020) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list workloads")
+    p_list.add_argument("--category", choices=CATEGORIES)
+    p_list.set_defaults(func=cmd_list)
+
+    p_run = sub.add_parser("run", help="simulate one workload")
+    p_run.add_argument("workload")
+    p_run.add_argument("--predictor", default="fvp")
+    _add_scale_args(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare predictors")
+    p_cmp.add_argument("workload")
+    p_cmp.add_argument("predictors", nargs="+")
+    _add_scale_args(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("number", type=int, choices=range(6, 14))
+    p_fig.add_argument("--per-category", type=int, default=None)
+    _add_scale_args(p_fig)
+    p_fig.set_defaults(func=cmd_figure)
+
+    p_storage = sub.add_parser("storage", help="print Table I")
+    p_storage.set_defaults(func=cmd_storage)
+
+    p_report = sub.add_parser("report",
+                              help="write a full reproduction report")
+    p_report.add_argument("--output", default="report.md")
+    p_report.add_argument("--figures", type=int, nargs="+",
+                          default=[6, 7, 10, 12])
+    p_report.add_argument("--per-category", type=int, default=None)
+    p_report.add_argument("--oracle", action="store_true",
+                          help="include the (slow) DDG-oracle bar")
+    _add_scale_args(p_report)
+    p_report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    workload = getattr(args, "workload", None)
+    if workload is not None:
+        try:
+            get_profile(workload)
+        except KeyError:
+            print(f"unknown workload {workload!r} "
+                  f"(see `repro list`)", file=sys.stderr)
+            return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

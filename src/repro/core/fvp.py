@@ -1,0 +1,471 @@
+"""Focused Value Prediction (§IV) — the paper's contribution.
+
+FVP refocuses value prediction from coverage onto *early execution of
+bottleneck instructions*:
+
+1. **Find the root of the critical path** (§IV-A): loads that execute
+   within commit-width of the ROB head stall retirement; their PCs
+   train the :class:`~repro.core.cit.CriticalInstructionTable`.
+2. **Focused training** (§IV-B): when a confident critical root
+   allocates, the PC-augmented RAT supplies the PCs of its parent
+   sources, which are parked in the 2-entry
+   :class:`~repro.core.learning_table.LearningTable` and allocated into
+   the :class:`~repro.core.value_table.ValueTable` when they execute.
+   Ops that prove unpredictable trigger a further one-level walk to
+   *their* parents at their next allocation — the walk-back proceeds
+   one level per dynamic instance until a predictable load is found.
+   Non-loads are allocated with the no-predict counter pre-saturated,
+   so they forward the walk without ever being predicted.
+3. **Register dependencies** (§IV-C): the Value Table serves last-value
+   and context (PC ⊕ last-32-branch-outcomes) prediction from one
+   48-entry structure.
+4. **Memory dependencies** (§IV-D): loads check Memory Renaming before
+   the Value Table; a load with a learned producer store is predicted
+   from the store's data, does not train the VT, and suppresses the
+   register walk for its address chain.
+
+Variants used by the evaluation are expressed as constructor knobs and
+the factory functions at the bottom (`fvp_l1_miss`, `fvp_oracle`, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.core.cit import DEFAULT_EPOCH, CriticalInstructionTable
+from repro.core.learning_table import LearningTable
+from repro.core.value_table import CV_FAIL_MAX, ValueTable
+from repro.isa import opcodes
+from repro.isa.instruction import MicroOp
+from repro.pipeline.vp_interface import (EngineContext, Prediction,
+                                         ValuePredictor)
+from repro.predictors.memory_renaming import MemoryRenaming
+
+#: Table I: the RAT-PC extension — one PC (11 tracked bits) per
+#: architectural register.
+RAT_PC_BITS = 16 * 11
+
+#: Criticality-detection modes (Figure 12).
+RETIRE_STALL = "retire-stall"
+L1_MISS = "l1-miss"
+L1_MISS_ONLY = "l1-miss-only"
+ORACLE = "oracle"
+
+_MODES = (RETIRE_STALL, L1_MISS, L1_MISS_ONLY, ORACLE)
+
+
+class FVP(ValuePredictor):
+    """The Focused Value Predictor.
+
+    Parameters
+    ----------
+    vt_entries / cit_size / lt_size:
+        Structure geometries (defaults are the paper's: 48 / 32 / 2).
+    use_vt / use_mr:
+        Enable the register-dependence (Value Table) and
+        memory-dependence (Memory Renaming) components — Figure 13
+        runs each alone.
+    criticality:
+        One of ``retire-stall`` (default), ``l1-miss``,
+        ``l1-miss-only``, ``oracle`` (Figure 12).
+    oracle_pcs:
+        Critical-root PC set for ``oracle`` mode.
+    loads_only:
+        Predict loads only (§IV-B; §VI-A2 studies False).
+    target_branch_chains:
+        Also treat frequently mispredicting branches as critical roots
+        (§VI-A3 measures this is worth ≈nothing).
+    accelerate_store_chains:
+        After a confident memory renaming, also walk the producer
+        store's dependence chain (§III-A's optional extension).
+    epoch:
+        Criticality Epoch in retired instructions (§IV-A1, 400k).
+    """
+
+    name = "fvp"
+
+    def __init__(self, vt_entries: int = 48, cit_size: int = 32,
+                 lt_size: int = 2, mr: Optional[MemoryRenaming] = None,
+                 use_vt: bool = True, use_mr: bool = True,
+                 criticality: str = RETIRE_STALL,
+                 oracle_pcs: Optional[Iterable[int]] = None,
+                 loads_only: bool = True,
+                 target_branch_chains: bool = False,
+                 accelerate_store_chains: bool = False,
+                 epoch: int = DEFAULT_EPOCH) -> None:
+        if criticality not in _MODES:
+            raise ValueError(f"criticality must be one of {_MODES}")
+        if criticality == ORACLE and oracle_pcs is None:
+            raise ValueError("oracle mode needs oracle_pcs")
+        self.vt = ValueTable(vt_entries)
+        self.cit = CriticalInstructionTable(cit_size, epoch=epoch)
+        self.lt = LearningTable(lt_size)
+        self.mr = mr or MemoryRenaming(sl_entries=136, vf_entries=40)
+        self.use_vt = use_vt
+        self.use_mr = use_mr
+        self.criticality = criticality
+        self.oracle_pcs: Set[int] = set(oracle_pcs or ())
+        self.loads_only = loads_only
+        self.target_branch_chains = target_branch_chains
+        self.accelerate_store_chains = accelerate_store_chains
+        # §VI-A3 variant: per-PC branch mispredict confidence.
+        self._branch_roots = {}
+        # Attribution counters.
+        self.lv_predictions = 0
+        self.cv_predictions = 0
+        self.mr_predictions = 0
+        self.walks = 0
+
+    # ------------------------------------------------------------------
+    # Criticality.
+    # ------------------------------------------------------------------
+    def _is_critical_root(self, pc: int) -> bool:
+        if self.criticality == RETIRE_STALL:
+            return self.cit.is_critical(pc)
+        if self.criticality == L1_MISS:
+            return self.cit.is_critical(pc)  # CIT trained on L1 misses
+        if self.criticality == ORACLE:
+            return pc in self.oracle_pcs
+        return False  # l1-miss-only never walks
+
+    def _criticality_signal(self, uop: MicroOp, ctx: EngineContext) -> bool:
+        """Should this executed op train the CIT?"""
+        if self.loads_only and uop.op != opcodes.LOAD:
+            return False
+        if not self.loads_only and uop.dest is None:
+            return False
+        if self.criticality == RETIRE_STALL:
+            return ctx.stalls_retirement
+        if self.criticality in (L1_MISS, L1_MISS_ONLY):
+            return uop.op == opcodes.LOAD and not ctx.l1_hit
+        return False  # oracle mode: the set is externally supplied
+
+    # ------------------------------------------------------------------
+    # Front-end lookup (allocation).
+    # ------------------------------------------------------------------
+    def predict(self, uop: MicroOp, ctx: EngineContext) -> Optional[Prediction]:
+        op = uop.op
+        if op == opcodes.STORE:
+            if self.use_mr:
+                # MR's store-allocation path (publishes SQID + data).
+                self.mr.predict(uop, ctx)
+            self._maybe_walk(uop, ctx)
+            return None
+        if uop.dest is None:
+            return None
+
+        is_load = op == opcodes.LOAD
+        prediction = None
+
+        # 1. Loads preemptively check Memory Renaming (§IV-D).
+        if is_load and self.use_mr:
+            prediction = self.mr.predict(uop, ctx)
+            if prediction is not None:
+                self.mr_predictions += 1
+                prediction.source = "fvp-mr"
+                return prediction
+
+        predictable_type = is_load or not self.loads_only
+        if self.use_vt and predictable_type:
+            lv_entry = self.vt.lookup(ValueTable.lv_key(uop.pc))
+            # 2. Last-value prediction.
+            if lv_entry is not None and lv_entry.predictable \
+                    and lv_entry.confident:
+                self.lv_predictions += 1
+                return Prediction(lv_entry.data, source="fvp-lv")
+            # 3. Context prediction for LV-hostile entries.
+            if lv_entry is not None and not lv_entry.predictable:
+                cv_entry = self.vt.lookup(
+                    ValueTable.cv_key(uop.pc, ctx.history32), context=True)
+                if cv_entry is not None and cv_entry.predictable \
+                        and cv_entry.confident:
+                    self.cv_predictions += 1
+                    return Prediction(cv_entry.data, source="fvp-cv")
+
+        # 4. Nothing predicted: possibly extend the focused walk.
+        self._maybe_walk(uop, ctx)
+        return None
+
+    # ------------------------------------------------------------------
+    def _maybe_walk(self, uop: MicroOp, ctx: EngineContext) -> None:
+        """One level of the backward walk (§IV-B): park this op's
+        parent-source PCs in the Learning Table when the op is a
+        confident critical root, or an already-targeted op that has
+        proven unpredictable."""
+        if not uop.srcs:
+            return
+        if self.criticality == L1_MISS_ONLY:
+            return  # this variant predicts the misses themselves only
+        if self._is_critical_root(uop.pc):
+            self._walk_parents(uop, ctx)
+            return
+        lv_entry = self.vt.lookup(ValueTable.lv_key(uop.pc))
+        if lv_entry is None or lv_entry.predictable:
+            return
+        # The op is targeted but LV-unpredictable.  Loads get their
+        # second chances first: memory renaming, then context.
+        if uop.op == opcodes.LOAD:
+            if self.use_mr:
+                assoc = self.mr.assoc.lookup(uop.pc)
+                if assoc is not None:
+                    # A memory dependence is known (or forming): rely on
+                    # MR rather than predicting the address chain.
+                    if self.accelerate_store_chains and \
+                            assoc.confidence >= self.mr.conf_threshold:
+                        self.lt.insert(assoc.value)  # the store's PC
+                    return
+            if lv_entry.cv_marked and lv_entry.cv_fail < CV_FAIL_MAX:
+                return  # context prediction still has a chance
+        self._walk_parents(uop, ctx)
+
+    def _walk_parents(self, uop: MicroOp, ctx: EngineContext) -> None:
+        """Park parent PCs that are not already tracked: a parent with a
+        live Value Table entry is being learned (or has been judged),
+        so re-parking it would only thrash the 2-entry LT."""
+        walked = False
+        writer_pc = ctx.writer_pc
+        for src in uop.srcs:
+            parent = writer_pc[src]
+            if parent and parent not in self.lt \
+                    and self.vt.lookup(ValueTable.lv_key(parent)) is None:
+                self.lt.insert(parent)
+                walked = True
+        if walked:
+            self.walks += 1
+
+    # ------------------------------------------------------------------
+    # Execution-time training.
+    # ------------------------------------------------------------------
+    def train_execute(self, uop: MicroOp, ctx: EngineContext,
+                      used_prediction: Optional[Prediction],
+                      correct: bool) -> None:
+        if self.use_mr:
+            self.mr.train_execute(uop, ctx, used_prediction, correct)
+
+        is_load = uop.op == opcodes.LOAD
+        producing = uop.dest is not None
+
+        # Criticality learning.
+        if self._criticality_signal(uop, ctx):
+            self.cit.record(uop.pc)
+            # A confident root is itself a prediction target (§IV-A1:
+            # "value predicting the root ... may also be beneficial").
+            if self.use_vt and self.cit.is_critical(uop.pc):
+                self._allocate_target(uop)
+        if self.criticality == ORACLE and is_load \
+                and uop.pc in self.oracle_pcs and self.use_vt:
+            self._allocate_target(uop)
+        if self.target_branch_chains and ctx.branch_mispredicted:
+            count = self._branch_roots.get(uop.pc, 0) + 1
+            self._branch_roots[uop.pc] = count
+            if count >= 4:
+                self._walk_parents(uop, ctx)
+
+        if not self.use_vt or not producing:
+            return
+
+        # Learning Table hit: a parked parent executes and is allocated.
+        if self.lt.hit(uop.pc):
+            predictable = is_load or not self.loads_only
+            self.vt.allocate(ValueTable.lv_key(uop.pc), uop.value,
+                             predictable=predictable)
+
+        # Memory-renamed loads do not train the Value Table (§IV-D).
+        if used_prediction is not None and \
+                used_prediction.source == "fvp-mr":
+            return
+        # §IV-B: non-loads are never trained toward prediction — they
+        # only mark the walk path (their entries stay no-predict).
+        if self.loads_only and not is_load:
+            return
+
+        lv_entry = self.vt.lookup(ValueTable.lv_key(uop.pc))
+        if lv_entry is None:
+            return
+        repeated = self.vt.train(lv_entry, uop.value)
+        if not repeated and not lv_entry.predictable and is_load \
+                and not lv_entry.cv_marked:
+            lv_entry.cv_marked = True
+
+        # Context re-record: only near-head instances (§IV-C), which
+        # bounds the number of histories tracked.  A PC whose context
+        # entries keep proving unpredictable — or that keeps needing
+        # fresh context allocations because its histories never repeat
+        # — saturates cv_fail and stops re-recording; the walk then
+        # proceeds to its parent sources.
+        if lv_entry.cv_marked and lv_entry.cv_fail < CV_FAIL_MAX \
+                and ctx.stalls_retirement:
+            cv_key = ValueTable.cv_key(uop.pc, ctx.history32)
+            cv_entry = self.vt.lookup(cv_key, context=True)
+            if cv_entry is None:
+                self.vt.allocate(cv_key, uop.value, context=True)
+                lv_entry.cv_fail += 1
+            else:
+                repeated_cv = self.vt.train(cv_entry, uop.value)
+                if repeated_cv:
+                    if lv_entry.cv_fail:
+                        lv_entry.cv_fail -= 1
+                elif not cv_entry.predictable:
+                    lv_entry.cv_fail += 1
+
+    def _allocate_target(self, uop: MicroOp) -> None:
+        if self.vt.lookup(ValueTable.lv_key(uop.pc)) is None:
+            predictable = uop.op == opcodes.LOAD or not self.loads_only
+            self.vt.allocate(ValueTable.lv_key(uop.pc), uop.value,
+                             predictable=predictable)
+
+    # ------------------------------------------------------------------
+    def on_forwarding(self, store_pc: int, load_pc: int,
+                      store_seq: int) -> None:
+        """§IV-D: a load is "added to ... the MR" only once it is a
+        focused-training target that last-value prediction failed on —
+        FVP's 136-entry Store/Load cache learns critical pairs only,
+        not the whole spill/fill population a big standalone MR covers."""
+        if not self.use_mr:
+            return
+        if self.use_vt:
+            lv_entry = self.vt.lookup(ValueTable.lv_key(load_pc))
+            already_known = self.mr.assoc.lookup(load_pc) is not None
+            if not already_known and (
+                    lv_entry is None or lv_entry.predictable):
+                return
+        self.mr.on_forwarding(store_pc, load_pc, store_seq)
+
+    def epoch_tick(self, retired: int) -> None:
+        self.cit.tick(retired)
+
+    def storage_bits(self) -> int:
+        """Table I accounting: CIT + VT + MR (S/L cache and Value File)
+        + the RAT-PC extension."""
+        bits = self.cit.storage_bits() + RAT_PC_BITS
+        if self.use_vt:
+            bits += self.vt.storage_bits()
+        if self.use_mr:
+            bits += self.mr.storage_bits()
+        return bits
+
+    def stats(self) -> dict:
+        return {
+            "lv_predictions": self.lv_predictions,
+            "cv_predictions": self.cv_predictions,
+            "mr_predictions": self.mr_predictions,
+            "walks": self.walks,
+            "lt_hits": self.lt.hits,
+            "cit_recordings": self.cit.recordings,
+            "cit_epoch_resets": self.cit.epoch_resets,
+            "vt_allocs": self.vt.allocs,
+        }
+
+
+# ----------------------------------------------------------------------
+# Evaluation variants.
+# ----------------------------------------------------------------------
+def fvp_default(**overrides) -> FVP:
+    """The paper's FVP: retirement-stall criticality, LV+CV+MR, loads
+    only, 1.2 KB total."""
+    return FVP(**overrides)
+
+
+def fvp_l1_miss_only(**overrides) -> FVP:
+    """Figure 12 'FVP-L1-Miss-Only': predict only L1-missing loads
+    themselves, no dependence-chain walk."""
+    predictor = FVP(criticality=L1_MISS_ONLY, **overrides)
+    predictor.name = "fvp-l1-miss-only"
+    return predictor
+
+
+def fvp_l1_miss(**overrides) -> FVP:
+    """Figure 12 'FVP-L1-Miss': any L1 miss is treated as a critical
+    root (walk enabled) instead of the retirement-stall heuristic."""
+    predictor = FVP(criticality=L1_MISS, **overrides)
+    predictor.name = "fvp-l1-miss"
+    return predictor
+
+
+def fvp_oracle(oracle_pcs: Iterable[int], **overrides) -> FVP:
+    """Figure 12 'Oracle Criticality': critical roots supplied by the
+    DDG analysis of :mod:`repro.criticality`."""
+    predictor = FVP(criticality=ORACLE, oracle_pcs=oracle_pcs, **overrides)
+    predictor.name = "fvp-oracle"
+    return predictor
+
+
+def fvp_register_only(**overrides) -> FVP:
+    """Figure 13: register-dependence component alone (no MR)."""
+    predictor = FVP(use_mr=False, **overrides)
+    predictor.name = "fvp-reg"
+    return predictor
+
+
+def fvp_memory_only(**overrides) -> FVP:
+    """Figure 13: memory-dependence component alone (no Value Table)."""
+    predictor = FVP(use_vt=False, **overrides)
+    predictor.name = "fvp-mem"
+    return predictor
+
+
+def fvp_all_instructions(**overrides) -> FVP:
+    """§VI-A2: predict every producing instruction, not just loads."""
+    predictor = FVP(loads_only=False, **overrides)
+    predictor.name = "fvp-all"
+    return predictor
+
+
+def fvp_branch_chains(**overrides) -> FVP:
+    """§VI-A3: additionally target mispredicting branches' chains."""
+    predictor = FVP(target_branch_chains=True, **overrides)
+    predictor.name = "fvp-br"
+    return predictor
+
+
+class FvpPlusStride(ValuePredictor):
+    """FVP with a stride component layered on top (§VI-B's closing
+    remark: the stride predictor "can be added on top of all the
+    existing predictors, including FVP").
+
+    FVP keeps absolute priority; the stride table only predicts loads
+    FVP declined, and only trains on loads FVP has *targeted* (a PC
+    with a live Value Table entry), so the focus property is kept.
+    """
+
+    name = "fvp+stride"
+
+    def __init__(self, fvp: Optional[FVP] = None,
+                 stride_entries: int = 32) -> None:
+        from repro.predictors.stride import StridePredictor
+
+        self.fvp = fvp or FVP()
+        self.stride = StridePredictor(entries=stride_entries)
+
+    def predict(self, uop, ctx):
+        prediction = self.fvp.predict(uop, ctx)
+        if prediction is not None:
+            return prediction
+        if uop.op == opcodes.LOAD and self.fvp.use_vt and \
+                self.fvp.vt.lookup(ValueTable.lv_key(uop.pc)) is not None:
+            return self.stride.predict(uop, ctx)
+        return None
+
+    def train_execute(self, uop, ctx, used_prediction, correct):
+        self.fvp.train_execute(uop, ctx, used_prediction, correct)
+        if uop.op == opcodes.LOAD and self.fvp.use_vt and \
+                self.fvp.vt.lookup(ValueTable.lv_key(uop.pc)) is not None:
+            self.stride.train_execute(uop, ctx, used_prediction, correct)
+
+    def on_forwarding(self, store_pc, load_pc, store_seq):
+        self.fvp.on_forwarding(store_pc, load_pc, store_seq)
+
+    def epoch_tick(self, retired):
+        self.fvp.epoch_tick(retired)
+
+    def storage_bits(self):
+        return self.fvp.storage_bits() + self.stride.storage_bits()
+
+    def stats(self):
+        return self.fvp.stats()
+
+
+
+def fvp_with_stride(**overrides) -> FvpPlusStride:
+    """FVP + a 32-entry stride layer (§VI-B extension)."""
+    return FvpPlusStride(FVP(**overrides))

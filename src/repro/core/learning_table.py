@@ -1,0 +1,55 @@
+"""Learning Table (§IV-B).
+
+A tiny (2-entry) buffer of parent-source PCs awaiting insertion into
+the Value Table.  When a critical root allocates, the PC-augmented RAT
+supplies the PCs of the instructions that produced its sources; those
+PCs are parked here.  When an instruction whose PC is parked executes,
+it *hits* the Learning Table, is allocated into the Value Table with
+its just-produced value, and the entry is released — this is how the
+paper avoids extra value-predictor write ports (updates are deferred
+to execution instead of happening at the RAT read).
+"""
+
+from __future__ import annotations
+
+
+class LearningTable:
+    """FIFO buffer of PCs pending Value Table allocation."""
+
+    __slots__ = ("size", "_slots", "inserted", "hits", "dropped")
+
+    def __init__(self, size: int = 2) -> None:
+        if size <= 0:
+            raise ValueError("Learning Table size must be positive")
+        self.size = size
+        self._slots = []
+        self.inserted = 0
+        self.hits = 0
+        self.dropped = 0
+
+    def insert(self, pc: int) -> None:
+        """Park a parent-source PC (FIFO replacement when full — a new
+        learning target displaces the oldest pending one)."""
+        if pc in self._slots:
+            return
+        if len(self._slots) >= self.size:
+            self._slots.pop(0)
+            self.dropped += 1
+        self._slots.append(pc)
+        self.inserted += 1
+
+    def hit(self, pc: int) -> bool:
+        """Check-and-release: True when ``pc`` was parked (the caller
+        then allocates it into the Value Table)."""
+        try:
+            self._slots.remove(pc)
+        except ValueError:
+            return False
+        self.hits += 1
+        return True
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._slots

@@ -1,0 +1,195 @@
+"""The Value Table (§IV-C).
+
+A single 48-entry, 2-way set-associative table that serves both Last
+Value and Context Value prediction through its lookup function: keyed
+by PC alone it behaves as a last-value table; keyed by PC hashed with
+the outcome of the last 32 branches it behaves as a context table.
+
+Entry format (Table I): 11-bit tag, 64-bit data, 3-bit confidence,
+2-bit no-predict, 2-bit utility.
+
+Policies, per the paper:
+
+* Confidence increments with probability 1/16 when the data repeats
+  and resets on change; prediction requires saturation (≈ >99%
+  accuracy).
+* The no-predict counter increments on every data change and resets
+  when confidence saturates; its saturation marks the entry "not
+  predictable", which is what triggers the focused walk to parent
+  sources — and is also how non-loads are filtered (they are allocated
+  with no-predict pre-saturated).
+* Utility increments alongside confidence; replacement picks the
+  lowest-utility way and refuses (decaying utilities) while all ways
+  remain useful.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.predictors.common import XorShift, fold
+
+VALUE_MASK = (1 << 64) - 1
+
+#: Table I: tag(11) + data(64) + conf(3) + no-predict(2) + utility(2).
+ENTRY_BITS = 11 + 64 + 3 + 2 + 2
+
+CONF_MAX = 7        # 3-bit saturating
+NO_PREDICT_MAX = 3  # 2-bit saturating
+UTIL_MAX = 3        # 2-bit saturating
+CV_FAIL_MAX = 3     # 2-bit saturating (see VTEntry.cv_fail)
+
+
+class VTEntry:
+    """One Value Table entry (plus the context-mark micro-state)."""
+
+    __slots__ = ("tag", "data", "confidence", "no_predict", "utility",
+                 "context", "cv_marked", "cv_fail")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.data = 0
+        self.confidence = 0
+        self.no_predict = 0
+        self.utility = 0
+        #: True for context-mode entries.  One extra tag bit separating
+        #: the LV and CV namespaces: with an 11-bit tag, a context
+        #: lookup would otherwise alias a confident last-value entry of
+        #: an unrelated PC often enough to wreck accuracy.
+        self.context = False
+        #: LV entries only: this PC was unpredictable by last value and
+        #: has been marked for context re-recording (§IV-C).
+        self.cv_marked = False
+        #: LV entries only: saturating count of context entries for this
+        #: PC that themselves proved unpredictable.  At saturation the
+        #: PC stops re-recording contexts (it is hopeless) and the
+        #: focused walk proceeds to its parent sources instead.
+        self.cv_fail = 0
+
+    @property
+    def predictable(self) -> bool:
+        return self.no_predict < NO_PREDICT_MAX
+
+    @property
+    def confident(self) -> bool:
+        return self.confidence >= CONF_MAX
+
+
+class ValueTable:
+    """48-entry 2-way table shared by LV and CV prediction."""
+
+    __slots__ = ("sets", "ways", "rows", "_rng", "conf_prob",
+                 "allocs", "alloc_rejections")
+
+    def __init__(self, entries: int = 48, ways: int = 2,
+                 conf_prob: int = 1, seed: int = 0xFADE) -> None:
+        if entries <= 0 or entries % ways:
+            raise ValueError("entries must be a positive multiple of ways")
+        self.sets = entries // ways
+        self.ways = ways
+        self.rows: List[List[VTEntry]] = [
+            [VTEntry() for _ in range(ways)] for _ in range(self.sets)]
+        self._rng = XorShift(seed)
+        self.conf_prob = conf_prob
+        self.allocs = 0
+        self.alloc_rejections = 0
+
+    # -- keys -----------------------------------------------------------
+    @staticmethod
+    def lv_key(pc: int) -> int:
+        """Last-value lookup key: the PC alone."""
+        return pc
+
+    @staticmethod
+    def cv_key(pc: int, history32: int, history_bits: int = 8) -> int:
+        """Context lookup key: PC hashed with recent branch outcomes.
+
+        The paper's context is the outcome of the last 32 branches; in
+        this reproduction the fold defaults to the most recent 8, since
+        interleaved synthetic kernels pollute long histories in a way
+        phase-stable real code does not (DESIGN.md §2).  The hardware
+        cost is identical either way.
+        """
+        recent = history32 & ((1 << history_bits) - 1)
+        return pc ^ (fold(recent, 16) * 40503)
+
+    def _set_tag(self, key: int):
+        # Mix before splitting: a linear split systematically aliases
+        # PCs that sit at round power-of-two code offsets.
+        mixed = (key * 0x9E3779B1) & 0xFFFFFFFF
+        return mixed % self.sets, (mixed >> 12) & 0x7FF
+
+    # -- access ----------------------------------------------------------
+    def lookup(self, key: int, context: bool = False) -> Optional[VTEntry]:
+        index, tag = self._set_tag(key)
+        for entry in self.rows[index]:
+            if entry.tag == tag and entry.context == context:
+                return entry
+        return None
+
+    def allocate(self, key: int, value: int, predictable: bool = True,
+                 context: bool = False) -> Optional[VTEntry]:
+        """Install ``key``.  Non-load targets pass ``predictable=False``
+        and arrive with the no-predict counter pre-saturated (§IV-B).
+        Returns None when every way still has utility (utilities decay
+        instead — allocation succeeds on a later attempt)."""
+        index, tag = self._set_tag(key)
+        row = self.rows[index]
+        for entry in row:
+            if entry.tag == tag and entry.context == context:
+                return entry
+        victim = None
+        for entry in row:
+            if entry.tag == -1:
+                victim = entry
+                break
+        if victim is None:
+            lowest = min(row, key=lambda e: e.utility)
+            if lowest.utility > 0:
+                for entry in row:
+                    if entry.utility > 0:
+                        entry.utility -= 1
+                self.alloc_rejections += 1
+                return None
+            victim = lowest
+        victim.tag = tag
+        victim.data = value & VALUE_MASK
+        victim.confidence = 0
+        victim.no_predict = 0 if predictable else NO_PREDICT_MAX
+        victim.utility = 0
+        victim.context = context
+        victim.cv_marked = False
+        victim.cv_fail = 0
+        self.allocs += 1
+        return victim
+
+    def train(self, entry: VTEntry, value: int) -> bool:
+        """Update an entry with an executed value.  Returns True when
+        the data repeated."""
+        value &= VALUE_MASK
+        if entry.data == value:
+            if entry.confidence < CONF_MAX and self._rng.below(
+                    self.conf_prob, 16):
+                entry.confidence += 1
+                if entry.confidence >= CONF_MAX:
+                    entry.no_predict = 0
+            if entry.utility < UTIL_MAX:
+                entry.utility += 1
+            return True
+        entry.data = value
+        entry.confidence = 0
+        entry.utility = 0
+        if entry.no_predict < NO_PREDICT_MAX:
+            entry.no_predict += 1
+        return False
+
+    # -- introspection ----------------------------------------------------
+    def occupancy(self) -> int:
+        return sum(1 for row in self.rows for e in row if e.tag != -1)
+
+    @property
+    def capacity(self) -> int:
+        return self.sets * self.ways
+
+    def storage_bits(self) -> int:
+        return self.capacity * ENTRY_BITS

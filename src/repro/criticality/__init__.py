@@ -1,0 +1,14 @@
+"""Program criticality: Fields DDG, graph-buffered oracle, heuristics."""
+
+from repro.criticality.ddg import WindowGraph, critical_load_pcs
+from repro.criticality.heuristics import l1_miss_pcs, retirement_stall_pcs
+from repro.criticality.oracle import oracle_analysis, oracle_critical_pcs
+
+__all__ = [
+    "WindowGraph",
+    "critical_load_pcs",
+    "oracle_critical_pcs",
+    "oracle_analysis",
+    "retirement_stall_pcs",
+    "l1_miss_pcs",
+]

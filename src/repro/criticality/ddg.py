@@ -1,0 +1,182 @@
+"""Data Dependence Graph, after Fields, Rubin & Bodik (ISCA '01).
+
+Each dynamic instruction contributes three nodes:
+
+* ``D`` — dispatch/allocate into the window,
+* ``E`` — execute,
+* ``C`` — commit.
+
+Edges (with weights) capture the machine constraints:
+
+=============  =======================================================
+D(i-1) → D(i)  in-order dispatch
+C(i-R) → D(i)  finite window of R entries (re-dispatch after the
+               entry frees)
+D(i) → E(i)    dispatch-to-issue (≥1 cycle)
+E(p) → E(i)    dataflow: producer p of one of i's sources, weighted by
+               p's execution latency
+E(s) → E(i)    store→load forwarding (memory dependence)
+E(i) → C(i)    completion, weighted by i's execution latency
+C(i-1) → C(i)  in-order commit
+E(b) → D(i)    branch mispredict redirect (b the mispredicted branch),
+               weighted by b's latency + the flush penalty
+=============  =======================================================
+
+The longest D(0)→C(n-1) path is the critical path; an instruction is
+*critical* when its E node lies on it (Fields' definition, the one the
+paper's §II-B uses).
+
+The graph is built per window (graph buffering, after Nori et al.
+[18]) so the analysis is streaming and bounded, exactly like the
+hardware oracle the paper compares against in Figure 12.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.isa import opcodes
+from repro.isa.instruction import MicroOp
+
+# Node kinds.
+D, E, C = 0, 1, 2
+
+
+class WindowGraph:
+    """DDG over one window of the trace.
+
+    Parameters
+    ----------
+    trace / start / end:
+        The window is ``trace[start:end]``.
+    latencies:
+        Per-op execution latency (``complete - issue`` from a timing
+        run, or estimated).
+    mispredicts:
+        Per-op flag: this control op was mispredicted.
+    rob_size / mispredict_penalty:
+        Machine parameters for the window and redirect edges.
+    """
+
+    def __init__(self, trace: Sequence[MicroOp], start: int, end: int,
+                 latencies: Sequence[int],
+                 mispredicts: Optional[Sequence[bool]] = None,
+                 rob_size: int = 224,
+                 mispredict_penalty: int = 20) -> None:
+        if not 0 <= start < end <= len(trace):
+            raise ValueError(f"bad window [{start}, {end})")
+        self.trace = trace
+        self.start = start
+        self.end = end
+        self.latencies = latencies
+        self.mispredicts = mispredicts
+        self.rob_size = rob_size
+        self.mispredict_penalty = mispredict_penalty
+        self.size = end - start
+        # adjacency: node id -> list of (successor, weight).  Node id =
+        # 3 * local_index + kind.
+        self.edges: Dict[int, List[Tuple[int, int]]] = {}
+        self._build()
+
+    def _node(self, local: int, kind: int) -> int:
+        return 3 * local + kind
+
+    def _add(self, src: int, dst: int, weight: int) -> None:
+        self.edges.setdefault(src, []).append((dst, weight))
+
+    def _build(self) -> None:
+        trace = self.trace
+        start = self.start
+        writer: Dict[int, int] = {}        # reg -> local producer index
+        last_store: Dict[int, int] = {}    # addr8 -> local store index
+        pending_redirect: Optional[Tuple[int, int]] = None
+
+        for local in range(self.size):
+            uop = trace[start + local]
+            latency = self.latencies[start + local]
+            d_node = self._node(local, D)
+            e_node = self._node(local, E)
+            c_node = self._node(local, C)
+
+            if local > 0:
+                self._add(self._node(local - 1, D), d_node, 0)
+                self._add(self._node(local - 1, C), c_node, 1)
+            if local >= self.rob_size:
+                self._add(self._node(local - self.rob_size, C), d_node, 1)
+            if pending_redirect is not None:
+                redirect_src, redirect_weight = pending_redirect
+                self._add(redirect_src, d_node, redirect_weight)
+                pending_redirect = None
+
+            self._add(d_node, e_node, 1)
+            self._add(e_node, c_node, max(latency, 1))
+
+            for src in uop.srcs:
+                producer = writer.get(src)
+                if producer is not None:
+                    self._add(self._node(producer, E), e_node,
+                              max(self.latencies[start + producer], 1))
+            if uop.op == opcodes.LOAD:
+                forwarding = last_store.get(uop.addr & ~0x7)
+                if forwarding is not None:
+                    self._add(self._node(forwarding, E), e_node,
+                              max(self.latencies[start + forwarding], 1))
+            if uop.dest is not None:
+                writer[uop.dest] = local
+            if uop.op == opcodes.STORE:
+                last_store[uop.addr & ~0x7] = local
+            if self.mispredicts is not None and \
+                    self.mispredicts[start + local]:
+                pending_redirect = (
+                    e_node, max(latency, 1) + self.mispredict_penalty)
+
+    # ------------------------------------------------------------------
+    def longest_path(self) -> Tuple[int, List[int]]:
+        """(length, node list) of the longest path ending at the last
+        commit node.  Nodes are local node ids (3*index + kind)."""
+        n_nodes = 3 * self.size
+        dist = [0] * n_nodes
+        pred = [-1] * n_nodes
+        # Program-order node ids are already a topological order: every
+        # edge goes from a lower id to a higher one except D→E→C within
+        # an instruction, which also ascend (D=0 < E=1 < C=2).
+        for node in range(n_nodes):
+            for succ, weight in self.edges.get(node, ()):
+                candidate = dist[node] + weight
+                if candidate > dist[succ]:
+                    dist[succ] = candidate
+                    pred[succ] = node
+        goal = self._node(self.size - 1, C)
+        path = []
+        node = goal
+        while node != -1:
+            path.append(node)
+            node = pred[node]
+        path.reverse()
+        return dist[goal], path
+
+    def critical_instructions(self) -> Set[int]:
+        """Trace indices whose E node lies on the critical path."""
+        _, path = self.longest_path()
+        return {self.start + node // 3 for node in path if node % 3 == E}
+
+
+def critical_load_pcs(trace: Sequence[MicroOp], latencies: Sequence[int],
+                      mispredicts: Optional[Sequence[bool]] = None,
+                      window: int = 512, rob_size: int = 224,
+                      min_count: int = 2) -> Set[int]:
+    """Graph-buffered oracle: slide non-overlapping windows over the
+    trace, collect load PCs whose E nodes lie on each window's critical
+    path, and return PCs seen at least ``min_count`` times."""
+    counts: Dict[int, int] = {}
+    for start in range(0, len(trace), window):
+        end = min(start + window, len(trace))
+        if end - start < 8:
+            break
+        graph = WindowGraph(trace, start, end, latencies, mispredicts,
+                            rob_size=rob_size)
+        for index in graph.critical_instructions():
+            uop = trace[index]
+            if uop.op == opcodes.LOAD:
+                counts[uop.pc] = counts.get(uop.pc, 0) + 1
+    return {pc for pc, count in counts.items() if count >= min_count}

@@ -1,0 +1,52 @@
+"""Stand-alone criticality heuristics.
+
+FVP embeds its heuristics in the predictor (the CIT trains on
+retirement stalls or L1 misses); this module exposes the same
+heuristics as trace analyses so tests and notebooks can study
+criticality independent of prediction.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Sequence, Set
+
+from repro.isa import opcodes
+from repro.isa.instruction import MicroOp
+from repro.pipeline.results import SimResult
+
+
+def retirement_stall_pcs(trace: Sequence[MicroOp], result: SimResult,
+                         commit_width: int = 8,
+                         min_count: int = 3) -> Set[int]:
+    """Load PCs that repeatedly executed within commit-width of the ROB
+    head — the paper's §IV-A1 heuristic, recovered from a timing run
+    (``result`` must come from ``collect_timing=True``)."""
+    if result.timing is None:
+        raise ValueError("run the engine with collect_timing=True")
+    retires = result.timing["retire"]
+    completes = result.timing["complete"]
+    counts: Dict[int, int] = {}
+    for index, uop in enumerate(trace):
+        if uop.op != opcodes.LOAD:
+            continue
+        complete = completes[index]
+        # Oldest op not yet retired at this op's completion (retire
+        # times are nondecreasing, so binary search applies).
+        head = bisect_right(retires, complete, 0, index)
+        if index - head < commit_width:
+            counts[uop.pc] = counts.get(uop.pc, 0) + 1
+    return {pc for pc, count in counts.items() if count >= min_count}
+
+
+def l1_miss_pcs(trace: Sequence[MicroOp], levels: Sequence[str],
+                min_count: int = 3) -> Set[int]:
+    """Load PCs that repeatedly missed the L1 (``levels`` holds each
+    op's serving level from a functional cache pass)."""
+    if len(levels) != len(trace):
+        raise ValueError("levels must align with the trace")
+    counts: Dict[int, int] = {}
+    for uop, level in zip(trace, levels):
+        if uop.op == opcodes.LOAD and level != "L1":
+            counts[uop.pc] = counts.get(uop.pc, 0) + 1
+    return {pc for pc, count in counts.items() if count >= min_count}

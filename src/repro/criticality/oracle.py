@@ -1,0 +1,49 @@
+"""Oracle criticality detection (Figure 12's upper bound).
+
+Runs a baseline timing simulation with per-op timing collection, feeds
+the measured execution latencies and mispredict flags into the
+graph-buffered DDG analysis of :mod:`repro.criticality.ddg`, and
+returns the set of critical load PCs.  Feeding that set into
+:func:`repro.core.fvp.fvp_oracle` reproduces the paper's "Oracle
+Criticality" configuration: FVP's predictor machinery with perfect
+(3-6 KB-of-hardware-equivalent) criticality detection.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set, Tuple
+
+from repro.criticality.ddg import critical_load_pcs
+from repro.isa.instruction import MicroOp
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.engine import Engine
+from repro.pipeline.results import SimResult
+
+
+def oracle_critical_pcs(trace: Sequence[MicroOp],
+                        config: CoreConfig = None,
+                        window: int = 512,
+                        min_count: int = 2) -> Set[int]:
+    """Critical load PCs of ``trace`` under ``config`` (baseline run +
+    DDG analysis)."""
+    pcs, _result = oracle_analysis(trace, config, window=window,
+                                   min_count=min_count)
+    return pcs
+
+
+def oracle_analysis(trace: Sequence[MicroOp], config: CoreConfig = None,
+                    window: int = 512,
+                    min_count: int = 2) -> Tuple[Set[int], SimResult]:
+    """As :func:`oracle_critical_pcs`, also returning the baseline
+    timing run (callers often want both)."""
+    cfg = config or CoreConfig.skylake()
+    engine = Engine(cfg, collect_timing=True)
+    result = engine.run(trace, workload="oracle-baseline")
+    timing = result.timing
+    latencies = [complete - issue for issue, complete in
+                 zip(timing["issue"], timing["complete"])]
+    pcs = critical_load_pcs(
+        trace, latencies, timing["mispredict"], window=window,
+        rob_size=cfg.rob_size,
+        min_count=min_count)
+    return pcs, result

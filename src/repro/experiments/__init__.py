@@ -1,0 +1,6 @@
+"""Experiment drivers: one per paper table/figure, plus sensitivity."""
+
+from repro.experiments import figures, sensitivity, storage
+from repro.experiments.runner import Runner, core_config
+
+__all__ = ["Runner", "core_config", "figures", "sensitivity", "storage"]

@@ -1,0 +1,135 @@
+"""Experiment runner: workloads × cores × predictors with caching.
+
+Traces are deterministic, so the runner builds each workload's trace
+once; baselines are cached per (workload, core).  Predictor state is
+never shared between runs — each run constructs a fresh predictor from
+its *spec*:
+
+* a registry name (``"fvp"``, ``"composite-8kb"``, ... — see
+  :func:`repro.predictors.make_predictor`),
+* a zero-argument factory, or
+* a ``callable(trace, config) -> predictor`` (used by the oracle
+  configuration, which needs a per-workload DDG analysis).
+
+Scale knobs (`length`, `warmup`, `workloads`) let benchmarks trade
+fidelity for wall-clock; the environment variables ``REPRO_LENGTH``
+and ``REPRO_WARMUP`` override the defaults globally.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.metrics import WorkloadRun
+from repro.isa.instruction import MicroOp
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.engine import Engine
+from repro.pipeline.results import SimResult
+from repro.pipeline.vp_interface import ValuePredictor
+from repro.predictors import make_predictor
+from repro.trace.builder import build_trace
+from repro.trace.workloads import CATALOGUE, get_profile
+
+PredictorSpec = Union[str, Callable]
+
+DEFAULT_LENGTH = int(os.environ.get("REPRO_LENGTH", 100_000))
+DEFAULT_WARMUP = int(os.environ.get("REPRO_WARMUP", 40_000))
+
+_CORES = {
+    "skylake": CoreConfig.skylake,
+    "skylake-2x": CoreConfig.skylake_2x,
+}
+
+
+def core_config(core: str) -> CoreConfig:
+    """Fresh CoreConfig by name ('skylake' or 'skylake-2x')."""
+    try:
+        return _CORES[core]()
+    except KeyError:
+        raise ValueError(
+            f"unknown core {core!r}; choose from {sorted(_CORES)}"
+        ) from None
+
+
+class Runner:
+    """Caches traces and baseline runs for an experiment campaign."""
+
+    def __init__(self, length: int = None, warmup: int = None,
+                 workloads: Optional[Sequence[str]] = None) -> None:
+        self.length = length if length is not None else DEFAULT_LENGTH
+        self.warmup = warmup if warmup is not None else DEFAULT_WARMUP
+        if not 0 <= self.warmup < self.length:
+            raise ValueError(
+                f"warmup {self.warmup} must be < length {self.length}")
+        self.workloads = list(workloads) if workloads is not None \
+            else list(CATALOGUE)
+        self._traces: Dict[str, List[MicroOp]] = {}
+        self._baselines: Dict[Tuple[str, str], SimResult] = {}
+        self._suites: Dict[Tuple[str, str], List[WorkloadRun]] = {}
+
+    # ------------------------------------------------------------------
+    def trace(self, workload: str) -> List[MicroOp]:
+        if workload not in self._traces:
+            self._traces[workload] = build_trace(
+                get_profile(workload), self.length)
+        return self._traces[workload]
+
+    def _build_predictor(self, spec: Optional[PredictorSpec],
+                         trace: Sequence[MicroOp],
+                         config: CoreConfig) -> Optional[ValuePredictor]:
+        if spec is None:
+            return None
+        if isinstance(spec, str):
+            return make_predictor(spec)
+        if callable(spec):
+            try:
+                params = inspect.signature(spec).parameters
+            except (TypeError, ValueError):
+                params = {}
+            if len(params) >= 2:
+                return spec(trace, config)
+            return spec()
+        raise TypeError(f"bad predictor spec: {spec!r}")
+
+    # ------------------------------------------------------------------
+    def baseline(self, workload: str, core: str = "skylake") -> SimResult:
+        key = (workload, core)
+        if key not in self._baselines:
+            self._baselines[key] = self.run(workload, core, None)
+        return self._baselines[key]
+
+    def run(self, workload: str, core: str = "skylake",
+            predictor: Optional[PredictorSpec] = None) -> SimResult:
+        trace = self.trace(workload)
+        config = core_config(core)
+        built = self._build_predictor(predictor, trace, config)
+        engine = Engine(config, built)
+        return engine.run(trace, workload=workload, warmup=self.warmup)
+
+    def workload_run(self, workload: str, core: str,
+                     predictor: PredictorSpec) -> WorkloadRun:
+        profile = get_profile(workload)
+        return WorkloadRun(
+            workload, profile.category,
+            baseline=self.baseline(workload, core),
+            result=self.run(workload, core, predictor))
+
+    def suite(self, predictor: PredictorSpec, core: str = "skylake",
+              progress: Optional[Callable[[str], None]] = None
+              ) -> List[WorkloadRun]:
+        """Run every workload under one predictor spec.  Named specs
+        are cached per core, so figure drivers sharing a configuration
+        (e.g. Figures 6 and 8 both need FVP-on-Skylake) reuse runs."""
+        cache_key = (predictor, core) if isinstance(predictor, str) else None
+        if cache_key is not None and cache_key in self._suites:
+            return self._suites[cache_key]
+        runs = []
+        for workload in self.workloads:
+            if progress is not None:
+                progress(workload)
+            runs.append(self.workload_run(workload, core, predictor))
+        if cache_key is not None:
+            self._suites[cache_key] = runs
+        return runs

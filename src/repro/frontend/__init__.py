@@ -1,0 +1,16 @@
+"""Front end: TAGE/ITTAGE branch prediction, BTB, I-cache feed model."""
+
+from repro.frontend.fetch import FrontEnd, FrontEndConfig
+from repro.frontend.history import FoldedHistory, GlobalHistory
+from repro.frontend.ittage import Ittage
+from repro.frontend.tage import Tage, TageConfig
+
+__all__ = [
+    "FrontEnd",
+    "FrontEndConfig",
+    "GlobalHistory",
+    "FoldedHistory",
+    "Tage",
+    "TageConfig",
+    "Ittage",
+]

@@ -1,0 +1,99 @@
+"""Global branch history and incremental folded-history registers.
+
+TAGE indexes its tagged tables with a hash of the PC and a *folded*
+global history: the (possibly very long) history bitstring compressed
+to the table's index width by XOR-folding.  Recomputing the fold on
+every lookup is O(history length); real hardware — and this model —
+maintains each fold incrementally as a circular shift register updated
+with the bit entering and the bit leaving the history.
+"""
+
+from __future__ import annotations
+
+
+class FoldedHistory:
+    """One incrementally maintained XOR-fold of the global history.
+
+    Parameters
+    ----------
+    history_length:
+        Number of history bits folded.
+    folded_width:
+        Output width in bits (table index or tag width).
+    """
+
+    __slots__ = ("history_length", "folded_width", "value", "_out_shift")
+
+    def __init__(self, history_length: int, folded_width: int) -> None:
+        if history_length <= 0 or folded_width <= 0:
+            raise ValueError("lengths must be positive")
+        self.history_length = history_length
+        self.folded_width = folded_width
+        self.value = 0
+        # Position at which the outgoing bit re-enters the fold.
+        self._out_shift = history_length % folded_width
+
+    def update(self, new_bit: int, old_bit: int) -> None:
+        """Shift in ``new_bit``; ``old_bit`` is the bit that just fell
+        off the end of the (unfolded) history."""
+        value = (self.value << 1) | (new_bit & 1)
+        value ^= (old_bit & 1) << self._out_shift
+        value ^= value >> self.folded_width
+        self.value = value & ((1 << self.folded_width) - 1)
+
+
+class GlobalHistory:
+    """Global branch-outcome history shared by TAGE, ITTAGE, and the
+    context value predictor.
+
+    Keeps the full history as an integer bitstring (newest bit is bit
+    0) plus any registered folded views.
+    """
+
+    __slots__ = ("max_length", "bits", "_folds")
+
+    def __init__(self, max_length: int = 256) -> None:
+        self.max_length = max_length
+        self.bits = 0
+        self._folds = []
+
+    def register_fold(self, history_length: int,
+                      folded_width: int) -> FoldedHistory:
+        if history_length > self.max_length:
+            raise ValueError(
+                f"history_length {history_length} exceeds max "
+                f"{self.max_length}")
+        fold = FoldedHistory(history_length, folded_width)
+        self._folds.append(fold)
+        return fold
+
+    def push(self, outcome: bool) -> None:
+        """Record a branch outcome (True = taken)."""
+        new_bit = 1 if outcome else 0
+        for fold in self._folds:
+            old_bit = (self.bits >> (fold.history_length - 1)) & 1
+            fold.update(new_bit, old_bit)
+        self.bits = ((self.bits << 1) | new_bit) & ((1 << self.max_length) - 1)
+
+    def recent(self, n: int) -> int:
+        """The most recent ``n`` outcomes as an integer (bit 0 = newest).
+
+        This is the 32-bit context the paper's Value Table uses
+        (§IV-C: "the branch history is the outcome of the last 32
+        branches").
+        """
+        return self.bits & ((1 << n) - 1)
+
+    def snapshot(self) -> int:
+        return self.bits
+
+    def direct_fold(self, history_length: int, folded_width: int) -> int:
+        """Reference (non-incremental) fold, used by tests to validate
+        the incremental registers."""
+        bits = self.bits & ((1 << history_length) - 1)
+        folded = 0
+        mask = (1 << folded_width) - 1
+        while bits:
+            folded ^= bits & mask
+            bits >>= folded_width
+        return folded

@@ -1,0 +1,97 @@
+"""ITTAGE-style indirect branch target predictor.
+
+A scaled-down version of Seznec's ITTAGE: a PC-indexed base target
+table plus tagged tables indexed by PC ⊕ folded global history that
+store full targets with a 2-bit hysteresis counter.  Longest matching
+component provides the target prediction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.frontend.history import GlobalHistory
+
+
+class _TargetEntry:
+    __slots__ = ("tag", "target", "confidence")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.target = 0
+        self.confidence = 0
+
+
+class Ittage:
+    """Indirect target predictor sharing the TAGE global history."""
+
+    def __init__(self, history: GlobalHistory,
+                 history_lengths: List[int] = (8, 32, 96),
+                 log_table_size: int = 8, tag_bits: int = 9) -> None:
+        self.history = history
+        self.log_table_size = log_table_size
+        self.tag_bits = tag_bits
+        self._mask = (1 << log_table_size) - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self.base = {}  # pc -> target (unbounded dict models a big table)
+        self.tables = []
+        for length in history_lengths:
+            index_fold = history.register_fold(length, log_table_size)
+            tag_fold = history.register_fold(length, tag_bits)
+            entries = [_TargetEntry() for _ in range(1 << log_table_size)]
+            self.tables.append((index_fold, tag_fold, entries))
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def _index(self, pc: int, fold) -> int:
+        return (pc ^ (pc >> self.log_table_size) ^ fold.value) & self._mask
+
+    def _tag(self, pc: int, fold) -> int:
+        return (pc ^ (pc >> 3) ^ fold.value) & self._tag_mask
+
+    def predict(self, pc: int) -> int:
+        """Predicted target (0 when the predictor has nothing)."""
+        for index_fold, tag_fold, entries in reversed(self.tables):
+            entry = entries[self._index(pc, index_fold)]
+            if entry.tag == self._tag(pc, tag_fold):
+                return entry.target
+        return self.base.get(pc, 0)
+
+    def predict_and_train(self, pc: int, target: int) -> bool:
+        """Predict, then learn the true target.  Returns correctness.
+
+        The caller is responsible for pushing the control-flow outcome
+        into the shared global history (the TAGE wrapper does this so
+        history is pushed exactly once per control op).
+        """
+        self.lookups += 1
+        predicted = self.predict(pc)
+        correct = predicted == target
+        if not correct:
+            self.mispredicts += 1
+        self._train(pc, target, correct)
+        return correct
+
+    def _train(self, pc: int, target: int, correct: bool) -> None:
+        matched = False
+        for index_fold, tag_fold, entries in reversed(self.tables):
+            entry = entries[self._index(pc, index_fold)]
+            if entry.tag == self._tag(pc, tag_fold):
+                matched = True
+                if entry.target == target:
+                    entry.confidence = min(entry.confidence + 1, 3)
+                elif entry.confidence > 0:
+                    entry.confidence -= 1
+                else:
+                    entry.target = target
+                break
+        self.base[pc] = target
+        if not correct and not matched:
+            # Allocate in the shortest-history table whose slot is weak.
+            for index_fold, tag_fold, entries in self.tables:
+                entry = entries[self._index(pc, index_fold)]
+                if entry.confidence == 0:
+                    entry.tag = self._tag(pc, tag_fold)
+                    entry.target = target
+                    entry.confidence = 1
+                    break

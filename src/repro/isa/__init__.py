@@ -1,0 +1,18 @@
+"""Micro-op ISA: opcode classes, registers, and the trace record type."""
+
+from repro.isa import opcodes
+from repro.isa.instruction import MicroOp, alu, branch, load, store
+from repro.isa.registers import NUM_ARCH_REGS, REG_NAMES, reg_index, reg_name
+
+__all__ = [
+    "opcodes",
+    "MicroOp",
+    "alu",
+    "branch",
+    "load",
+    "store",
+    "NUM_ARCH_REGS",
+    "REG_NAMES",
+    "reg_index",
+    "reg_name",
+]

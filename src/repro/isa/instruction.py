@@ -1,0 +1,160 @@
+"""The :class:`MicroOp` trace record.
+
+A trace is a program-order sequence of micro-ops carrying everything a
+trace-driven timing model needs: the static PC, the op class, register
+operands, the *architectural* result value (used by value predictors
+and for validation), the effective address of memory ops, and branch
+outcomes.  Wrong-path instructions are not part of a trace; mispredict
+cost is modelled as a front-end redirect penalty.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa import opcodes
+from repro.isa.registers import NUM_ARCH_REGS, reg_name
+
+VALUE_MASK = (1 << 64) - 1
+
+
+class MicroOp:
+    """One dynamic micro-op in a trace.
+
+    Attributes
+    ----------
+    pc:
+        Static program counter of the instruction.
+    op:
+        One of the :mod:`repro.isa.opcodes` class constants.
+    dest:
+        Destination architectural register, or ``None`` when the op
+        produces no register result (stores, branches, nops).
+    srcs:
+        Tuple of source architectural registers.  For a load these are
+        the address-generation sources; for a store the first source is
+        the data register and the rest are address sources.
+    value:
+        64-bit result value (loads: loaded data; ALU: computed result;
+        stores: stored data).  Zero for ops without a meaningful value.
+    addr:
+        Effective byte address for loads/stores, else ``None``.
+    mem_size:
+        Access size in bytes for memory ops (default 8).
+    taken:
+        Branch outcome for control ops (unconditional ops are always
+        taken).
+    target:
+        Branch/jump target PC for control ops.
+    """
+
+    __slots__ = ("pc", "op", "dest", "srcs", "value", "addr",
+                 "mem_size", "taken", "target")
+
+    def __init__(
+        self,
+        pc: int,
+        op: int,
+        dest: Optional[int] = None,
+        srcs: Tuple[int, ...] = (),
+        value: int = 0,
+        addr: Optional[int] = None,
+        mem_size: int = 8,
+        taken: bool = False,
+        target: int = 0,
+    ) -> None:
+        self.pc = pc
+        self.op = op
+        self.dest = dest
+        self.srcs = srcs
+        self.value = value & VALUE_MASK
+        self.addr = addr
+        self.mem_size = mem_size
+        self.taken = taken
+        self.target = target
+
+    # ------------------------------------------------------------------
+    # Classification helpers (hot path uses ``uop.op`` directly; these
+    # exist for readability in non-critical code and tests).
+    # ------------------------------------------------------------------
+    @property
+    def is_load(self) -> bool:
+        return self.op == opcodes.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op == opcodes.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op in opcodes.MEMORY
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in opcodes.CONTROL
+
+    @property
+    def is_producer(self) -> bool:
+        return self.dest is not None
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` if the record is internally
+        inconsistent.  Called by trace builders, not by the engine."""
+        if self.op not in opcodes._NAMES:
+            raise ValueError(f"bad op class {self.op}")
+        if self.dest is not None:
+            if not opcodes.is_producer(self.op):
+                raise ValueError(
+                    f"{opcodes.op_name(self.op)} cannot have a destination")
+            if not 0 <= self.dest < NUM_ARCH_REGS:
+                raise ValueError(f"dest register out of range: {self.dest}")
+        elif opcodes.is_producer(self.op) and self.op != opcodes.NOP:
+            raise ValueError(
+                f"{opcodes.op_name(self.op)} must have a destination")
+        for src in self.srcs:
+            if not 0 <= src < NUM_ARCH_REGS:
+                raise ValueError(f"src register out of range: {src}")
+        if self.op in opcodes.MEMORY:
+            if self.addr is None:
+                raise ValueError("memory op requires an address")
+            if self.mem_size not in (1, 2, 4, 8, 16, 32, 64):
+                raise ValueError(f"bad access size: {self.mem_size}")
+        elif self.addr is not None:
+            raise ValueError("non-memory op must not carry an address")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = [f"pc={self.pc:#x}", opcodes.op_name(self.op)]
+        if self.dest is not None:
+            parts.append(f"dst={reg_name(self.dest)}")
+        if self.srcs:
+            parts.append("src=" + ",".join(reg_name(s) for s in self.srcs))
+        if self.addr is not None:
+            parts.append(f"addr={self.addr:#x}")
+        if self.op in opcodes.CONTROL:
+            parts.append("T" if self.taken else "NT")
+        return f"<MicroOp {' '.join(parts)}>"
+
+
+def alu(pc: int, dest: int, srcs: Tuple[int, ...] = (), value: int = 0) -> MicroOp:
+    """Convenience constructor for an ALU op (used heavily in tests)."""
+    return MicroOp(pc, opcodes.ALU, dest=dest, srcs=srcs, value=value)
+
+
+def load(pc: int, dest: int, addr: int, srcs: Tuple[int, ...] = (),
+         value: int = 0, mem_size: int = 8) -> MicroOp:
+    """Convenience constructor for a load."""
+    return MicroOp(pc, opcodes.LOAD, dest=dest, srcs=srcs, value=value,
+                   addr=addr, mem_size=mem_size)
+
+
+def store(pc: int, addr: int, srcs: Tuple[int, ...] = (),
+          value: int = 0, mem_size: int = 8) -> MicroOp:
+    """Convenience constructor for a store."""
+    return MicroOp(pc, opcodes.STORE, srcs=srcs, value=value,
+                   addr=addr, mem_size=mem_size)
+
+
+def branch(pc: int, taken: bool, target: int,
+           srcs: Tuple[int, ...] = ()) -> MicroOp:
+    """Convenience constructor for a conditional branch."""
+    return MicroOp(pc, opcodes.BRANCH, srcs=srcs, taken=taken, target=target)

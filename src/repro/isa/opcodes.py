@@ -1,0 +1,89 @@
+"""Micro-operation classes for the trace-driven core model.
+
+The simulator does not interpret x86 encodings; traces carry
+pre-decoded micro-ops.  Each micro-op belongs to one of the classes
+below, which determines the execution-port binding and base latency
+(see :mod:`repro.pipeline.config`).
+
+Classes are plain ``int`` constants rather than :class:`enum.Enum`
+members because the engine touches them on every instruction and enum
+attribute access is several times slower in CPython.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+# Integer ALU operation (add/sub/logic/lea/shift).
+ALU = 0
+# Integer multiply.
+MUL = 1
+# Integer divide (long latency, unpipelined in real cores; we model a
+# pipelined unit with long latency).
+DIV = 2
+# Floating point / vector arithmetic.
+FP = 3
+# Memory load.
+LOAD = 4
+# Memory store (modelled as a single fused store-address + store-data op).
+STORE = 5
+# Conditional branch.
+BRANCH = 6
+# Unconditional direct jump / call / return.
+JUMP = 7
+# Indirect jump / call through a register (uses the ITTAGE-style
+# indirect predictor in the front end).
+IJUMP = 8
+# No-op (used by generators for padding without register effects).
+NOP = 9
+
+_NAMES: Dict[int, str] = {
+    ALU: "ALU",
+    MUL: "MUL",
+    DIV: "DIV",
+    FP: "FP",
+    LOAD: "LOAD",
+    STORE: "STORE",
+    BRANCH: "BRANCH",
+    JUMP: "JUMP",
+    IJUMP: "IJUMP",
+    NOP: "NOP",
+}
+
+ALL_CLASSES = tuple(sorted(_NAMES))
+
+#: Op classes that produce a register result consumers can read.
+PRODUCING = frozenset({ALU, MUL, DIV, FP, LOAD})
+
+#: Op classes that access the data memory hierarchy.
+MEMORY = frozenset({LOAD, STORE})
+
+#: Op classes that redirect control flow and train the branch predictors.
+CONTROL = frozenset({BRANCH, JUMP, IJUMP})
+
+
+def op_name(op_class: int) -> str:
+    """Return the human-readable name of an op class.
+
+    >>> op_name(LOAD)
+    'LOAD'
+    """
+    try:
+        return _NAMES[op_class]
+    except KeyError:
+        raise ValueError(f"unknown op class: {op_class!r}") from None
+
+
+def is_producer(op_class: int) -> bool:
+    """True if the class writes a destination register."""
+    return op_class in PRODUCING
+
+
+def is_memory(op_class: int) -> bool:
+    """True if the class generates a data-memory access."""
+    return op_class in MEMORY
+
+
+def is_control(op_class: int) -> bool:
+    """True if the class is a control-flow instruction."""
+    return op_class in CONTROL

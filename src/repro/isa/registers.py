@@ -1,0 +1,45 @@
+"""Architectural register namespace.
+
+The model exposes sixteen general-purpose integer registers, mirroring
+x86-64.  The paper's RAT-PC extension (Table I) holds one PC per
+architectural register — sixteen 11-bit entries — so the register count
+is load-bearing for the storage accounting as well as for the focused
+training walk-back.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+NUM_ARCH_REGS = 16
+
+#: Conventional x86-64 names, used by trace pretty-printers and tests.
+REG_NAMES: Tuple[str, ...] = (
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+assert len(REG_NAMES) == NUM_ARCH_REGS
+
+
+def reg_name(reg: int) -> str:
+    """Return the conventional name for register index ``reg``.
+
+    >>> reg_name(0)
+    'rax'
+    """
+    if not 0 <= reg < NUM_ARCH_REGS:
+        raise ValueError(f"register index out of range: {reg}")
+    return REG_NAMES[reg]
+
+
+def reg_index(name: str) -> int:
+    """Inverse of :func:`reg_name`.
+
+    >>> reg_index('rax')
+    0
+    """
+    try:
+        return REG_NAMES.index(name.lower())
+    except ValueError:
+        raise ValueError(f"unknown register name: {name!r}") from None

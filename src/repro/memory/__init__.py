@@ -1,0 +1,33 @@
+"""Memory subsystem: caches, prefetchers, DRAM, and dependence prediction."""
+
+from repro.memory.cache import Cache
+from repro.memory.disambiguation import StoreSets
+from repro.memory.dram import Dram, DramConfig
+from repro.memory.hierarchy import (
+    DRAM,
+    L1,
+    L2,
+    LEVELS,
+    LLC,
+    AccessResult,
+    MemHierarchyConfig,
+    MemoryHierarchy,
+)
+from repro.memory.prefetcher import StreamPrefetcher, StridePrefetcher
+
+__all__ = [
+    "Cache",
+    "StoreSets",
+    "Dram",
+    "DramConfig",
+    "MemoryHierarchy",
+    "MemHierarchyConfig",
+    "AccessResult",
+    "StridePrefetcher",
+    "StreamPrefetcher",
+    "L1",
+    "L2",
+    "LLC",
+    "DRAM",
+    "LEVELS",
+]

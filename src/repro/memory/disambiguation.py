@@ -1,0 +1,108 @@
+"""Store-sets memory-dependence predictor (Chrysos & Emer, ISCA '98).
+
+Table II's baseline has an "aggressive memory disambiguation
+predictor"; FVP's memory-renaming component also builds on accurate
+store→load dependence learning.  This module implements the classic
+store-sets scheme:
+
+* ``SSIT`` (store-set ID table): PC-indexed, maps loads and stores to a
+  store-set identifier.
+* ``LFST`` (last fetched store table): per store-set, the most recent
+  in-flight store.
+
+A load predicted dependent on an in-flight store waits for that store;
+otherwise it issues speculatively.  When the engine detects an actual
+ordering violation (a load issued before an older overlapping store),
+it calls :meth:`StoreSets.record_violation`, which merges the two PCs
+into one store set — the self-correcting learning rule of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class StoreSets:
+    """Store-sets dependence predictor.
+
+    Parameters
+    ----------
+    ssit_size:
+        Number of SSIT entries (PC hashed modulo this size).
+    lfst_size:
+        Number of store sets trackable simultaneously.
+    """
+
+    __slots__ = ("ssit_size", "lfst_size", "_ssit", "_lfst",
+                 "_next_set_id", "violations", "predictions")
+
+    def __init__(self, ssit_size: int = 1024, lfst_size: int = 128) -> None:
+        if ssit_size <= 0 or lfst_size <= 0:
+            raise ValueError("table sizes must be positive")
+        self.ssit_size = ssit_size
+        self.lfst_size = lfst_size
+        self._ssit = {}  # pc_hash -> set id
+        self._lfst = {}  # set id -> store sequence number (in flight)
+        self._next_set_id = 0
+        self.violations = 0
+        self.predictions = 0
+
+    def _hash(self, pc: int) -> int:
+        return pc % self.ssit_size
+
+    # ------------------------------------------------------------------
+    def store_dispatched(self, pc: int, seqnum: int) -> None:
+        """A store enters the window: it becomes the last fetched store
+        of its set (if it has one)."""
+        set_id = self._ssit.get(self._hash(pc))
+        if set_id is not None:
+            self._lfst[set_id] = seqnum
+
+    def store_completed(self, pc: int, seqnum: int) -> None:
+        """A store leaves the window; clear the LFST if it still points
+        at this store."""
+        set_id = self._ssit.get(self._hash(pc))
+        if set_id is not None and self._lfst.get(set_id) == seqnum:
+            del self._lfst[set_id]
+
+    def load_dependence(self, pc: int) -> Optional[int]:
+        """Predicted producer store (sequence number) for a load about
+        to dispatch, or ``None`` if the load may issue speculatively."""
+        set_id = self._ssit.get(self._hash(pc))
+        if set_id is None:
+            return None
+        seqnum = self._lfst.get(set_id)
+        if seqnum is not None:
+            self.predictions += 1
+        return seqnum
+
+    def record_violation(self, load_pc: int, store_pc: int) -> None:
+        """Merge the load and store into one store set (the assignment
+        rules of Chrysos & Emer, simplified to 'smaller id wins')."""
+        self.violations += 1
+        load_key = self._hash(load_pc)
+        store_key = self._hash(store_pc)
+        load_set = self._ssit.get(load_key)
+        store_set = self._ssit.get(store_key)
+        if load_set is None and store_set is None:
+            set_id = self._allocate_set()
+            self._ssit[load_key] = set_id
+            self._ssit[store_key] = set_id
+        elif load_set is None:
+            self._ssit[load_key] = store_set
+        elif store_set is None:
+            self._ssit[store_key] = load_set
+        else:
+            winner = min(load_set, store_set)
+            self._ssit[load_key] = winner
+            self._ssit[store_key] = winner
+
+    def _allocate_set(self) -> int:
+        set_id = self._next_set_id % self.lfst_size
+        self._next_set_id += 1
+        return set_id
+
+    def clear(self) -> None:
+        """Periodic cyclic clearing (prevents stale over-serialization)."""
+        self._ssit.clear()
+        self._lfst.clear()

@@ -1,0 +1,111 @@
+"""DDR4 main-memory timing model.
+
+Models the configuration in Table II of the paper: two DDR4-2133
+channels, two ranks per channel, eight banks per rank, 64-bit data bus
+per channel, 2 KB row buffer per bank, 15-15-15-39 timings
+(tCAS-tRCD-tRP-tRAS, in DRAM bus clocks).
+
+The model keeps per-bank open-row state and a per-bank busy-until time.
+An access latency is::
+
+    queue_wait + row_access + bus_transfer
+
+where ``row_access`` is tCAS for a row-buffer hit, tRCD+tCAS for an
+access to a closed row (empty page), and tRP+tRCD+tCAS for a row-buffer
+conflict.  Times are converted to CPU cycles via ``cpu_per_dram_clock``
+(3.2 GHz core, 1066 MHz DDR4-2133 bus clock → 3 CPU cycles per DRAM
+clock).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class DramConfig:
+    """Timing/geometry knobs for :class:`Dram`."""
+
+    __slots__ = ("channels", "ranks_per_channel", "banks_per_rank",
+                 "row_bytes", "tcas", "trcd", "trp", "tras",
+                 "cpu_per_dram_clock", "burst_clocks", "line_bytes")
+
+    def __init__(self, channels: int = 2, ranks_per_channel: int = 2,
+                 banks_per_rank: int = 8, row_bytes: int = 2048,
+                 tcas: int = 15, trcd: int = 15, trp: int = 15,
+                 tras: int = 39, cpu_per_dram_clock: int = 3,
+                 burst_clocks: int = 4, line_bytes: int = 64) -> None:
+        self.channels = channels
+        self.ranks_per_channel = ranks_per_channel
+        self.banks_per_rank = banks_per_rank
+        self.row_bytes = row_bytes
+        self.tcas = tcas
+        self.trcd = trcd
+        self.trp = trp
+        self.tras = tras
+        self.cpu_per_dram_clock = cpu_per_dram_clock
+        self.burst_clocks = burst_clocks
+        self.line_bytes = line_bytes
+
+    @property
+    def total_banks(self) -> int:
+        return self.channels * self.ranks_per_channel * self.banks_per_rank
+
+
+class Dram:
+    """Open-page DDR4 model returning per-access latency in CPU cycles."""
+
+    __slots__ = ("config", "_open_row", "_busy_until",
+                 "row_hits", "row_misses", "row_conflicts", "accesses")
+
+    def __init__(self, config: DramConfig = None) -> None:
+        self.config = config or DramConfig()
+        banks = self.config.total_banks
+        self._open_row = [-1] * banks
+        self._busy_until = [0] * banks
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+        self.accesses = 0
+
+    def _map(self, addr: int) -> Tuple[int, int]:
+        """Address interleave: line-granular channel/bank hash, row from
+        the higher bits.  Returns (bank_index, row)."""
+        cfg = self.config
+        line = addr // cfg.line_bytes
+        bank = line % cfg.total_banks
+        row = addr // (cfg.row_bytes * cfg.total_banks)
+        return bank, row
+
+    def access(self, addr: int, cycle: int) -> int:
+        """Issue a line read at CPU time ``cycle``; returns total latency
+        in CPU cycles (including bank queueing)."""
+        cfg = self.config
+        bank, row = self._map(addr)
+        self.accesses += 1
+
+        start = max(cycle, self._busy_until[bank])
+        queue_wait = start - cycle
+
+        open_row = self._open_row[bank]
+        if open_row == row:
+            self.row_hits += 1
+            dram_clocks = cfg.tcas
+        elif open_row == -1:
+            self.row_misses += 1
+            dram_clocks = cfg.trcd + cfg.tcas
+        else:
+            self.row_conflicts += 1
+            dram_clocks = cfg.trp + cfg.trcd + cfg.tcas
+        self._open_row[bank] = row
+
+        service = (dram_clocks + cfg.burst_clocks) * cfg.cpu_per_dram_clock
+        self._busy_until[bank] = start + service
+        return queue_wait + service
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        self.row_hits = self.row_misses = self.row_conflicts = 0
+        self.accesses = 0

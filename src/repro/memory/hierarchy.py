@@ -1,0 +1,160 @@
+"""Three-level data-cache hierarchy + DRAM, with prefetchers.
+
+Latencies follow Table II of the paper: 32 KB 8-way L1D at 5 cycles,
+256 KB 16-way private L2 at 15 cycles round trip, 8 MB 16-way shared
+LLC at 40 cycles round trip, and a DDR4 model beyond that.  A PC-based
+stride prefetcher trains at L1 and multi-stream prefetchers fill the
+L2 and LLC, as in the baseline core.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.memory.cache import Cache
+from repro.memory.dram import Dram, DramConfig
+from repro.memory.prefetcher import StreamPrefetcher, StridePrefetcher
+
+L1 = "L1"
+L2 = "L2"
+LLC = "LLC"
+DRAM = "DRAM"
+
+LEVELS = (L1, L2, LLC, DRAM)
+
+
+class MemHierarchyConfig:
+    """Geometry and latency knobs for :class:`MemoryHierarchy`."""
+
+    __slots__ = ("l1_size", "l1_assoc", "l1_latency",
+                 "l2_size", "l2_assoc", "l2_latency",
+                 "llc_size", "llc_assoc", "llc_latency",
+                 "line_bytes", "dram", "enable_prefetch")
+
+    def __init__(self,
+                 l1_size: int = 32 * 1024, l1_assoc: int = 8,
+                 l1_latency: int = 5,
+                 l2_size: int = 256 * 1024, l2_assoc: int = 16,
+                 l2_latency: int = 15,
+                 llc_size: int = 8 * 1024 * 1024, llc_assoc: int = 16,
+                 llc_latency: int = 40,
+                 line_bytes: int = 64,
+                 dram: DramConfig = None,
+                 enable_prefetch: bool = True) -> None:
+        self.l1_size = l1_size
+        self.l1_assoc = l1_assoc
+        self.l1_latency = l1_latency
+        self.l2_size = l2_size
+        self.l2_assoc = l2_assoc
+        self.l2_latency = l2_latency
+        self.llc_size = llc_size
+        self.llc_assoc = llc_assoc
+        self.llc_latency = llc_latency
+        self.line_bytes = line_bytes
+        self.dram = dram or DramConfig(line_bytes=line_bytes)
+        self.enable_prefetch = enable_prefetch
+
+    @classmethod
+    def skylake(cls) -> "MemHierarchyConfig":
+        """The Table II configuration."""
+        return cls()
+
+
+class AccessResult(NamedTuple):
+    """Outcome of one data access."""
+
+    latency: int
+    level: str
+
+
+class MemoryHierarchy:
+    """Functional cache/DRAM stack returning per-access latencies."""
+
+    __slots__ = ("config", "l1", "l2", "llc", "dram",
+                 "stride_pf", "stream_pf", "level_counts")
+
+    def __init__(self, config: MemHierarchyConfig = None) -> None:
+        cfg = config or MemHierarchyConfig()
+        self.config = cfg
+        self.l1 = Cache(cfg.l1_size, cfg.l1_assoc, cfg.line_bytes, name="L1D")
+        self.l2 = Cache(cfg.l2_size, cfg.l2_assoc, cfg.line_bytes, name="L2")
+        self.llc = Cache(cfg.llc_size, cfg.llc_assoc, cfg.line_bytes,
+                         name="LLC")
+        self.dram = Dram(cfg.dram)
+        self.stride_pf = StridePrefetcher()
+        self.stream_pf = StreamPrefetcher(line_bytes=cfg.line_bytes)
+        self.level_counts = {level: 0 for level in LEVELS}
+
+    # ------------------------------------------------------------------
+    def access(self, pc: int, addr: int, cycle: int,
+               is_store: bool = False) -> AccessResult:
+        """Perform a demand access; returns latency and the hit level.
+
+        Stores are modelled write-allocate/write-back: they probe the
+        hierarchy like loads (the store buffer hides their latency in
+        the timing model, but they still move lines and train
+        prefetchers).
+        """
+        cfg = self.config
+        if cfg.enable_prefetch:
+            for pf_addr in self.stride_pf.train(pc, addr):
+                self._prefetch_fill(pf_addr, into_l1=True)
+
+        if self.l1.lookup(addr):
+            self.level_counts[L1] += 1
+            return AccessResult(cfg.l1_latency, L1)
+
+        # L1 miss: train the stream prefetcher on the miss stream.
+        if cfg.enable_prefetch:
+            for pf_addr in self.stream_pf.train(addr):
+                self._prefetch_fill(pf_addr, into_l1=False)
+
+        if self.l2.lookup(addr):
+            self.level_counts[L2] += 1
+            return AccessResult(cfg.l2_latency, L2)
+        if self.llc.lookup(addr):
+            self.level_counts[LLC] += 1
+            return AccessResult(cfg.llc_latency, LLC)
+        self.level_counts[DRAM] += 1
+        latency = cfg.llc_latency + self.dram.access(addr, cycle)
+        return AccessResult(latency, DRAM)
+
+    def _prefetch_fill(self, addr: int, into_l1: bool) -> None:
+        """Install a prefetched line: stride prefetches fill L1+L2,
+        stream prefetches fill L2+LLC (per Table II)."""
+        if into_l1:
+            self.l1.fill(addr, prefetch=True)
+            self.l2.fill(addr, prefetch=True)
+        else:
+            self.l2.fill(addr, prefetch=True)
+        self.llc.fill(addr, prefetch=True)
+
+    # ------------------------------------------------------------------
+    def probe_level(self, addr: int) -> str:
+        """Which level would serve ``addr`` right now (no state change)."""
+        if self.l1.probe(addr):
+            return L1
+        if self.l2.probe(addr):
+            return L2
+        if self.llc.probe(addr):
+            return LLC
+        return DRAM
+
+    def reset_stats(self) -> None:
+        self.l1.reset_stats()
+        self.l2.reset_stats()
+        self.llc.reset_stats()
+        self.dram.reset_stats()
+        self.level_counts = {level: 0 for level in LEVELS}
+
+    def stats(self) -> dict:
+        """Aggregate statistics snapshot (for reports and tests)."""
+        total = sum(self.level_counts.values())
+        return {
+            "accesses": total,
+            "level_counts": dict(self.level_counts),
+            "l1_hit_rate": self.l1.hit_rate,
+            "l2_hit_rate": self.l2.hit_rate,
+            "llc_hit_rate": self.llc.hit_rate,
+            "dram_row_hit_rate": self.dram.row_hit_rate,
+        }

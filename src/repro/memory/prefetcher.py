@@ -1,0 +1,123 @@
+"""Hardware prefetchers.
+
+The baseline core (Table II of the paper) has "aggressive multi-stream
+prefetching into the L2 and LLC" and a "PC based stride prefetcher at
+L1".  Both are implemented here as trainers that observe demand
+accesses and emit prefetch line addresses; the hierarchy decides which
+level to fill.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class StridePrefetcher:
+    """PC-indexed stride prefetcher (L1).
+
+    Classic RPT design: per-PC entry holding the last address, the last
+    observed stride, and a 2-bit confidence.  Once confidence reaches
+    the threshold, it prefetches ``degree`` lines ahead along the
+    stride.
+    """
+
+    __slots__ = ("entries", "table_size", "degree", "threshold", "issued")
+
+    def __init__(self, table_size: int = 64, degree: int = 2,
+                 threshold: int = 2) -> None:
+        if table_size <= 0:
+            raise ValueError("table_size must be positive")
+        self.table_size = table_size
+        self.degree = degree
+        self.threshold = threshold
+        # pc -> [last_addr, stride, confidence]
+        self.entries = {}
+        self.issued = 0
+
+    def train(self, pc: int, addr: int) -> List[int]:
+        """Observe a demand access; return prefetch addresses (bytes)."""
+        entry = self.entries.get(pc)
+        if entry is None:
+            if len(self.entries) >= self.table_size:
+                # FIFO-ish eviction: drop the oldest inserted entry.
+                self.entries.pop(next(iter(self.entries)))
+            self.entries[pc] = [addr, 0, 0]
+            return []
+        last_addr, stride, confidence = entry
+        new_stride = addr - last_addr
+        if new_stride == stride and stride != 0:
+            confidence = min(confidence + 1, 3)
+        else:
+            confidence = 0 if stride != new_stride else confidence
+            stride = new_stride
+        entry[0] = addr
+        entry[1] = stride
+        entry[2] = confidence
+        if confidence >= self.threshold and stride != 0:
+            out = [addr + stride * i for i in range(1, self.degree + 1)]
+            self.issued += len(out)
+            return out
+        return []
+
+
+class StreamPrefetcher:
+    """Multi-stream next-line prefetcher (L2/LLC).
+
+    Tracks up to ``num_streams`` active physical-address streams.  A
+    stream is allocated on a miss; two hits in the same direction
+    confirm it, after which accesses near the stream head prefetch
+    ``degree`` lines ahead.
+    """
+
+    __slots__ = ("streams", "num_streams", "degree", "line_bytes",
+                 "window_lines", "issued", "_clock")
+
+    def __init__(self, num_streams: int = 16, degree: int = 4,
+                 line_bytes: int = 64, window_lines: int = 16) -> None:
+        self.num_streams = num_streams
+        self.degree = degree
+        self.line_bytes = line_bytes
+        self.window_lines = window_lines
+        # list of [head_line, direction, confirmed, last_used_clock]
+        self.streams: List[list] = []
+        self.issued = 0
+        self._clock = 0
+
+    def train(self, addr: int) -> List[int]:
+        """Observe a demand access; return prefetch addresses (bytes)."""
+        self._clock += 1
+        line = addr // self.line_bytes
+        for stream in self.streams:
+            head, direction, confirmed, _ = stream
+            delta = line - head
+            in_window = abs(delta) <= self.window_lines
+            matches = in_window and (not confirmed or direction * delta >= 0)
+            if matches:
+                stream[3] = self._clock
+                if delta != 0:
+                    stream[0] = line
+                    if not confirmed:
+                        # First movement fixes the stream direction.
+                        stream[1] = 1 if delta > 0 else -1
+                        direction = stream[1]
+                        stream[2] = True
+                        confirmed = True
+                if confirmed:
+                    out = [
+                        (line + direction * i) * self.line_bytes
+                        for i in range(1, self.degree + 1)
+                    ]
+                    self.issued += len(out)
+                    return out
+                return []
+        self._allocate(line)
+        return []
+
+    def _allocate(self, line: int) -> None:
+        if len(self.streams) >= self.num_streams:
+            oldest = min(range(len(self.streams)),
+                         key=lambda i: self.streams[i][3])
+            self.streams.pop(oldest)
+        # Allocate ascending and descending candidates as one stream with
+        # direction decided by the first subsequent access; default +1.
+        self.streams.append([line, 1, False, self._clock])

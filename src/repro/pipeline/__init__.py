@@ -1,0 +1,23 @@
+"""The out-of-order core: configuration, timing engine, VP interface."""
+
+from repro.pipeline.config import CoreConfig, PortGroup
+from repro.pipeline.engine import Engine, simulate
+from repro.pipeline.results import SimResult
+from repro.pipeline.vp_interface import (
+    EngineContext,
+    NoPredictor,
+    Prediction,
+    ValuePredictor,
+)
+
+__all__ = [
+    "CoreConfig",
+    "PortGroup",
+    "Engine",
+    "simulate",
+    "SimResult",
+    "ValuePredictor",
+    "NoPredictor",
+    "Prediction",
+    "EngineContext",
+]

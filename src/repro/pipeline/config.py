@@ -1,0 +1,136 @@
+"""Core configuration (Table II of the paper).
+
+Two first-class configurations are provided:
+
+* :meth:`CoreConfig.skylake` — the 4-wide baseline similar to Intel
+  Skylake: 224 ROB / 64 LQ / 60 SQ / 97 IQ, 8 execution ports, 8-wide
+  retire, 20-cycle mispredict penalty.
+* :meth:`CoreConfig.skylake_2x` — the paper's "futuristic up-scaled"
+  core: all OOO resources and bandwidths doubled.
+
+Execution-port structure follows Table II: 2 load ports, 1 store port
+(store-address ports are shared with load ports; the fused store
+micro-op occupies the store-data port), 4 ALU ports, 3 FP/AVX ports,
+2 branch ports.  MUL/DIV issue on dedicated ALU-port slices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.frontend.fetch import FrontEndConfig
+from repro.isa import opcodes
+from repro.memory.hierarchy import MemHierarchyConfig
+
+
+class PortGroup:
+    """An execution-unit class: ``count`` pipelined units with a fixed
+    ``latency``; unpipelined units re-arm after ``latency`` cycles."""
+
+    __slots__ = ("count", "latency", "pipelined")
+
+    def __init__(self, count: int, latency: int, pipelined: bool = True) -> None:
+        if count <= 0 or latency <= 0:
+            raise ValueError("count and latency must be positive")
+        self.count = count
+        self.latency = latency
+        self.pipelined = pipelined
+
+    def scaled(self, factor: int) -> "PortGroup":
+        return PortGroup(self.count * factor, self.latency, self.pipelined)
+
+
+def _skylake_ports() -> Dict[int, PortGroup]:
+    return {
+        opcodes.ALU: PortGroup(4, 1),
+        opcodes.MUL: PortGroup(1, 3),
+        opcodes.DIV: PortGroup(1, 18, pipelined=False),
+        opcodes.FP: PortGroup(3, 4),
+        opcodes.LOAD: PortGroup(2, 1),     # latency owned by the hierarchy
+        opcodes.STORE: PortGroup(1, 1),
+        opcodes.BRANCH: PortGroup(2, 1),
+        opcodes.JUMP: PortGroup(2, 1),     # shares branch ports (modelled
+        opcodes.IJUMP: PortGroup(2, 1),    # as same-sized groups)
+        opcodes.NOP: PortGroup(4, 1),
+    }
+
+
+class CoreConfig:
+    """Everything the engine needs to time a trace."""
+
+    __slots__ = ("name", "fetch_width", "retire_width", "issue_width",
+                 "rob_size", "lq_size", "sq_size", "iq_size",
+                 "ports", "vp_penalty", "forward_latency",
+                 "frontend", "memory", "mem_violation_penalty")
+
+    def __init__(self, name: str, fetch_width: int, retire_width: int,
+                 issue_width: int, rob_size: int, lq_size: int,
+                 sq_size: int, iq_size: int,
+                 ports: Dict[int, PortGroup],
+                 vp_penalty: int = 20,
+                 forward_latency: int = 5,
+                 mem_violation_penalty: int = 20,
+                 frontend: FrontEndConfig = None,
+                 memory: MemHierarchyConfig = None) -> None:
+        for label, val in (("fetch_width", fetch_width),
+                           ("retire_width", retire_width),
+                           ("issue_width", issue_width),
+                           ("rob_size", rob_size), ("lq_size", lq_size),
+                           ("sq_size", sq_size), ("iq_size", iq_size)):
+            if val <= 0:
+                raise ValueError(f"{label} must be positive")
+        self.name = name
+        self.fetch_width = fetch_width
+        self.retire_width = retire_width
+        self.issue_width = issue_width
+        self.rob_size = rob_size
+        self.lq_size = lq_size
+        self.sq_size = sq_size
+        self.iq_size = iq_size
+        self.ports = ports
+        self.vp_penalty = vp_penalty
+        self.forward_latency = forward_latency
+        self.mem_violation_penalty = mem_violation_penalty
+        self.frontend = frontend or FrontEndConfig()
+        self.memory = memory or MemHierarchyConfig()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def skylake(cls) -> "CoreConfig":
+        """Table II: the 4-wide Skylake-like baseline."""
+        return cls(
+            name="skylake",
+            fetch_width=4,
+            retire_width=8,
+            issue_width=8,
+            rob_size=224,
+            lq_size=64,
+            sq_size=60,
+            iq_size=97,
+            ports=_skylake_ports(),
+        )
+
+    @classmethod
+    def skylake_2x(cls) -> "CoreConfig":
+        """§V: 8-wide future core, all resources and bandwidths doubled."""
+        ports = {op: group.scaled(2) for op, group in _skylake_ports().items()}
+        return cls(
+            name="skylake-2x",
+            fetch_width=8,
+            retire_width=16,
+            issue_width=16,
+            rob_size=448,
+            lq_size=128,
+            sq_size=120,
+            iq_size=194,
+            ports=ports,
+        )
+
+    def port_plan(self) -> Tuple[Tuple[int, int, int, bool], ...]:
+        """(op_class, unit_count, latency, pipelined) rows, for reports."""
+        return tuple((op, g.count, g.latency, g.pipelined)
+                     for op, g in sorted(self.ports.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<CoreConfig {self.name} {self.fetch_width}-wide "
+                f"ROB={self.rob_size}>")

@@ -1,0 +1,464 @@
+"""Cycle-level OOO timing engine.
+
+A single-pass, program-order constraint solver: for every micro-op it
+computes ``alloc``, ``ready``, ``issue``, ``complete`` and ``retire``
+timestamps subject to the machine's width, window, port, and dataflow
+constraints (see DESIGN.md §5 for the model statement).  Wrong-path
+fetch is abstracted into redirect penalties, as in classic trace-driven
+simulators.
+
+The engine hosts exactly one :class:`~repro.pipeline.vp_interface.ValuePredictor`
+and gives it the architectural hooks the paper's hardware has: a
+front-end lookup at allocation, a training call at execution carrying
+the retirement-stall criticality signal, and the LSQ forwarding tap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_right
+from typing import Optional, Sequence
+
+from repro.frontend.fetch import FrontEnd
+from repro.isa import opcodes
+from repro.isa.instruction import MicroOp
+from repro.memory.disambiguation import StoreSets
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.results import SimResult
+from repro.pipeline.vp_interface import (EngineContext, NoPredictor,
+                                         ValuePredictor)
+
+# Port-group aliasing: control ops share the branch ports, NOPs flow
+# through the ALU ports.
+_GROUP_OF = {
+    opcodes.ALU: opcodes.ALU,
+    opcodes.MUL: opcodes.MUL,
+    opcodes.DIV: opcodes.DIV,
+    opcodes.FP: opcodes.FP,
+    opcodes.LOAD: opcodes.LOAD,
+    opcodes.STORE: opcodes.STORE,
+    opcodes.BRANCH: opcodes.BRANCH,
+    opcodes.JUMP: opcodes.BRANCH,
+    opcodes.IJUMP: opcodes.BRANCH,
+    opcodes.NOP: opcodes.ALU,
+}
+
+_ADDR_ALIGN = ~0x7  # store→load forwarding tracked at 8-byte granularity
+
+
+class _WidthMachine:
+    """In-order bandwidth limiter: at most ``width`` events per cycle,
+    event times never decrease."""
+
+    __slots__ = ("width", "cycle", "count")
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self.cycle = -1
+        self.count = 0
+
+    def schedule(self, earliest: int) -> int:
+        t = earliest if earliest > self.cycle else self.cycle
+        if t == self.cycle:
+            if self.count >= self.width:
+                t += 1
+                self.count = 1
+            else:
+                self.count += 1
+        else:
+            self.count = 1
+        self.cycle = t
+        return t
+
+
+class Engine:
+    """Times one trace on one core configuration with one predictor."""
+
+    def __init__(self, config: CoreConfig,
+                 predictor: Optional[ValuePredictor] = None,
+                 collect_timing: bool = False) -> None:
+        self.config = config
+        self.predictor = predictor or NoPredictor()
+        self.collect_timing = collect_timing
+        self.frontend = FrontEnd(config.frontend)
+        self.memory = MemoryHierarchy(config.memory)
+        self.store_sets = StoreSets()
+
+        # Execution resources.
+        self._port_heaps = {}
+        for op, group in config.ports.items():
+            key = _GROUP_OF[op]
+            if key == op:
+                self._port_heaps[key] = [0] * group.count
+        self._issue_bw = [0] * config.issue_width
+
+        # Context shared with the predictor.
+        self._ctx = EngineContext()
+        self._ctx.store_inflight_by_pc = self._store_inflight_by_pc
+        self._ctx.store_inflight_to_addr = self._store_inflight_to_addr
+        self._ctx.probe_level = self.memory.probe_level
+
+        # Per-run state initialised in run().
+        self._reg_ready = None
+        self._writer_pc = None
+        self._writer_seq = None
+        self._retire_times = None
+        self._store_by_addr = None
+        self._store_by_pc = None
+        self._store_records = None
+        self._now_alloc = 0
+
+    # ------------------------------------------------------------------
+    # Store-tracking callables exposed through the context.
+    # ------------------------------------------------------------------
+    def _store_inflight_by_pc(self, store_pc: int):
+        """(seq, value, complete) of the newest in-flight store from
+        ``store_pc``, else None."""
+        seq = self._store_by_pc.get(store_pc)
+        if seq is None:
+            return None
+        pc, addr8, complete, retire, value = self._store_records[seq]
+        if retire < self._now_alloc:
+            return None
+        return seq, value, complete
+
+    def _store_inflight_to_addr(self, addr: int):
+        """(seq, pc, value, complete) of the newest in-flight store to
+        ``addr`` (8-byte aligned), else None."""
+        entry = self._store_by_addr.get(addr & _ADDR_ALIGN)
+        if entry is None:
+            return None
+        seq, pc, complete, retire, value = entry
+        if retire < self._now_alloc:
+            return None
+        return seq, pc, value, complete
+
+    # ------------------------------------------------------------------
+    def run(self, trace: Sequence[MicroOp], workload: str = "trace",
+            warmup: int = 0) -> SimResult:
+        """Time ``trace``; statistics cover only ops after ``warmup``
+        (predictors and caches train throughout — warmup measures the
+        steady state the paper's long simulations report)."""
+        cfg = self.config
+        predictor = self.predictor
+        frontend = self.frontend
+        memory = self.memory
+        ctx = self._ctx
+
+        result = SimResult(workload, cfg.name, predictor.name)
+        n = len(trace)
+        if warmup < 0 or warmup >= n and n > 0:
+            raise ValueError(f"warmup {warmup} must be in [0, {n})")
+        result.instructions = n - warmup
+        if n == 0:
+            return result
+        cycle_base = 0
+        level_base = {}
+
+        reg_ready = [0] * 16
+        writer_pc = [0] * 16
+        writer_seq = [-1] * 16
+        self._reg_ready = reg_ready
+        ctx.writer_pc = writer_pc
+        ctx.writer_seq = writer_seq
+
+        retire_times: list = []
+        self._retire_times = retire_times
+        load_retires: list = []
+        store_retires: list = []
+        # IQ occupancy: entries free at *issue*, which is out of order.
+        # Exact model (given in-order alloc): alloc(i) must be >= the
+        # iq_size-th largest issue time seen so far — maintained as a
+        # bounded min-heap of the largest issue times.
+        iq_heap: list = []
+
+        self._store_by_addr = {}
+        self._store_by_pc = {}
+        self._store_records = {}
+        store_by_addr = self._store_by_addr
+        store_by_pc = self._store_by_pc
+        store_records = self._store_records
+
+        alloc_machine = _WidthMachine(cfg.fetch_width)
+        retire_machine = _WidthMachine(cfg.retire_width)
+
+        port_heaps = {key: list(h) for key, h in self._port_heaps.items()}
+        for heap in port_heaps.values():
+            heapq.heapify(heap)
+        issue_bw = list(self._issue_bw)
+        heapq.heapify(issue_bw)
+
+        redirect_t = 0
+        prev_retire = 0
+        num_loads = 0
+        num_stores = 0
+
+        timing = None
+        if self.collect_timing:
+            timing = {k: [0] * n for k in
+                      ("alloc", "ready", "issue", "complete", "retire")}
+            timing["mispredict"] = [False] * n
+            result.timing = timing
+
+        rob_size = cfg.rob_size
+        iq_size = cfg.iq_size
+        lq_size = cfg.lq_size
+        sq_size = cfg.sq_size
+        fwd_latency = cfg.forward_latency
+
+        for idx, uop in enumerate(trace):
+            op = uop.op
+            is_load = op == opcodes.LOAD
+            is_store = op == opcodes.STORE
+            is_control = op in opcodes.CONTROL
+            collecting = idx >= warmup
+            if idx == warmup:
+                cycle_base = prev_retire
+                level_base = dict(memory.level_counts)
+
+            # ---------------- front end / allocate ----------------
+            earliest = redirect_t
+            bubbles = frontend.fetch_bubbles(uop.pc)
+            if bubbles:
+                earliest = max(earliest, alloc_machine.cycle) + bubbles
+            if idx >= rob_size:
+                earliest = max(earliest, retire_times[idx - rob_size])
+            if len(iq_heap) >= iq_size and iq_heap[0] > earliest:
+                earliest = iq_heap[0]
+            if is_load and num_loads >= lq_size:
+                earliest = max(earliest, load_retires[num_loads - lq_size])
+            if is_store and num_stores >= sq_size:
+                earliest = max(earliest, store_retires[num_stores - sq_size])
+            alloc_t = alloc_machine.schedule(earliest)
+            self._now_alloc = alloc_t
+
+            # ---------------- context + front-end VP lookup ----------------
+            ctx.seq = idx
+            ctx.history32 = frontend.history.recent(32)
+            ctx.history = frontend.history.recent(128)
+            fwd = None
+            if is_load:
+                num_loads += 1
+                if collecting:
+                    result.loads += 1
+                entry = store_by_addr.get(uop.addr & _ADDR_ALIGN)
+                if entry is not None and entry[3] >= alloc_t:
+                    fwd = entry  # (seq, pc, complete, retire, value)
+            ctx.forwarding_store = (
+                None if fwd is None else (fwd[0], fwd[1], fwd[4]))
+
+            prediction = predictor.predict(uop, ctx)
+
+            # ---------------- dataflow readiness ----------------
+            ready = alloc_t + 1
+            for src in uop.srcs:
+                t = reg_ready[src]
+                if t > ready:
+                    ready = t
+
+            # Memory disambiguation for loads with an in-flight producer
+            # store: a store-sets hit serialises the load behind the
+            # store; otherwise the load speculates and pays a violation
+            # flush when the store's data was not yet available.
+            violation = False
+            if fwd is not None:
+                store_complete = fwd[2]
+                dep = self.store_sets.load_dependence(uop.pc)
+                if dep is not None:
+                    if store_complete > ready:
+                        ready = store_complete
+                elif store_complete > ready:
+                    violation = True
+
+            # ---------------- issue ----------------
+            group = _GROUP_OF[op]
+            heap = port_heaps[group]
+            port_free = heapq.heappop(heap)
+            bw_free = heapq.heappop(issue_bw)
+            issue_t = ready
+            if port_free > issue_t:
+                issue_t = port_free
+            if bw_free > issue_t:
+                issue_t = bw_free
+            pg = cfg.ports[op]
+            heapq.heappush(heap, issue_t + (1 if pg.pipelined else pg.latency))
+            heapq.heappush(issue_bw, issue_t + 1)
+
+            # ---------------- execute / complete ----------------
+            level = "L1"
+            if is_load:
+                if fwd is not None and not violation:
+                    store_complete = fwd[2]
+                    base = issue_t if issue_t > store_complete else store_complete
+                    complete_t = base + fwd_latency
+                    predictor.on_forwarding(fwd[1], uop.pc, fwd[0])
+                else:
+                    latency, level = memory.access(uop.pc, uop.addr, issue_t)
+                    complete_t = issue_t + latency
+                    if violation:
+                        # Ordering violation: squash + refetch from the load.
+                        if collecting:
+                            result.mem_violations += 1
+                        self.store_sets.record_violation(uop.pc, fwd[1])
+                        redirect_t = max(
+                            redirect_t,
+                            complete_t + cfg.mem_violation_penalty)
+            elif is_store:
+                complete_t = issue_t + 1
+                memory.access(uop.pc, uop.addr, complete_t, is_store=True)
+            else:
+                complete_t = issue_t + cfg.ports[op].latency
+
+            # ---------------- retire ----------------
+            retire_t = retire_machine.schedule(
+                max(complete_t + 1, prev_retire))
+            prev_retire = retire_t
+
+            # ---------------- criticality signal ----------------
+            # ROB head when this op finished executing: the oldest op
+            # whose retirement is still pending at complete_t.  An op
+            # "stalls retirement" when it is within commit-width of the
+            # head *and* its own completion is what its retirement is
+            # waiting on (an op whose retirement is bound by fetch or
+            # older ops is not a bottleneck even if near the head).
+            head = bisect_right(retire_times, complete_t, 0, idx)
+            rob_distance = idx - head
+            completion_bound = retire_t == complete_t + 1
+            ctx.rob_distance = rob_distance
+            ctx.stalls_retirement = (rob_distance < cfg.retire_width
+                                     and completion_bound)
+            ctx.l1_hit = level == "L1"
+            ctx.hit_level = level
+
+            # ---------------- control flow ----------------
+            ctx.branch_mispredicted = False
+            if is_control:
+                if collecting:
+                    result.branches += 1
+                correct_cf = frontend.process_control(
+                    uop.pc, op, uop.taken, uop.target)
+                if not correct_cf:
+                    if collecting:
+                        result.branch_mispredicts += 1
+                    ctx.branch_mispredicted = True
+                    redirect_t = max(
+                        redirect_t,
+                        complete_t + frontend.mispredict_penalty)
+
+            # ---------------- value-prediction outcome ----------------
+            vp_correct = True
+            if prediction is not None:
+                vp_correct = prediction.value == uop.value
+                if collecting:
+                    if is_load:
+                        result.predicted_loads += 1
+                    else:
+                        result.predicted_nonloads += 1
+                    if prediction.store_seq is not None:
+                        result.mr_predictions += 1
+                    else:
+                        result.register_predictions += 1
+                    attribution = result.by_source.setdefault(
+                        prediction.source, [0, 0])
+                    attribution[0] += 1
+                    if vp_correct:
+                        attribution[1] += 1
+                        result.correct_predictions += 1
+                    else:
+                        result.wrong_predictions += 1
+                        result.vp_flushes += 1
+                if not vp_correct:
+                    redirect_t = max(redirect_t,
+                                     complete_t + cfg.vp_penalty)
+
+            # ---------------- architectural updates ----------------
+            dest = uop.dest
+            if dest is not None:
+                if prediction is not None and vp_correct:
+                    avail = alloc_t + 1
+                    if prediction.store_seq is not None:
+                        rec = store_records.get(prediction.store_seq)
+                        if rec is not None and rec[2] > avail:
+                            avail = rec[2]
+                    reg_ready[dest] = avail
+                else:
+                    reg_ready[dest] = complete_t
+                writer_pc[dest] = uop.pc
+                writer_seq[dest] = idx
+
+            if is_store:
+                num_stores += 1
+                if collecting:
+                    result.stores += 1
+                self.store_sets.store_dispatched(uop.pc, idx)
+                record = (idx, uop.pc, complete_t, retire_t, uop.value)
+                store_by_addr[uop.addr & _ADDR_ALIGN] = record
+                store_by_pc[uop.pc] = idx
+                store_records[idx] = (uop.pc, uop.addr & _ADDR_ALIGN,
+                                      complete_t, retire_t, uop.value)
+                store_retires.append(retire_t)
+                if len(store_records) > 4 * sq_size:
+                    self._prune_stores(retire_t)
+            if is_load:
+                load_retires.append(retire_t)
+
+            retire_times.append(retire_t)
+            if len(iq_heap) < iq_size:
+                heapq.heappush(iq_heap, issue_t)
+            elif issue_t > iq_heap[0]:
+                heapq.heapreplace(iq_heap, issue_t)
+
+            # ---------------- training ----------------
+            predictor.train_execute(uop, ctx, prediction, vp_correct)
+            predictor.epoch_tick(idx + 1)
+
+            if timing is not None:
+                timing["alloc"][idx] = alloc_t
+                timing["ready"][idx] = ready
+                timing["issue"][idx] = issue_t
+                timing["complete"][idx] = complete_t
+                timing["retire"][idx] = retire_t
+                timing["mispredict"][idx] = ctx.branch_mispredicted
+
+        result.cycles = prev_retire - cycle_base
+        result.level_counts = {
+            level: count - level_base.get(level, 0)
+            for level, count in memory.level_counts.items()}
+        result.frontend_stats = {
+            "branch_accuracy": 1.0 - frontend.mispredict_rate,
+            "icache_misses": frontend.icache.misses,
+            "btb_misses": frontend.btb_misses,
+        }
+        result.predictor_stats = predictor.stats()
+        return result
+
+    def _prune_stores(self, now: int) -> None:
+        """Drop store records that can no longer forward or be renamed."""
+        dead = [seq for seq, rec in self._store_records.items()
+                if rec[3] < now]
+        for seq in dead:
+            rec = self._store_records.pop(seq)
+            pc, addr8 = rec[0], rec[1]
+            if self._store_by_pc.get(pc) == seq:
+                del self._store_by_pc[pc]
+            entry = self._store_by_addr.get(addr8)
+            if entry is not None and entry[0] == seq:
+                del self._store_by_addr[addr8]
+
+
+def simulate(trace: Sequence[MicroOp], config: CoreConfig = None,
+             predictor: Optional[ValuePredictor] = None,
+             workload: str = "trace", warmup: int = 0,
+             collect_timing: bool = False) -> SimResult:
+    """One-call convenience wrapper: build an engine and run a trace.
+
+    >>> from repro.isa import alu
+    >>> r = simulate([alu(0x400000 + 4 * i, dest=0, value=i)
+    ...               for i in range(64)])
+    >>> r.instructions
+    64
+    """
+    engine = Engine(config or CoreConfig.skylake(), predictor,
+                    collect_timing=collect_timing)
+    return engine.run(trace, workload=workload, warmup=warmup)

@@ -1,0 +1,122 @@
+"""Simulation result records."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class SimResult:
+    """Outcome of one trace simulation.
+
+    The headline metrics mirror the paper's reporting: ``ipc`` for
+    performance and ``coverage`` (predicted loads / all loads) for
+    value-prediction coverage.
+    """
+
+    __slots__ = ("workload", "core", "predictor", "instructions", "cycles",
+                 "loads", "stores", "branches",
+                 "predicted_loads", "predicted_nonloads",
+                 "correct_predictions", "wrong_predictions",
+                 "vp_flushes", "branch_mispredicts", "mem_violations",
+                 "level_counts", "frontend_stats", "predictor_stats",
+                 "timing", "mr_predictions", "register_predictions",
+                 "by_source")
+
+    def __init__(self, workload: str, core: str, predictor: str) -> None:
+        self.workload = workload
+        self.core = core
+        self.predictor = predictor
+        self.instructions = 0
+        self.cycles = 0
+        self.loads = 0
+        self.stores = 0
+        self.branches = 0
+        self.predicted_loads = 0
+        self.predicted_nonloads = 0
+        self.correct_predictions = 0
+        self.wrong_predictions = 0
+        self.vp_flushes = 0
+        self.branch_mispredicts = 0
+        self.mem_violations = 0
+        self.mr_predictions = 0
+        self.register_predictions = 0
+        #: source label -> [predictions used, correct] attribution.
+        self.by_source: Dict[str, List[int]] = {}
+        self.level_counts: Dict[str, int] = {}
+        self.frontend_stats: Dict[str, float] = {}
+        self.predictor_stats: Dict[str, float] = {}
+        #: Optional per-op timing arrays (alloc/ready/issue/complete/retire)
+        #: retained when the engine runs with ``collect_timing=True``.
+        self.timing: Optional[Dict[str, List[int]]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of load instructions that were value predicted —
+        the paper's coverage definition (§VI-A)."""
+        return self.predicted_loads / self.loads if self.loads else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        used = self.correct_predictions + self.wrong_predictions
+        return self.correct_predictions / used if used else 1.0
+
+    @property
+    def predictions(self) -> int:
+        return self.predicted_loads + self.predicted_nonloads
+
+    @property
+    def branch_mpki(self) -> float:
+        """Branch mispredictions per kilo-instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.branch_mispredicts / self.instructions
+
+    @property
+    def llc_mpki(self) -> float:
+        """LLC misses (DRAM accesses) per kilo-instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.level_counts.get("DRAM", 0) / self.instructions
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """IPC ratio versus a baseline run of the same trace."""
+        if baseline.ipc == 0:
+            raise ValueError("baseline IPC is zero")
+        if baseline.instructions != self.instructions:
+            raise ValueError(
+                "speedup requires runs over the same trace: "
+                f"{baseline.instructions} vs {self.instructions} instructions")
+        return self.ipc / baseline.ipc
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (f"{self.workload:<16} {self.core:<11} {self.predictor:<12} "
+                f"IPC={self.ipc:5.3f} cov={self.coverage:6.1%} "
+                f"acc={self.accuracy:6.2%} "
+                f"brMiss={self.branch_mispredicts} vpFlush={self.vp_flushes}")
+
+    def as_dict(self) -> dict:
+        """Flat dict for tabulation/serialization."""
+        return {
+            "workload": self.workload,
+            "core": self.core,
+            "predictor": self.predictor,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "coverage": self.coverage,
+            "accuracy": self.accuracy,
+            "loads": self.loads,
+            "stores": self.stores,
+            "branches": self.branches,
+            "predicted_loads": self.predicted_loads,
+            "vp_flushes": self.vp_flushes,
+            "branch_mispredicts": self.branch_mispredicts,
+            "mem_violations": self.mem_violations,
+            "level_counts": dict(self.level_counts),
+        }

@@ -1,0 +1,84 @@
+"""Baseline value predictors and the predictor registry.
+
+:func:`make_predictor` builds any evaluated configuration by name —
+the names match the bars of Figures 10-12.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.vp_interface import NoPredictor, ValuePredictor
+from repro.predictors.combined import MrCompositePredictor
+from repro.predictors.composite import CompositePredictor
+from repro.predictors.dlvp import (
+    ContextAddressPredictor,
+    DlvpPredictor,
+    StrideAddressPredictor,
+)
+from repro.predictors.eves import EvesPredictor
+from repro.predictors.fcm import FcmPredictor
+from repro.predictors.lvp import LastValuePredictor
+from repro.predictors.memory_renaming import MemoryRenaming
+from repro.predictors.stride import StridePredictor
+from repro.predictors.vtage import VtagePredictor
+
+
+def make_predictor(name: str) -> ValuePredictor:
+    """Build a predictor configuration by its figure-label name.
+
+    Supported names: ``baseline``, ``lvp``, ``stride``, ``fcm``,
+    ``vtage``, ``dvtage``, ``eves``, ``dlvp``, ``mr-8kb``, ``mr-1kb``,
+    ``composite-8kb``, ``composite-1kb``, ``fvp`` and the FVP variants
+    (``fvp-l1-miss``, ``fvp-l1-miss-only``, ``fvp-reg``, ``fvp-mem``,
+    ``fvp-all``, ``fvp-br``).
+    """
+    from repro.core import fvp as fvp_mod
+
+    factories = {
+        "baseline": NoPredictor,
+        "lvp": LastValuePredictor,
+        "stride": StridePredictor,
+        "fcm": FcmPredictor,
+        "vtage": VtagePredictor,
+        "dvtage": lambda: VtagePredictor(with_stride=True),
+        "eves": EvesPredictor,
+        "dlvp": DlvpPredictor,
+        "mr-8kb": lambda: MemoryRenaming.at_budget(8),
+        "mr-1kb": lambda: MemoryRenaming.at_budget(1),
+        "composite-8kb": lambda: CompositePredictor.at_budget(8),
+        "composite-1kb": lambda: CompositePredictor.at_budget(1),
+        "mr+composite-8kb": lambda: MrCompositePredictor.at_budget(8),
+        "mr+composite-1kb": lambda: MrCompositePredictor.at_budget(1),
+        "fvp": fvp_mod.fvp_default,
+        "fvp-l1-miss": fvp_mod.fvp_l1_miss,
+        "fvp-l1-miss-only": fvp_mod.fvp_l1_miss_only,
+        "fvp-reg": fvp_mod.fvp_register_only,
+        "fvp-mem": fvp_mod.fvp_memory_only,
+        "fvp-all": fvp_mod.fvp_all_instructions,
+        "fvp-br": fvp_mod.fvp_branch_chains,
+        "fvp+stride": fvp_mod.fvp_with_stride,
+    }
+    try:
+        factory = factories[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown predictor {name!r}; choose from "
+            f"{sorted(factories)}") from None
+    return factory()
+
+
+__all__ = [
+    "make_predictor",
+    "ValuePredictor",
+    "NoPredictor",
+    "LastValuePredictor",
+    "StridePredictor",
+    "FcmPredictor",
+    "VtagePredictor",
+    "EvesPredictor",
+    "DlvpPredictor",
+    "StrideAddressPredictor",
+    "ContextAddressPredictor",
+    "CompositePredictor",
+    "MrCompositePredictor",
+    "MemoryRenaming",
+]

@@ -1,0 +1,106 @@
+"""The Composite load-value predictor (Sheikh & Hower, HPCA '19).
+
+Fuses the EVES value components (last-value/context/stride) with the
+DLVP address components (SAP/CAP), with filters that stop the address
+path from predicting loads that conflict with in-flight stores.  The
+paper reports it outperforms both EVES and DLVP alone, so (like the
+FVP paper, §VI-B) it is the state-of-the-art bar in Figures 10-11 at
+two storage points: 8 KB and 1 KB.
+
+Priority: a confident value-path prediction wins; the address path
+fills in loads whose *addresses* are predictable even though their
+values are not.  A per-PC chooser suppresses whichever path has
+recently mispredicted the PC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa import opcodes
+from repro.isa.instruction import MicroOp
+from repro.pipeline.vp_interface import EngineContext, Prediction, ValuePredictor
+from repro.predictors.dlvp import DlvpPredictor
+from repro.predictors.eves import EvesPredictor
+
+
+class CompositePredictor(ValuePredictor):
+    """EVES + DLVP with filters, per Sheikh & Hower."""
+
+    name = "composite"
+
+    def __init__(self, eves: EvesPredictor = None,
+                 dlvp: DlvpPredictor = None) -> None:
+        self.eves = eves or EvesPredictor()
+        self.dlvp = dlvp or DlvpPredictor(conflict_filter=True)
+        # Per-PC blacklists: a path that mispredicts a PC twice stops
+        # predicting it (the HPCA'19 filter tables).
+        self._value_filter = {}
+        self._addr_filter = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def at_budget(cls, kilobytes: int) -> "CompositePredictor":
+        """Build a Composite sized to roughly ``kilobytes`` KB of state,
+        split ~3:1 between the value and address paths (the HPCA'19
+        proportions)."""
+        if kilobytes not in (1, 2, 4, 8, 16):
+            raise ValueError("supported budgets: 1/2/4/8/16 KB")
+        scale = kilobytes
+        eves = EvesPredictor(
+            stride_entries=16 * scale,
+            vtage_base_entries=24 * scale,
+            vtage_tagged_entries=8 * scale,
+        )
+        dlvp = DlvpPredictor(
+            sap_entries=16 * scale,
+            cap_entries=16 * scale,
+            conflict_filter=True,
+        )
+        predictor = cls(eves, dlvp)
+        predictor.name = f"composite-{kilobytes}kb"
+        return predictor
+
+    # ------------------------------------------------------------------
+    def predict(self, uop: MicroOp, ctx: EngineContext) -> Optional[Prediction]:
+        if uop.op != opcodes.LOAD:
+            return None
+        if self._value_filter.get(uop.pc, 0) < 2:
+            prediction = self.eves.predict(uop, ctx)
+            if prediction is not None:
+                return prediction
+        if self._addr_filter.get(uop.pc, 0) < 2:
+            prediction = self.dlvp.predict(uop, ctx)
+            if prediction is not None:
+                return prediction
+        return None
+
+    def train_execute(self, uop: MicroOp, ctx: EngineContext,
+                      used_prediction: Optional[Prediction],
+                      correct: bool) -> None:
+        if uop.op != opcodes.LOAD:
+            return
+        self.eves.train_execute(uop, ctx, used_prediction, correct)
+        self.dlvp.train_execute(uop, ctx, used_prediction, correct)
+        if used_prediction is None:
+            return
+        from_addr_path = used_prediction.source in ("sap", "cap")
+        filt = self._addr_filter if from_addr_path else self._value_filter
+        counter = filt.get(uop.pc, 0)
+        if correct:
+            if counter:
+                filt[uop.pc] = counter - 1
+        else:
+            filt[uop.pc] = min(counter + 1, 3)
+
+    def storage_bits(self) -> int:
+        return (self.eves.storage_bits() + self.dlvp.storage_bits()
+                + 2 * 128)  # filter tables
+
+    def stats(self) -> dict:
+        stats = {"value_filtered": sum(1 for v in self._value_filter.values()
+                                       if v >= 2),
+                 "addr_filtered": sum(1 for v in self._addr_filter.values()
+                                      if v >= 2)}
+        stats.update(self.dlvp.stats())
+        return stats

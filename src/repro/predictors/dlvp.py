@@ -1,0 +1,177 @@
+"""DLVP: load value prediction via path-based address prediction
+(Sheikh, Cain & Damodaran, MICRO '17).
+
+Instead of predicting a load's *value*, DLVP predicts its *address* at
+fetch — with a Stride Address Predictor (SAP) and a Context Address
+Predictor (CAP) — and reads the value out of the data cache early.
+The fetched value is then used as a value prediction.
+
+Model note (see DESIGN.md §2): this repo does not maintain a separate
+early-read image of the cache; a DLVP prediction is *correct* exactly
+when (a) the predicted address matches the load's actual address and
+(b) no in-flight store to that address would make the early cache read
+stale.  Condition (b) is the "mispredictions due to conflicting
+stores" failure mode the DLVP paper is named after, and the thing the
+Composite predictor filters.  When either condition fails the model
+emits a poisoned value so the engine charges the full mispredict flush.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa import opcodes
+from repro.isa.instruction import MicroOp
+from repro.pipeline.vp_interface import EngineContext, Prediction, ValuePredictor
+from repro.predictors.common import TaggedTable, mix_pc_history
+
+ADDR_MASK = (1 << 48) - 1
+_POISON = 0xD1B7_BAD0_DEAD_BEEF
+
+#: SAP entry: tag(11) + last addr(48) + stride(16) + conf(3) + useful(2)
+SAP_ENTRY_BITS = 11 + 48 + 16 + 3 + 2
+#: CAP entry: tag(11) + addr(48) + conf(3) + useful(2)
+CAP_ENTRY_BITS = 11 + 48 + 3 + 2
+
+
+class StrideAddressPredictor:
+    """SAP: per-PC address stride learning."""
+
+    def __init__(self, entries: int = 128, conf_threshold: int = 4) -> None:
+        self.table = TaggedTable(entries, ways=2)
+        self.conf_threshold = conf_threshold
+
+    def predict(self, pc: int) -> Optional[int]:
+        entry = self.table.lookup(pc)
+        if entry is not None and entry.confidence >= self.conf_threshold:
+            return (entry.value + entry.extra) & ADDR_MASK
+        return None
+
+    def train(self, pc: int, addr: int) -> None:
+        entry = self.table.lookup(pc)
+        if entry is None:
+            entry = self.table.allocate(pc, addr)
+            if entry is not None:
+                entry.value = addr
+            return
+        stride = (addr - entry.value) & ADDR_MASK
+        if stride == entry.extra and stride != 0:
+            entry.confidence = min(entry.confidence + 1, 7)
+            entry.useful = min(entry.useful + 1, 3)
+        elif stride == 0 and entry.extra == 0:
+            entry.confidence = min(entry.confidence + 1, 7)
+            entry.useful = min(entry.useful + 1, 3)
+        else:
+            entry.extra = stride
+            entry.confidence = 0
+        entry.value = addr
+
+    def storage_bits(self) -> int:
+        return self.table.capacity * SAP_ENTRY_BITS
+
+
+class ContextAddressPredictor:
+    """CAP: (PC ⊕ folded branch history) → address."""
+
+    def __init__(self, entries: int = 128, history_bits: int = 16,
+                 conf_threshold: int = 4) -> None:
+        self.table = TaggedTable(entries, ways=2)
+        self.history_bits = history_bits
+        self.conf_threshold = conf_threshold
+
+    def _key(self, pc: int, history: int) -> int:
+        return mix_pc_history(pc, history, self.history_bits)
+
+    def predict(self, pc: int, history: int) -> Optional[int]:
+        entry = self.table.lookup(self._key(pc, history))
+        if entry is not None and entry.confidence >= self.conf_threshold:
+            return entry.value
+        return None
+
+    def train(self, pc: int, history: int, addr: int) -> None:
+        key = self._key(pc, history)
+        entry = self.table.lookup(key)
+        if entry is None:
+            entry = self.table.allocate(key, addr)
+            if entry is not None:
+                entry.value = addr
+            return
+        if entry.value == addr:
+            entry.confidence = min(entry.confidence + 1, 7)
+            entry.useful = min(entry.useful + 1, 3)
+        else:
+            entry.value = addr
+            entry.confidence = 0
+
+    def storage_bits(self) -> int:
+        return self.table.capacity * CAP_ENTRY_BITS
+
+
+class DlvpPredictor(ValuePredictor):
+    """DLVP = SAP + CAP feeding early cache reads.
+
+    ``conflict_filter`` enables the Composite paper's per-PC filter that
+    stops predicting loads observed to conflict with in-flight stores.
+    """
+
+    name = "dlvp"
+
+    def __init__(self, sap_entries: int = 128, cap_entries: int = 128,
+                 conflict_filter: bool = False) -> None:
+        self.sap = StrideAddressPredictor(sap_entries)
+        self.cap = ContextAddressPredictor(cap_entries)
+        self.conflict_filter = conflict_filter
+        self._conflicts = {}  # pc -> 2-bit saturating conflict counter
+        self.early_reads = 0
+        self.conflicting = 0
+
+    def predict(self, uop: MicroOp, ctx: EngineContext) -> Optional[Prediction]:
+        if uop.op != opcodes.LOAD:
+            return None
+        if self.conflict_filter and self._conflicts.get(uop.pc, 0) >= 2:
+            return None
+        predicted_addr = self.sap.predict(uop.pc)
+        source = "sap"
+        if predicted_addr is None:
+            predicted_addr = self.cap.predict(uop.pc, ctx.history)
+            source = "cap"
+        if predicted_addr is None:
+            return None
+        # The front-end early read can only source near levels: a line
+        # that would miss to the LLC or DRAM has no value available by
+        # rename time, so no prediction is made.
+        if ctx.probe_level(predicted_addr) not in ("L1", "L2"):
+            return None
+        self.early_reads += 1
+        conflict = ctx.store_inflight_to_addr(predicted_addr) is not None
+        if predicted_addr == uop.addr and not conflict:
+            # The early cache read returns the architectural value.
+            return Prediction(uop.value, source=source)
+        if conflict:
+            self.conflicting += 1
+        return Prediction(uop.value ^ _POISON, source=source)
+
+    def train_execute(self, uop: MicroOp, ctx: EngineContext,
+                      used_prediction: Optional[Prediction],
+                      correct: bool) -> None:
+        if uop.op != opcodes.LOAD:
+            return
+        self.sap.train(uop.pc, uop.addr)
+        self.cap.train(uop.pc, ctx.history, uop.addr)
+        if used_prediction is not None and not correct:
+            counter = self._conflicts.get(uop.pc, 0)
+            self._conflicts[uop.pc] = min(counter + 1, 3)
+        elif used_prediction is not None and correct:
+            counter = self._conflicts.get(uop.pc, 0)
+            if counter:
+                self._conflicts[uop.pc] = counter - 1
+
+    def storage_bits(self) -> int:
+        bits = self.sap.storage_bits() + self.cap.storage_bits()
+        if self.conflict_filter:
+            bits += 2 * max(len(self._conflicts), 64)
+        return bits
+
+    def stats(self) -> dict:
+        return {"early_reads": self.early_reads,
+                "conflicting_reads": self.conflicting}

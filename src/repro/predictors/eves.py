@@ -1,0 +1,108 @@
+"""EVES predictor (Seznec, CVP-1 2018): E-VTAGE + E-Stride.
+
+EVES refines D-VTAGE with smarter allocation and confidence policies:
+
+* **E-Stride** — a per-PC stride component that only commits to a
+  prediction after the stride has repeated many times, with the
+  increment probability scaled by expected benefit (long-latency
+  instructions are favoured).
+* **E-VTAGE** — a VTAGE whose allocation is gated: entries are only
+  allocated when the op was mispredicted or unpredicted, and utility
+  management prefers keeping entries that keep predicting correctly.
+
+The chooser prefers E-Stride when both components are confident (a
+confident stride subsumes a constant: stride 0).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa import opcodes
+from repro.isa.instruction import MicroOp
+from repro.pipeline.vp_interface import EngineContext, Prediction, ValuePredictor
+from repro.predictors.common import TaggedTable, XorShift
+from repro.predictors.vtage import VtagePredictor
+
+VALUE_MASK = (1 << 64) - 1
+
+#: E-Stride entry: tag(11) + value(64) + stride(16) + conf(4) + useful(2).
+ESTRIDE_ENTRY_BITS = 11 + 64 + 16 + 4 + 2
+
+
+class EvesPredictor(ValuePredictor):
+    """EVES: E-Stride in front of an E-VTAGE."""
+
+    name = "eves"
+
+    def __init__(self, stride_entries: int = 128,
+                 vtage_base_entries: int = 128,
+                 vtage_tagged_entries: int = 64,
+                 history_lengths=(2, 4, 8, 16, 32, 64),
+                 conf_threshold: int = 7,
+                 loads_only: bool = True) -> None:
+        self.estride = TaggedTable(stride_entries, ways=2)
+        self.evtage = VtagePredictor(
+            base_entries=vtage_base_entries,
+            tagged_entries=vtage_tagged_entries,
+            history_lengths=history_lengths,
+            conf_threshold=conf_threshold,
+            loads_only=loads_only)
+        self.conf_threshold = conf_threshold
+        self.loads_only = loads_only
+        self._rng = XorShift(0xE7E5)
+
+    def _wants(self, uop: MicroOp) -> bool:
+        if uop.dest is None:
+            return False
+        return not (self.loads_only and uop.op != opcodes.LOAD)
+
+    def predict(self, uop: MicroOp, ctx: EngineContext) -> Optional[Prediction]:
+        if not self._wants(uop):
+            return None
+        entry = self.estride.lookup(uop.pc)
+        if entry is not None and entry.confidence >= self.conf_threshold + 2:
+            predicted = (entry.value + entry.extra) & VALUE_MASK
+            return Prediction(predicted, source="estride")
+        inner = self.evtage.predict(uop, ctx)
+        if inner is not None:
+            inner.source = "evtage"
+        return inner
+
+    def train_execute(self, uop: MicroOp, ctx: EngineContext,
+                      used_prediction: Optional[Prediction],
+                      correct: bool) -> None:
+        if not self._wants(uop):
+            return
+        entry = self.estride.lookup(uop.pc)
+        if entry is None:
+            # E-Stride allocation is gated on long-latency ops (the
+            # benefit-driven policy): always allocate loads that left
+            # L1, probabilistically allocate the rest.
+            if not ctx.l1_hit or self._rng.below(1, 4):
+                entry = self.estride.allocate(uop.pc, uop.value)
+                if entry is not None:
+                    entry.value = uop.value
+        else:
+            new_stride = (uop.value - entry.value) & VALUE_MASK
+            narrow = new_stride < (1 << 15) or \
+                new_stride > VALUE_MASK - (1 << 15)
+            if narrow and new_stride == entry.extra:
+                # Benefit-scaled confidence ramp: faster for misses.
+                num = 4 if not ctx.l1_hit else 1
+                if self._rng.below(num, 8):
+                    entry.confidence = min(entry.confidence + 1, 15)
+                entry.useful = min(entry.useful + 1, 3)
+            else:
+                entry.extra = new_stride if narrow else 0
+                entry.confidence = 0
+                entry.useful = max(entry.useful - 1, 0)
+            entry.value = uop.value
+        self.evtage.train_execute(uop, ctx, used_prediction, correct)
+
+    def storage_bits(self) -> int:
+        return (self.estride.capacity * ESTRIDE_ENTRY_BITS
+                + self.evtage.storage_bits())
+
+    def stats(self) -> dict:
+        return {"estride_capacity": self.estride.capacity}

@@ -1,0 +1,99 @@
+"""Finite Context Method predictor (Sazeides & Smith, MICRO '97).
+
+Two-level scheme: a first-level table maps the PC to a hash of the
+last ``order`` values the instruction produced (the *value history*);
+a second-level table maps that hash to the next value with confidence.
+Predicts when the value pattern repeats.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa import opcodes
+from repro.isa.instruction import MicroOp
+from repro.pipeline.vp_interface import EngineContext, Prediction, ValuePredictor
+from repro.predictors.common import TaggedTable
+
+VALUE_MASK = (1 << 64) - 1
+
+#: Level-1: tag(11) + history hash(16); Level-2: tag(11) + value(64) +
+#: confidence(3) + useful(2).
+L1_ENTRY_BITS = 11 + 16
+L2_ENTRY_BITS = 11 + 64 + 3 + 2
+
+
+def _mix(history_hash: int, value: int) -> int:
+    """Slide the new value into the level-1 history hash.
+
+    A 15-bit hash of the last three values: each value contributes a
+    5-bit fold, and three shifts push the oldest fold out of the mask —
+    a *windowed* hash, so the hash of a periodic value stream is itself
+    periodic (an accumulating hash would never re-converge)."""
+    folded = value ^ (value >> 5) ^ (value >> 11) ^ (value >> 23) \
+        ^ (value >> 37) ^ (value >> 53)
+    return ((history_hash << 5) ^ (folded & 0x1F)) & 0x7FFF
+
+
+class FcmPredictor(ValuePredictor):
+    """Order-``order`` FCM with hashed value histories."""
+
+    name = "fcm"
+
+    def __init__(self, l1_entries: int = 256, l2_entries: int = 512,
+                 conf_threshold: int = 5, loads_only: bool = True) -> None:
+        self.l1 = TaggedTable(l1_entries, ways=2)
+        self.l2 = TaggedTable(l2_entries, ways=2)
+        self.conf_threshold = conf_threshold
+        self.loads_only = loads_only
+
+    def _wants(self, uop: MicroOp) -> bool:
+        if uop.dest is None:
+            return False
+        return not (self.loads_only and uop.op != opcodes.LOAD)
+
+    def _l2_key(self, pc: int, history_hash: int) -> int:
+        return (history_hash * 2654435761 ^ pc) & 0x3FFFFFFF
+
+    def predict(self, uop: MicroOp, ctx: EngineContext) -> Optional[Prediction]:
+        if not self._wants(uop):
+            return None
+        l1_entry = self.l1.lookup(uop.pc)
+        if l1_entry is None:
+            return None
+        l2_entry = self.l2.lookup(self._l2_key(uop.pc, l1_entry.extra))
+        if l2_entry is not None and l2_entry.confidence >= self.conf_threshold:
+            return Prediction(l2_entry.value, source="fcm")
+        return None
+
+    def train_execute(self, uop: MicroOp, ctx: EngineContext,
+                      used_prediction: Optional[Prediction],
+                      correct: bool) -> None:
+        if not self._wants(uop):
+            return
+        l1_entry = self.l1.lookup(uop.pc)
+        if l1_entry is None:
+            l1_entry = self.l1.allocate(uop.pc)
+            if l1_entry is None:
+                return
+            l1_entry.extra = _mix(0, uop.value)
+            return
+        history_hash = l1_entry.extra
+        l2_entry = self.l2.lookup(self._l2_key(uop.pc, history_hash))
+        if l2_entry is None:
+            l2_entry = self.l2.allocate(
+                self._l2_key(uop.pc, history_hash), uop.value)
+            if l2_entry is not None:
+                l2_entry.value = uop.value
+        elif l2_entry.value == uop.value:
+            l2_entry.confidence = min(l2_entry.confidence + 1, 7)
+            l2_entry.useful = min(l2_entry.useful + 1, 3)
+        else:
+            l2_entry.value = uop.value
+            l2_entry.confidence = 0
+            l2_entry.useful = max(l2_entry.useful - 1, 0)
+        l1_entry.extra = _mix(history_hash, uop.value)
+
+    def storage_bits(self) -> int:
+        return (self.l1.capacity * L1_ENTRY_BITS
+                + self.l2.capacity * L2_ENTRY_BITS)

@@ -1,0 +1,176 @@
+"""VTAGE value predictor (Perais & Seznec, HPCA '14).
+
+A base last-value table plus ``N`` tagged components indexed by the PC
+hashed with geometrically increasing folded global-branch-history
+lengths.  The longest matching component provides the prediction;
+confidence uses forward probabilistic counters (increment with
+probability 1/16 on a correct value, reset on change).  D-VTAGE
+(HPCA '15) adds a stride field to the base predictor — enabled with
+``with_stride=True``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa import opcodes
+from repro.isa.instruction import MicroOp
+from repro.pipeline.vp_interface import EngineContext, Prediction, ValuePredictor
+from repro.predictors.common import TaggedTable, XorShift, mix_pc_history
+
+VALUE_MASK = (1 << 64) - 1
+
+#: Tagged entry: tag(11) + value(64) + confidence(3) + useful(2).
+TAGGED_ENTRY_BITS = 11 + 64 + 3 + 2
+#: Base entry adds a 16-bit stride when with_stride is set.
+BASE_ENTRY_BITS = 11 + 64 + 3 + 2
+
+
+class VtagePredictor(ValuePredictor):
+    """VTAGE / D-VTAGE.
+
+    Parameters
+    ----------
+    base_entries / tagged_entries:
+        capacity of the base LVP table and of *each* tagged component.
+    history_lengths:
+        geometric folded-history lengths of the tagged components.
+    with_stride:
+        turn the base component into a stride predictor (D-VTAGE).
+    """
+
+    name = "vtage"
+
+    def __init__(self, base_entries: int = 128, tagged_entries: int = 64,
+                 history_lengths=(2, 4, 8, 16, 32, 64),
+                 conf_threshold: int = 7, conf_prob: int = 1,
+                 with_stride: bool = False, loads_only: bool = True) -> None:
+        self.base = TaggedTable(base_entries, ways=2)
+        self.components: List[TaggedTable] = [
+            TaggedTable(tagged_entries, ways=2) for _ in history_lengths]
+        self.history_lengths = tuple(history_lengths)
+        self.conf_threshold = conf_threshold
+        self.conf_prob = conf_prob
+        self.with_stride = with_stride
+        self.loads_only = loads_only
+        self._rng = XorShift(0xBEEF)
+        if with_stride:
+            self.name = "dvtage"
+
+    def _wants(self, uop: MicroOp) -> bool:
+        if uop.dest is None:
+            return False
+        return not (self.loads_only and uop.op != opcodes.LOAD)
+
+    def _keys(self, pc: int, history: int) -> List[int]:
+        return [mix_pc_history(pc, history, length)
+                for length in self.history_lengths]
+
+    # ------------------------------------------------------------------
+    def predict(self, uop: MicroOp, ctx: EngineContext) -> Optional[Prediction]:
+        if not self._wants(uop):
+            return None
+        keys = self._keys(uop.pc, ctx.history)
+        for comp_index in range(len(self.components) - 1, -1, -1):
+            entry = self.components[comp_index].lookup(keys[comp_index])
+            if entry is not None:
+                if entry.confidence >= self.conf_threshold:
+                    return Prediction(entry.value, source="vtage")
+                break  # unconfident provider: fall back to the base
+        base_entry = self.base.lookup(uop.pc)
+        if base_entry is not None and base_entry.confidence >= self.conf_threshold:
+            value = base_entry.value
+            if self.with_stride:
+                value = (value + base_entry.extra) & VALUE_MASK
+            return Prediction(value, source="vtage-base")
+        return None
+
+    # ------------------------------------------------------------------
+    def train_execute(self, uop: MicroOp, ctx: EngineContext,
+                      used_prediction: Optional[Prediction],
+                      correct: bool) -> None:
+        if not self._wants(uop):
+            return
+        keys = self._keys(uop.pc, ctx.history)
+        provider_index = -1
+        provider = None
+        for comp_index in range(len(self.components) - 1, -1, -1):
+            entry = self.components[comp_index].lookup(keys[comp_index])
+            if entry is not None:
+                provider_index = comp_index
+                provider = entry
+                break
+
+        # The base always trains (it is the bimodal-style backbone and,
+        # in D-VTAGE, the stride learner).
+        base_entry = self.base.lookup(uop.pc)
+        if base_entry is None:
+            base_entry = self.base.allocate(uop.pc, uop.value)
+            if base_entry is not None:
+                base_entry.value = uop.value
+            base_missed = True
+        else:
+            base_missed = self._train_base(base_entry, uop.value)
+
+        if provider is not None:
+            provider_missed = provider.value != uop.value
+            self._train_entry(provider, uop.value, stride_mode=False)
+            if provider_missed and base_missed:
+                self._allocate_above(keys, provider_index, uop.value)
+        elif base_missed:
+            self._allocate_above(keys, -1, uop.value)
+
+    def _train_entry(self, entry, value: int, stride_mode: bool) -> None:
+        if entry.value == value:
+            if self._rng.below(self.conf_prob, 16):
+                entry.confidence = min(entry.confidence + 1, 7)
+            entry.useful = min(entry.useful + 1, 3)
+        else:
+            entry.value = value
+            entry.confidence = 0
+            entry.useful = max(entry.useful - 1, 0)
+
+    def _train_base(self, entry, value: int) -> bool:
+        """Returns True when the base's (possibly strided) expectation
+        missed — the signal to escalate into the tagged components."""
+        if self.with_stride:
+            expected = (entry.value + entry.extra) & VALUE_MASK
+            new_stride = (value - entry.value) & VALUE_MASK
+            if expected == value:
+                if self._rng.below(self.conf_prob, 16):
+                    entry.confidence = min(entry.confidence + 1, 7)
+                entry.useful = min(entry.useful + 1, 3)
+                entry.value = value
+                return False
+            entry.extra = new_stride
+            entry.value = value
+            entry.confidence = 0
+            return True
+        if entry.value == value:
+            if self._rng.below(self.conf_prob, 16):
+                entry.confidence = min(entry.confidence + 1, 7)
+            entry.useful = min(entry.useful + 1, 3)
+            return False
+        entry.value = value
+        entry.confidence = 0
+        return True
+
+    def _allocate_above(self, keys: List[int], provider_index: int,
+                        value: int) -> None:
+        """Allocate in one component with longer history than the
+        provider (probabilistically preferring shorter lengths)."""
+        for comp_index in range(provider_index + 1, len(self.components)):
+            entry = self.components[comp_index].allocate(keys[comp_index],
+                                                         value)
+            if entry is not None:
+                entry.value = value
+                return
+            if not self._rng.below(1, 2):
+                return
+
+    def storage_bits(self) -> int:
+        bits = self.base.capacity * BASE_ENTRY_BITS
+        if self.with_stride:
+            bits += self.base.capacity * 16
+        bits += sum(c.capacity for c in self.components) * TAGGED_ENTRY_BITS
+        return bits

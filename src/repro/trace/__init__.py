@@ -1,0 +1,64 @@
+"""Synthetic workload suite: memory image, kernels, builder, catalogue."""
+
+from repro.trace.builder import (
+    KernelSpec,
+    WorkloadProfile,
+    build_trace,
+    trace_stats,
+)
+from repro.trace.kernels import (
+    BranchyKernel,
+    ChaseKernel,
+    ContextValueKernel,
+    DeepChainKernel,
+    HotLoadsKernel,
+    ICacheKernel,
+    IndexedMissKernel,
+    Kernel,
+    SpillKernel,
+    StoreForwardKernel,
+    StreamKernel,
+)
+from repro.trace.io import export_jsonl, load_trace, save_trace
+from repro.trace.memimage import MemImage, default_value
+from repro.trace.workloads import (
+    CATALOGUE,
+    CATEGORIES,
+    FSPEC06,
+    ISPEC06,
+    SERVER,
+    SPEC17,
+    get_profile,
+    workload_names,
+)
+
+__all__ = [
+    "KernelSpec",
+    "WorkloadProfile",
+    "build_trace",
+    "trace_stats",
+    "MemImage",
+    "default_value",
+    "save_trace",
+    "load_trace",
+    "export_jsonl",
+    "Kernel",
+    "IndexedMissKernel",
+    "ChaseKernel",
+    "StoreForwardKernel",
+    "SpillKernel",
+    "DeepChainKernel",
+    "StreamKernel",
+    "HotLoadsKernel",
+    "ContextValueKernel",
+    "BranchyKernel",
+    "ICacheKernel",
+    "CATALOGUE",
+    "CATEGORIES",
+    "FSPEC06",
+    "ISPEC06",
+    "SERVER",
+    "SPEC17",
+    "get_profile",
+    "workload_names",
+]

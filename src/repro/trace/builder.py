@@ -1,0 +1,157 @@
+"""Workload assembly: kernel specs → an executable micro-op trace.
+
+A :class:`WorkloadProfile` is a named, seeded, weighted mix of kernel
+specifications.  :func:`build_trace` instantiates the kernels with
+disjoint code and data regions, then interleaves their iterations by
+weighted choice (seeded — traces are fully deterministic) until the
+requested length is reached.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.isa.instruction import MicroOp
+from repro.trace.kernels import Kernel
+from repro.trace.memimage import MemImage
+
+#: Virtual-address layout: each kernel gets a private 256 MB data arena
+#: and a 1 MB code region.
+_DATA_ARENA = 0x1000_0000
+_DATA_STRIDE = 0x1000_0000
+_CODE_BASE = 0x40_0000
+_CODE_STRIDE = 0x10_0000
+
+#: Registers reserved for kernels that carry state across iterations.
+_PERSISTENT_POOL = (0, 1, 2, 3)
+#: Scratch registers handed out round-robin (renaming makes reuse free).
+_SCRATCH_POOL = (4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15)
+
+
+class KernelSpec:
+    """One kernel in a workload mix.
+
+    ``params`` may reference the named arena slots ``"data_base"``,
+    ``"meta_base"``, etc. — any parameter ending in ``_base`` whose
+    value is an integer *offset* is relocated into the kernel's private
+    arena by the builder, so specs never hard-code addresses.
+    """
+
+    __slots__ = ("kernel_cls", "weight", "params")
+
+    def __init__(self, kernel_cls: Type[Kernel], weight: float,
+                 **params) -> None:
+        if weight <= 0:
+            raise ValueError("kernel weight must be positive")
+        self.kernel_cls = kernel_cls
+        self.weight = weight
+        self.params = params
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<KernelSpec {self.kernel_cls.__name__} w={self.weight}>")
+
+
+class WorkloadProfile:
+    """A named, reproducible workload definition."""
+
+    __slots__ = ("name", "category", "seed", "specs", "description")
+
+    def __init__(self, name: str, category: str, seed: int,
+                 specs: Sequence[KernelSpec],
+                 description: str = "") -> None:
+        if not specs:
+            raise ValueError("a workload needs at least one kernel")
+        self.name = name
+        self.category = category
+        self.seed = seed
+        self.specs = tuple(specs)
+        self.description = description
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<WorkloadProfile {self.name} ({self.category})>"
+
+
+def _instantiate(profile: WorkloadProfile,
+                 mem: MemImage, rng: random.Random) -> List[Kernel]:
+    kernels: List[Kernel] = []
+    persistent_iter = iter(_PERSISTENT_POOL)
+    scratch_cursor = 0
+    for index, spec in enumerate(profile.specs):
+        params = dict(spec.params)
+        arena = _DATA_ARENA + index * _DATA_STRIDE
+        for key, value in list(params.items()):
+            if key.endswith("_base"):
+                params[key] = arena + int(value)
+        needs_persistent = spec.kernel_cls.persistent_regs_needed(params)
+        regs: Tuple[int, ...]
+        lead_regs = []
+        for _ in range(needs_persistent):
+            try:
+                lead_regs.append(next(persistent_iter))
+            except StopIteration:
+                raise ValueError(
+                    "too many state-carrying kernels in "
+                    f"{profile.name!r}: persistent register pool exhausted"
+                ) from None
+        lead = tuple(lead_regs)
+        scratch = tuple(
+            _SCRATCH_POOL[(scratch_cursor + k) % len(_SCRATCH_POOL)]
+            for k in range(4))
+        scratch_cursor += 4
+        regs = lead + scratch
+        kernel = spec.kernel_cls(
+            name=f"{profile.name}/{spec.kernel_cls.__name__}{index}",
+            pc_base=_CODE_BASE + index * _CODE_STRIDE,
+            regs=regs, mem=mem, rng=rng, **params)
+        kernels.append(kernel)
+    return kernels
+
+
+def build_trace(profile: WorkloadProfile, length: int,
+                mem: Optional[MemImage] = None) -> List[MicroOp]:
+    """Assemble ``length`` (±one iteration) micro-ops for a profile.
+
+    Deterministic: the same (profile, length) always yields the same
+    trace.
+    """
+    if length <= 0:
+        raise ValueError("trace length must be positive")
+    rng = random.Random(profile.seed)
+    image = mem if mem is not None else MemImage(salt=profile.seed)
+    kernels = _instantiate(profile, image, rng)
+    weights = [spec.weight for spec in profile.specs]
+
+    trace: List[MicroOp] = []
+    while len(trace) < length:
+        kernel = rng.choices(kernels, weights=weights, k=1)[0]
+        trace.extend(kernel.iteration())
+    return trace
+
+
+def trace_stats(trace: Sequence[MicroOp]) -> Dict[str, float]:
+    """Instruction-mix summary of a trace (used by tests and reports)."""
+    from repro.isa import opcodes
+
+    counts = {"loads": 0, "stores": 0, "branches": 0, "alu": 0, "fp": 0,
+              "other": 0}
+    pcs = set()
+    for uop in trace:
+        pcs.add(uop.pc)
+        if uop.op == opcodes.LOAD:
+            counts["loads"] += 1
+        elif uop.op == opcodes.STORE:
+            counts["stores"] += 1
+        elif uop.op in opcodes.CONTROL:
+            counts["branches"] += 1
+        elif uop.op == opcodes.ALU:
+            counts["alu"] += 1
+        elif uop.op == opcodes.FP:
+            counts["fp"] += 1
+        else:
+            counts["other"] += 1
+    total = len(trace)
+    stats = {k: v / total for k, v in counts.items()} if total else counts
+    stats["total"] = total
+    stats["static_pcs"] = len(pcs)
+    return stats

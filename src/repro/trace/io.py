@@ -1,0 +1,120 @@
+"""Trace serialization.
+
+Traces are deterministic and cheap to rebuild, but saving them is
+useful for sharing exact inputs, diffing generator changes, and
+feeding external tools.  The format is a gzip-compressed binary
+stream: a small header followed by fixed-width records.
+
+Record layout (little-endian, 44 bytes per micro-op)::
+
+    u64 pc
+    u8  op
+    u8  dest          (0xFF = none)
+    u8  n_srcs        (up to 4)
+    u8  padding
+    u32 srcs_packed   (8 bits per source register, low byte first)
+    u64 value
+    u64 addr          (0xFFFF_FFFF_FFFF_FFFF = none)
+    u8  mem_size
+    u8  flags         (bit 0 = taken)
+    u16 reserved
+    u64 target
+
+The module also provides JSONL export for human inspection.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import struct
+from typing import Iterable, List
+
+from repro.isa.instruction import MicroOp
+
+MAGIC = b"RVPT"
+VERSION = 1
+
+_HEADER = struct.Struct("<4sHI")
+_RECORD = struct.Struct("<QBBBxIQQBBHQ")
+_NO_DEST = 0xFF
+_NO_ADDR = (1 << 64) - 1
+
+
+def save_trace(trace: Iterable[MicroOp], path: str) -> int:
+    """Write a trace; returns the number of micro-ops written."""
+    ops = list(trace)
+    with gzip.open(path, "wb") as handle:
+        handle.write(_HEADER.pack(MAGIC, VERSION, len(ops)))
+        for uop in ops:
+            if len(uop.srcs) > 4:
+                raise ValueError("record format supports up to 4 sources")
+            srcs_packed = 0
+            for index, src in enumerate(uop.srcs):
+                srcs_packed |= (src & 0xFF) << (8 * index)
+            handle.write(_RECORD.pack(
+                uop.pc,
+                uop.op,
+                _NO_DEST if uop.dest is None else uop.dest,
+                len(uop.srcs),
+                srcs_packed,
+                uop.value,
+                _NO_ADDR if uop.addr is None else uop.addr,
+                uop.mem_size,
+                1 if uop.taken else 0,
+                0,
+                uop.target,
+            ))
+    return len(ops)
+
+
+def load_trace(path: str) -> List[MicroOp]:
+    """Read a trace written by :func:`save_trace`."""
+    with gzip.open(path, "rb") as handle:
+        header = handle.read(_HEADER.size)
+        magic, version, count = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise ValueError(f"not a trace file: bad magic {magic!r}")
+        if version != VERSION:
+            raise ValueError(f"unsupported trace version {version}")
+        ops: List[MicroOp] = []
+        for _ in range(count):
+            record = handle.read(_RECORD.size)
+            if len(record) != _RECORD.size:
+                raise ValueError("truncated trace file")
+            (pc, op, dest, n_srcs, srcs_packed, value, addr, mem_size,
+             flags, _reserved, target) = _RECORD.unpack(record)
+            srcs = tuple((srcs_packed >> (8 * index)) & 0xFF
+                         for index in range(n_srcs))
+            ops.append(MicroOp(
+                pc, op,
+                dest=None if dest == _NO_DEST else dest,
+                srcs=srcs,
+                value=value,
+                addr=None if addr == _NO_ADDR else addr,
+                mem_size=mem_size,
+                taken=bool(flags & 1),
+                target=target,
+            ))
+    return ops
+
+
+def export_jsonl(trace: Iterable[MicroOp], path: str) -> int:
+    """Human-readable one-JSON-object-per-op export."""
+    count = 0
+    with gzip.open(path, "wt") if path.endswith(".gz") \
+            else open(path, "w") as handle:
+        for uop in trace:
+            handle.write(json.dumps({
+                "pc": uop.pc,
+                "op": uop.op,
+                "dest": uop.dest,
+                "srcs": list(uop.srcs),
+                "value": uop.value,
+                "addr": uop.addr,
+                "mem_size": uop.mem_size,
+                "taken": uop.taken,
+                "target": uop.target,
+            }) + "\n")
+            count += 1
+    return count

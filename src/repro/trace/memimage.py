@@ -1,0 +1,58 @@
+"""Functional memory image backing synthetic traces.
+
+Value predictors are validated against the architectural values carried
+in the trace, and memory renaming predicts a load's value from the
+forwarding store's value — so loads *must* observe the data that stores
+wrote.  :class:`MemImage` provides that consistency: an 8-byte-granular
+sparse memory whose untouched locations return a deterministic
+address-dependent default (so two loads of the same never-written
+location agree, and different locations rarely collide).
+"""
+
+from __future__ import annotations
+
+VALUE_MASK = (1 << 64) - 1
+_ALIGN = ~0x7
+
+
+def default_value(addr: int, salt: int = 0) -> int:
+    """Deterministic pseudo-random content of untouched memory.
+
+    A 64-bit splitmix-style mix of the address and a per-workload salt.
+    """
+    x = ((addr & _ALIGN) * 0x9E3779B97F4A7C15 + salt) & VALUE_MASK
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & VALUE_MASK
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & VALUE_MASK
+    x ^= x >> 31
+    return x
+
+
+class MemImage:
+    """Sparse 8-byte-granular memory with deterministic defaults."""
+
+    __slots__ = ("salt", "_data")
+
+    def __init__(self, salt: int = 0) -> None:
+        self.salt = salt
+        self._data = {}
+
+    def read(self, addr: int) -> int:
+        """Architectural value at ``addr`` (aligned down to 8 bytes)."""
+        key = addr & _ALIGN
+        value = self._data.get(key)
+        if value is None:
+            return default_value(key, self.salt)
+        return value
+
+    def write(self, addr: int, value: int) -> None:
+        self._data[addr & _ALIGN] = value & VALUE_MASK
+
+    def written(self, addr: int) -> bool:
+        """True when ``addr`` has been explicitly stored to."""
+        return (addr & _ALIGN) in self._data
+
+    def footprint(self) -> int:
+        """Bytes explicitly written."""
+        return 8 * len(self._data)

@@ -1,0 +1,14 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.pipeline.vp_interface import EngineContext
+
+
+@pytest.fixture
+def ctx():
+    """A default EngineContext predictors can be driven with."""
+    context = EngineContext()
+    context.writer_pc = [0] * 16
+    context.writer_seq = [-1] * 16
+    return context

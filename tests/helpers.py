@@ -1,0 +1,10 @@
+"""Shared test helpers."""
+
+
+def drive(predictor, uop, ctx, correct_value=None):
+    """One predict+train round trip; returns the prediction used."""
+    prediction = predictor.predict(uop, ctx)
+    value = uop.value if correct_value is None else correct_value
+    vp_correct = prediction is None or prediction.value == value
+    predictor.train_execute(uop, ctx, prediction, vp_correct)
+    return prediction

@@ -1,0 +1,117 @@
+"""Tests for builder internals: arena relocation, register assignment,
+and interleaving determinism."""
+
+import random
+
+import pytest
+
+from repro.isa import opcodes
+from repro.trace import (
+    ChaseKernel,
+    IndexedMissKernel,
+    KernelSpec,
+    MemImage,
+    StreamKernel,
+    WorkloadProfile,
+    build_trace,
+)
+from repro.trace.builder import (
+    _CODE_BASE,
+    _CODE_STRIDE,
+    _DATA_ARENA,
+    _DATA_STRIDE,
+    _instantiate,
+)
+
+
+def profile_of(*specs):
+    return WorkloadProfile("p", "ISPEC06", 7, specs)
+
+
+class TestArenaRelocation:
+    def test_base_params_are_relocated_per_kernel(self):
+        profile = profile_of(
+            KernelSpec(StreamKernel, 1.0, array_base=0x100),
+            KernelSpec(StreamKernel, 1.0, array_base=0x100),
+        )
+        kernels = _instantiate(profile, MemImage(), random.Random(1))
+        assert kernels[0].array_base == _DATA_ARENA + 0x100
+        assert kernels[1].array_base == _DATA_ARENA + _DATA_STRIDE + 0x100
+
+    def test_code_regions_are_disjoint(self):
+        profile = profile_of(
+            KernelSpec(StreamKernel, 1.0, array_base=0),
+            KernelSpec(StreamKernel, 1.0, array_base=0),
+        )
+        kernels = _instantiate(profile, MemImage(), random.Random(1))
+        assert kernels[0].pc_base == _CODE_BASE
+        assert kernels[1].pc_base == _CODE_BASE + _CODE_STRIDE
+
+    def test_data_addresses_never_cross_arenas(self):
+        profile = profile_of(
+            KernelSpec(StreamKernel, 1.0, array_base=0,
+                       footprint=4 << 20),
+            KernelSpec(IndexedMissKernel, 1.0, meta_base=0, hops=2,
+                       data_base=1 << 22, footprint=4 << 20),
+        )
+        trace = build_trace(profile, 4000)
+        for uop in trace:
+            if uop.addr is None:
+                continue
+            arena = (uop.addr - _DATA_ARENA) // _DATA_STRIDE
+            assert arena in (0, 1)
+
+
+class TestRegisterAssignment:
+    def test_chase_gets_exclusive_persistent_register(self):
+        profile = profile_of(
+            KernelSpec(ChaseKernel, 1.0, region_base=0, nodes=64,
+                       spacing=4096),
+            KernelSpec(StreamKernel, 1.0, array_base=0),
+        )
+        kernels = _instantiate(profile, MemImage(), random.Random(1))
+        chase_persistent = kernels[0].regs[0]
+        assert chase_persistent not in kernels[1].regs
+
+    def test_serial_ring_gets_persistent_register(self):
+        profile = profile_of(
+            KernelSpec(IndexedMissKernel, 1.0, meta_base=0, hops=3,
+                       serial=True, data_base=1 << 20,
+                       footprint=1 << 20),
+            KernelSpec(StreamKernel, 1.0, array_base=0),
+        )
+        kernels = _instantiate(profile, MemImage(), random.Random(1))
+        ring_register = kernels[0].regs[0]
+        assert ring_register not in kernels[1].regs
+
+    def test_too_many_persistent_kernels_rejected(self):
+        specs = [KernelSpec(ChaseKernel, 1.0, region_base=0, nodes=16,
+                            spacing=4096) for _ in range(6)]
+        with pytest.raises(ValueError, match="persistent register"):
+            _instantiate(profile_of(*specs), MemImage(), random.Random(1))
+
+
+class TestInterleaving:
+    def test_weights_steer_the_mix(self):
+        heavy_stream = profile_of(
+            KernelSpec(StreamKernel, 10.0, array_base=0, unroll=2),
+            KernelSpec(IndexedMissKernel, 1.0, meta_base=0, hops=1,
+                       data_base=1 << 20, footprint=1 << 20, pad=0),
+        )
+        trace = build_trace(heavy_stream, 6000)
+        stream_loads = sum(1 for u in trace
+                           if u.op == opcodes.LOAD
+                           and u.pc < _CODE_BASE + _CODE_STRIDE)
+        other_loads = sum(1 for u in trace if u.op == opcodes.LOAD) \
+            - stream_loads
+        assert stream_loads > 3 * other_loads
+
+    def test_same_seed_same_interleaving(self):
+        profile = profile_of(
+            KernelSpec(StreamKernel, 1.0, array_base=0),
+            KernelSpec(IndexedMissKernel, 1.0, meta_base=0, hops=2,
+                       data_base=1 << 20, footprint=1 << 20),
+        )
+        a = [u.pc for u in build_trace(profile, 3000)]
+        b = [u.pc for u in build_trace(profile, 3000)]
+        assert a == b

@@ -1,0 +1,63 @@
+"""Unit tests for the Critical Instruction Table (§IV-A1)."""
+
+from repro.core.cit import CriticalInstructionTable
+
+
+class TestCit:
+    def test_confidence_gates_criticality(self):
+        cit = CriticalInstructionTable()
+        pc = 0x400000
+        cit.record(pc)
+        assert not cit.is_critical(pc)
+        cit.record(pc)
+        cit.record(pc)
+        assert cit.is_critical(pc)
+
+    def test_direct_mapped_conflict_decays_utility(self):
+        cit = CriticalInstructionTable(size=32)
+        resident, intruder = 0x400000, 0x400000 + 32 * 4  # same index
+        assert resident % 32 == intruder % 32
+        for _ in range(3):
+            cit.record(resident)
+        assert cit.is_critical(resident)
+        # Three conflicting recordings wear the utility (3) to zero and
+        # evict on the third.
+        cit.record(intruder)
+        cit.record(intruder)
+        assert cit.is_critical(resident)
+        cit.record(intruder)
+        assert not cit.is_critical(resident)
+
+    def test_epoch_reset(self):
+        cit = CriticalInstructionTable(epoch=1000)
+        for _ in range(3):
+            cit.record(0x400000)
+        assert cit.is_critical(0x400000)
+        cit.tick(retired=1000)
+        assert not cit.is_critical(0x400000)
+        assert cit.epoch_resets == 1
+
+    def test_zero_epoch_disables_reset(self):
+        cit = CriticalInstructionTable(epoch=0)
+        for _ in range(3):
+            cit.record(0x400000)
+        cit.tick(retired=10_000_000)
+        assert cit.is_critical(0x400000)
+
+    def test_occupancy(self):
+        cit = CriticalInstructionTable(size=32)
+        for i in range(8):
+            cit.record(0x400000 + 4 * i)
+        assert cit.occupancy() == 8
+
+    def test_storage_matches_table1(self):
+        assert CriticalInstructionTable(size=32).storage_bits() == 480
+
+    def test_rejects_bad_size(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CriticalInstructionTable(size=0)
+
+    def test_unknown_pc_not_critical(self):
+        assert not CriticalInstructionTable().is_critical(0x400000)

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_range(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "5"])
+        args = build_parser().parse_args(["figure", "10"])
+        assert args.number == 10
+
+
+class TestCommands:
+    def test_storage(self, capsys):
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        assert "1196" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "cassandra" in out
+
+    def test_list_category(self, capsys):
+        assert main(["list", "--category", "Server"]) == 0
+        out = capsys.readouterr().out
+        assert "hadoop" in out and "leela17" not in out
+
+    def test_run(self, capsys):
+        code = main(["run", "astar", "--length", "4000",
+                     "--warmup", "1000"])
+        assert code == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_run_unknown_workload(self, capsys):
+        assert main(["run", "doom", "--length", "4000"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_compare(self, capsys):
+        code = main(["compare", "astar", "baseline", "lvp",
+                     "--length", "4000", "--warmup", "1000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lvp" in out and "baseline" in out

@@ -1,0 +1,134 @@
+"""Tests for the DDG, the oracle, and the stand-alone heuristics."""
+
+from repro.criticality import (
+    WindowGraph,
+    critical_load_pcs,
+    l1_miss_pcs,
+    oracle_critical_pcs,
+    retirement_stall_pcs,
+)
+from repro.isa import alu, load, opcodes
+from repro.pipeline import CoreConfig, simulate
+
+
+def chain_trace(n=64):
+    """A serial dependent chain: every op is critical."""
+    return [alu(0x400000 + 4 * i, dest=0, srcs=(0,)) for i in range(n)]
+
+
+def two_chain_trace(slow_latency=50):
+    """Figure-2-like: a slow chain (through a long-latency 'load') and
+    a cheap independent chain."""
+    trace = []
+    latencies = []
+    for i in range(32):
+        base = 0x400000 + 32 * i
+        # Slow chain: load (latency slow_latency) feeding an ALU.
+        trace.append(load(base, dest=1, addr=0x1000, srcs=(1,)))
+        latencies.append(slow_latency)
+        trace.append(alu(base + 4, dest=2, srcs=(1,)))
+        latencies.append(1)
+        # Cheap chain.
+        trace.append(alu(base + 8, dest=3, srcs=(3,)))
+        latencies.append(1)
+    return trace, latencies
+
+
+class TestWindowGraph:
+    def test_serial_chain_all_critical(self):
+        trace = chain_trace(32)
+        # Latency 2 so the dataflow chain strictly dominates the
+        # in-order commit chain (unit latencies tie the two).
+        graph = WindowGraph(trace, 0, 32, latencies=[2] * 32)
+        critical = graph.critical_instructions()
+        # Every link of a serial chain lies on the critical path.
+        assert len(critical) > 28
+
+    def test_slow_chain_dominates(self):
+        trace, latencies = two_chain_trace()
+        graph = WindowGraph(trace, 0, len(trace), latencies)
+        critical = graph.critical_instructions()
+        slow_loads = {i for i, u in enumerate(trace)
+                      if u.op == opcodes.LOAD}
+        cheap_alus = {i for i, u in enumerate(trace)
+                      if u.op == opcodes.ALU and u.dest == 3}
+        assert len(critical & slow_loads) > len(slow_loads) // 2
+        assert not critical & cheap_alus
+
+    def test_longest_path_length_positive(self):
+        trace = chain_trace(16)
+        graph = WindowGraph(trace, 0, 16, latencies=[1] * 16)
+        length, path = graph.longest_path()
+        assert length >= 16
+        assert path[0] % 3 == 0  # starts at a D node
+
+    def test_window_bounds_validated(self):
+        import pytest
+
+        trace = chain_trace(8)
+        with pytest.raises(ValueError):
+            WindowGraph(trace, 4, 2, latencies=[1] * 8)
+
+    def test_mispredict_edge_lengthens_path(self):
+        trace = chain_trace(16)
+        base_graph = WindowGraph(trace, 0, 16, latencies=[1] * 16)
+        flagged = [False] * 16
+        flagged[4] = True
+        mp_graph = WindowGraph(trace, 0, 16, latencies=[1] * 16,
+                               mispredicts=flagged)
+        assert mp_graph.longest_path()[0] >= base_graph.longest_path()[0]
+
+
+class TestCriticalLoadPcs:
+    def test_recurring_slow_load_found(self):
+        trace, latencies = two_chain_trace()
+        pcs = critical_load_pcs(trace, latencies, window=32, min_count=1)
+        load_pcs = {u.pc for u in trace if u.op == opcodes.LOAD}
+        assert pcs & load_pcs
+
+    def test_min_count_filters(self):
+        trace, latencies = two_chain_trace()
+        assert critical_load_pcs(trace, latencies, window=32,
+                                 min_count=10_000) == set()
+
+
+class TestOracle:
+    def test_oracle_finds_delinquent_chain_loads(self):
+        from repro.trace import build_trace, get_profile
+
+        trace = build_trace(get_profile("namd"), 8000)
+        pcs = oracle_critical_pcs(trace, CoreConfig.skylake(), window=256)
+        assert pcs, "oracle should find at least one critical load PC"
+        load_pcs = {u.pc for u in trace if u.op == opcodes.LOAD}
+        assert pcs <= load_pcs
+
+
+class TestHeuristics:
+    def test_retirement_stall_pcs_from_timing(self):
+        from repro.trace import build_trace, get_profile
+
+        trace = build_trace(get_profile("namd"), 8000)
+        result = simulate(trace, CoreConfig.skylake(), collect_timing=True)
+        pcs = retirement_stall_pcs(trace, result)
+        assert pcs
+        load_pcs = {u.pc for u in trace if u.op == opcodes.LOAD}
+        assert pcs <= load_pcs
+
+    def test_retirement_stall_needs_timing(self):
+        import pytest
+
+        result = simulate([alu(0x400000, dest=0)])
+        with pytest.raises(ValueError):
+            retirement_stall_pcs([alu(0x400000, dest=0)], result)
+
+    def test_l1_miss_pcs(self):
+        trace = [load(0x400000, dest=0, addr=0x1000)] * 5 + \
+                [load(0x400040, dest=0, addr=0x2000)] * 5
+        levels = ["DRAM"] * 5 + ["L1"] * 5
+        assert l1_miss_pcs(trace, levels, min_count=3) == {0x400000}
+
+    def test_l1_miss_pcs_validates_lengths(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            l1_miss_pcs([alu(0x400000, dest=0)], [])

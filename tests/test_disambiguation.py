@@ -1,0 +1,61 @@
+"""Unit tests for the store-sets memory-dependence predictor."""
+
+from repro.memory.disambiguation import StoreSets
+
+
+class TestStoreSets:
+    def test_unknown_load_predicts_independent(self):
+        ss = StoreSets()
+        assert ss.load_dependence(0x400100) is None
+
+    def test_violation_creates_dependence(self):
+        ss = StoreSets()
+        load_pc, store_pc = 0x400100, 0x400200
+        ss.record_violation(load_pc, store_pc)
+        ss.store_dispatched(store_pc, seqnum=42)
+        assert ss.load_dependence(load_pc) == 42
+
+    def test_no_dependence_when_store_not_in_flight(self):
+        ss = StoreSets()
+        ss.record_violation(0x400100, 0x400200)
+        assert ss.load_dependence(0x400100) is None
+
+    def test_store_completion_clears_lfst(self):
+        ss = StoreSets()
+        ss.record_violation(0x400100, 0x400200)
+        ss.store_dispatched(0x400200, seqnum=42)
+        ss.store_completed(0x400200, seqnum=42)
+        assert ss.load_dependence(0x400100) is None
+
+    def test_newer_store_instance_wins(self):
+        ss = StoreSets()
+        ss.record_violation(0x400100, 0x400200)
+        ss.store_dispatched(0x400200, seqnum=42)
+        ss.store_dispatched(0x400200, seqnum=43)
+        assert ss.load_dependence(0x400100) == 43
+
+    def test_merging_assigns_common_set(self):
+        ss = StoreSets()
+        ss.record_violation(0x100, 0x200)
+        ss.record_violation(0x100, 0x300)  # store 0x300 joins load's set
+        ss.store_dispatched(0x300, seqnum=7)
+        assert ss.load_dependence(0x100) == 7
+
+    def test_violation_counter(self):
+        ss = StoreSets()
+        ss.record_violation(0x100, 0x200)
+        ss.record_violation(0x100, 0x200)
+        assert ss.violations == 2
+
+    def test_clear(self):
+        ss = StoreSets()
+        ss.record_violation(0x100, 0x200)
+        ss.clear()
+        ss.store_dispatched(0x200, seqnum=1)
+        assert ss.load_dependence(0x100) is None
+
+    def test_rejects_bad_sizes(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            StoreSets(ssit_size=0)

@@ -1,0 +1,69 @@
+"""Documentation consistency checks: the numbers and names the docs
+promise must match the code."""
+
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def read(name):
+    return (REPO / name).read_text(encoding="utf-8")
+
+
+class TestReadme:
+    def test_quickstart_snippet_runs(self):
+        readme = read("README.md")
+        blocks = re.findall(r"```python\n(.*?)```", readme, re.S)
+        assert blocks, "README lost its quickstart snippet"
+        snippet = blocks[0].replace('length=100_000', 'length=5_000') \
+                           .replace('warmup=40_000', 'warmup=1_000')
+        namespace = {}
+        exec(compile(snippet, "README-quickstart", "exec"), namespace)
+
+    def test_examples_table_matches_directory(self):
+        readme = read("README.md")
+        for script in (REPO / "examples").glob("*.py"):
+            assert script.name in readme, f"{script.name} not in README"
+
+    def test_architecture_lists_every_package(self):
+        readme = read("README.md")
+        packages = [d.name for d in (REPO / "src" / "repro").iterdir()
+                    if d.is_dir() and not d.name.endswith("egg-info")
+                    and d.name != "__pycache__"]
+        for package in packages:
+            assert f"repro.{package}" in readme, package
+
+
+class TestDesignDoc:
+    def test_every_bench_in_experiment_index_exists(self):
+        design = read("DESIGN.md")
+        for bench in re.findall(r"`benchmarks/(test_\w+\.py)`", design):
+            assert (REPO / "benchmarks" / bench).exists(), bench
+
+    def test_table1_total_consistent(self):
+        from repro.experiments.storage import total_bytes
+
+        assert str(total_bytes()) in read("EXPERIMENTS.md")
+
+    def test_workload_doc_lists_every_kernel(self):
+        doc = read("docs/WORKLOADS.md")
+        import repro.trace.kernels as kernels_module
+
+        for name in dir(kernels_module):
+            if name.endswith("Kernel") and name != "Kernel":
+                assert name in doc, name
+
+
+class TestBenchmarkInventory:
+    @pytest.mark.parametrize("figure", range(6, 14))
+    def test_every_figure_has_a_benchmark(self, figure):
+        matches = list((REPO / "benchmarks").glob(f"test_fig{figure:02d}*"))
+        assert matches, f"no benchmark for figure {figure}"
+
+    def test_every_benchmark_prints_paper_context(self):
+        for bench in (REPO / "benchmarks").glob("test_*.py"):
+            text = bench.read_text(encoding="utf-8")
+            assert "Paper" in text or "paper" in text, bench.name

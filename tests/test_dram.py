@@ -1,0 +1,68 @@
+"""Unit tests for the DDR4 timing model."""
+
+import pytest
+
+from repro.memory.dram import Dram, DramConfig
+
+
+class TestConfig:
+    def test_table2_defaults(self):
+        cfg = DramConfig()
+        assert cfg.channels == 2
+        assert cfg.ranks_per_channel == 2
+        assert cfg.banks_per_rank == 8
+        assert (cfg.tcas, cfg.trcd, cfg.trp, cfg.tras) == (15, 15, 15, 39)
+        assert cfg.total_banks == 32
+
+
+class TestTiming:
+    def test_row_hit_faster_than_conflict(self):
+        dram = Dram()
+        first = dram.access(0x0, 0)
+        # Same bank (line + 32 lines), same row, after the bank frees.
+        hit = dram.access(0x800, 10_000)
+        # Same bank, different row.
+        conflict = dram.access(0x0 + 64 * 32 * 4096, 20_000)
+        assert hit < first <= conflict
+        assert dram.row_hits == 1
+        assert dram.row_conflicts == 1
+
+    def test_row_hit_latency_formula(self):
+        cfg = DramConfig()
+        dram = Dram(cfg)
+        dram.access(0x0, 0)
+        latency = dram.access(0x800, 10_000)  # bank 0, same row
+        expected = (cfg.tcas + cfg.burst_clocks) * cfg.cpu_per_dram_clock
+        assert latency == expected
+
+    def test_bank_queueing_adds_wait(self):
+        dram = Dram()
+        first = dram.access(0x0, 0)
+        # Immediately issue to the same bank (line + 32 lines): queues
+        # behind the first access even though the row now hits.
+        second = dram.access(0x800, 0)
+        assert second > (dram.config.tcas + dram.config.burst_clocks) * \
+            dram.config.cpu_per_dram_clock
+        del first
+
+    def test_different_banks_do_not_queue(self):
+        dram = Dram()
+        dram.access(0x0, 0)
+        latency = dram.access(0x40 * 7, 0)  # different bank
+        # Closed-row access, no queueing.
+        cfg = dram.config
+        expected = (cfg.trcd + cfg.tcas + cfg.burst_clocks) * \
+            cfg.cpu_per_dram_clock
+        assert latency == expected
+
+    def test_row_hit_rate(self):
+        dram = Dram()
+        dram.access(0x0, 0)
+        dram.access(0x800, 10_000)  # same bank, same row
+        assert dram.row_hit_rate == pytest.approx(0.5)
+
+    def test_reset_stats(self):
+        dram = Dram()
+        dram.access(0x0, 0)
+        dram.reset_stats()
+        assert dram.accesses == 0 and dram.row_hits == 0

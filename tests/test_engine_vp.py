@@ -1,0 +1,131 @@
+"""Engine ↔ value-predictor interaction semantics."""
+
+from repro.isa import MicroOp, alu, load, opcodes, store
+from repro.pipeline import CoreConfig, simulate
+from repro.pipeline.vp_interface import Prediction, ValuePredictor
+
+
+class ScriptedPredictor(ValuePredictor):
+    """Predicts load values per a pc -> value script."""
+
+    name = "scripted"
+
+    def __init__(self, script):
+        self.script = script
+        self.trained = []
+
+    def predict(self, uop, ctx):
+        if uop.pc in self.script:
+            return Prediction(self.script[uop.pc], source="scripted")
+        return None
+
+    def train_execute(self, uop, ctx, used_prediction, correct):
+        self.trained.append((uop.pc, ctx.stalls_retirement, correct))
+
+
+def consumer_chain_trace(n=400, load_value=7):
+    """load -> dependent ALU chain, repeated; consumers gate on the
+    load."""
+    trace = []
+    for i in range(n):
+        base = 0x400000 + 64 * (i % 8)
+        trace.append(load(base, dest=1, addr=0x40000000 + (i << 16),
+                          value=load_value))
+        for j in range(6):
+            trace.append(alu(base + 4 + 4 * j, dest=2, srcs=(1 if j == 0
+                                                             else 2,)))
+    return trace
+
+
+class TestPredictionEffects:
+    def test_correct_prediction_speeds_consumers(self):
+        trace = consumer_chain_trace()
+        pcs = {u.pc for u in trace if u.op == opcodes.LOAD}
+        base = simulate(trace)
+        predicted = simulate(trace,
+                             predictor=ScriptedPredictor(
+                                 {pc: 7 for pc in pcs}))
+        assert predicted.cycles < base.cycles
+        assert predicted.wrong_predictions == 0
+        assert predicted.coverage == 1.0
+
+    def test_wrong_prediction_costs_flushes(self):
+        trace = consumer_chain_trace()
+        pcs = {u.pc for u in trace if u.op == opcodes.LOAD}
+        base = simulate(trace)
+        mispredicted = simulate(trace,
+                                predictor=ScriptedPredictor(
+                                    {pc: 999 for pc in pcs}))
+        assert mispredicted.wrong_predictions > 0
+        assert mispredicted.vp_flushes == mispredicted.wrong_predictions
+        assert mispredicted.cycles > base.cycles
+
+    def test_vp_penalty_scales_flush_cost(self):
+        trace = consumer_chain_trace()
+        pcs = {u.pc for u in trace if u.op == opcodes.LOAD}
+        cheap = CoreConfig.skylake()
+        cheap.vp_penalty = 5
+        dear = CoreConfig.skylake()
+        dear.vp_penalty = 50
+        spec = lambda: ScriptedPredictor({pc: 999 for pc in pcs})  # noqa: E731
+        assert simulate(trace, dear, predictor=spec()).cycles > \
+            simulate(trace, cheap, predictor=spec()).cycles
+
+    def test_store_seq_prediction_waits_for_store_data(self):
+        """An MR-style prediction is available at the store's
+        completion, not at allocation."""
+
+        class MrLike(ValuePredictor):
+            name = "mr-like"
+
+            def __init__(self):
+                self.last_store_seq = None
+                self.last_store_value = None
+
+            def predict(self, uop, ctx):
+                if uop.op == opcodes.STORE:
+                    self.last_store_seq = ctx.seq
+                    self.last_store_value = uop.value
+                    return None
+                if uop.op == opcodes.LOAD and \
+                        self.last_store_seq is not None:
+                    return Prediction(self.last_store_value,
+                                      store_seq=self.last_store_seq,
+                                      source="mr")
+                return None
+
+        trace = []
+        for i in range(200):
+            base = 0x400000 + 32 * (i % 4)
+            # Slow producer for the store's data.
+            trace.append(MicroOp(base, opcodes.DIV, dest=1, srcs=(1,),
+                                 value=i))
+            trace.append(store(base + 4, addr=0x1000, srcs=(1,), value=i))
+            trace.append(load(base + 8, dest=2, addr=0x1000, value=i))
+            trace.append(alu(base + 12, dest=3, srcs=(2,)))
+        result = simulate(trace, predictor=MrLike())
+        assert result.mr_predictions > 0
+        assert result.accuracy == 1.0
+        # The DIV-bound store data gates everything: IPC stays low even
+        # with 100% coverage.
+        assert result.ipc < 1.0
+
+    def test_criticality_signal_reaches_predictor(self):
+        # A DRAM-missing serial chain stalls retirement; the predictor
+        # must observe stalls_retirement=True at least once.
+        trace = []
+        for i in range(64):
+            trace.append(load(0x400000, dest=1, srcs=(1,),
+                              addr=0x40000000 + (i << 20)))
+        predictor = ScriptedPredictor({})
+        simulate(trace, predictor=predictor)
+        assert any(stalled for _pc, stalled, _ok in predictor.trained)
+
+    def test_nonload_predictions_counted_separately(self):
+        trace = [alu(0x400000 + 4 * (i % 4), dest=0, value=5)
+                 for i in range(100)]
+        predictor = ScriptedPredictor({0x400000: 5})
+        result = simulate(trace, predictor=predictor)
+        assert result.predicted_nonloads > 0
+        assert result.predicted_loads == 0
+        assert result.coverage == 0.0

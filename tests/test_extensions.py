@@ -1,0 +1,78 @@
+"""Tests for the extension predictors: MR+Composite fusion and
+FVP+stride."""
+
+import pytest
+
+from tests.helpers import drive
+
+from repro.core import FvpPlusStride, fvp_with_stride
+from repro.isa import load, store
+from repro.predictors import MrCompositePredictor, make_predictor
+
+
+class TestMrComposite:
+    def test_budget_construction(self):
+        small = MrCompositePredictor.at_budget(1)
+        big = MrCompositePredictor.at_budget(8)
+        assert big.storage_bits() > 4 * small.storage_bits()
+        assert small.name == "mr+composite-1kb"
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(ValueError):
+            MrCompositePredictor.at_budget(0)
+
+    def test_mr_takes_priority_on_renameable_loads(self, ctx):
+        predictor = MrCompositePredictor.at_budget(8)
+        for i in range(8):
+            predictor.on_forwarding(0x400100, 0x400200, i)
+        ctx.seq = 50
+        predictor.predict(store(0x400100, addr=0x1000, srcs=(1,), value=9),
+                          ctx)
+        prediction = predictor.predict(
+            load(0x400200, dest=0, addr=0x1000, value=9), ctx)
+        assert prediction is not None
+        assert prediction.store_seq is not None
+
+    def test_composite_covers_value_predictable_loads(self, ctx):
+        predictor = MrCompositePredictor.at_budget(8)
+        uop = load(0x400300, dest=0, addr=0x2000, value=42)
+        for _ in range(600):
+            drive(predictor, uop, ctx)
+        prediction = predictor.predict(uop, ctx)
+        assert prediction is not None
+        assert prediction.store_seq is None
+
+    def test_registry(self):
+        assert make_predictor("mr+composite-1kb").storage_bits() > 0
+
+
+class TestFvpPlusStride:
+    def test_stride_only_predicts_targeted_loads(self, ctx):
+        predictor = fvp_with_stride()
+        # A strided load that is never critical: FVP never targets it,
+        # so the stride layer must stay silent.
+        for i in range(200):
+            ctx.stalls_retirement = False
+            uop = load(0x400000, dest=0, addr=0x1000, value=100 + 8 * i)
+            assert drive(predictor, uop, ctx) is None
+
+    def test_stride_covers_targeted_strided_load(self, ctx):
+        predictor = fvp_with_stride()
+        hits = 0
+        for i in range(400):
+            ctx.stalls_retirement = True
+            ctx.l1_hit = False
+            uop = load(0x400000, dest=0, addr=0x1000, value=100 + 8 * i)
+            prediction = drive(predictor, uop, ctx)
+            if prediction is not None and prediction.value == uop.value:
+                hits += 1
+        assert hits > 50
+
+    def test_storage_includes_both(self):
+        predictor = fvp_with_stride()
+        assert predictor.storage_bits() > predictor.fvp.storage_bits()
+
+    def test_wraps_fvp(self):
+        predictor = FvpPlusStride()
+        assert predictor.name == "fvp+stride"
+        assert predictor.fvp.storage_bits() == 1196 * 8

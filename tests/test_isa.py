@@ -1,0 +1,115 @@
+"""Unit tests for the micro-op ISA layer."""
+
+import pytest
+
+from repro.isa import (
+    MicroOp,
+    NUM_ARCH_REGS,
+    REG_NAMES,
+    alu,
+    branch,
+    load,
+    opcodes,
+    reg_index,
+    reg_name,
+    store,
+)
+
+
+class TestOpcodes:
+    def test_names_roundtrip(self):
+        for op in opcodes.ALL_CLASSES:
+            assert isinstance(opcodes.op_name(op), str)
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(ValueError):
+            opcodes.op_name(999)
+
+    def test_producing_classes(self):
+        assert opcodes.is_producer(opcodes.LOAD)
+        assert opcodes.is_producer(opcodes.ALU)
+        assert not opcodes.is_producer(opcodes.STORE)
+        assert not opcodes.is_producer(opcodes.BRANCH)
+
+    def test_memory_classes(self):
+        assert opcodes.is_memory(opcodes.LOAD)
+        assert opcodes.is_memory(opcodes.STORE)
+        assert not opcodes.is_memory(opcodes.ALU)
+
+    def test_control_classes(self):
+        for op in (opcodes.BRANCH, opcodes.JUMP, opcodes.IJUMP):
+            assert opcodes.is_control(op)
+        assert not opcodes.is_control(opcodes.LOAD)
+
+
+class TestRegisters:
+    def test_count(self):
+        assert NUM_ARCH_REGS == 16
+        assert len(REG_NAMES) == 16
+
+    def test_roundtrip(self):
+        for index, name in enumerate(REG_NAMES):
+            assert reg_name(index) == name
+            assert reg_index(name) == index
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg_name(16)
+        with pytest.raises(ValueError):
+            reg_index("r99")
+
+
+class TestMicroOp:
+    def test_value_masked_to_64_bits(self):
+        uop = alu(0x400000, dest=0, value=1 << 80)
+        assert uop.value < 1 << 64
+
+    def test_load_properties(self):
+        uop = load(0x400000, dest=1, addr=0x1000, srcs=(2,), value=7)
+        assert uop.is_load and uop.is_mem and uop.is_producer
+        assert not uop.is_store and not uop.is_branch
+
+    def test_store_has_no_dest(self):
+        uop = store(0x400000, addr=0x1000, srcs=(1,), value=7)
+        assert uop.dest is None
+        assert uop.is_store
+
+    def test_branch_carries_outcome(self):
+        uop = branch(0x400000, taken=True, target=0x400100)
+        assert uop.is_branch and uop.taken and uop.target == 0x400100
+
+    def test_validate_accepts_good_ops(self):
+        load(0x400000, dest=0, addr=0x1000, value=1).validate()
+        store(0x400000, addr=0x1000, srcs=(0,), value=1).validate()
+        alu(0x400000, dest=3, srcs=(1, 2)).validate()
+        branch(0x400000, taken=False, target=0).validate()
+
+    def test_validate_rejects_store_with_dest(self):
+        uop = MicroOp(0x400000, opcodes.STORE, addr=0x1000)
+        uop.dest = 3
+        with pytest.raises(ValueError):
+            uop.validate()
+
+    def test_validate_rejects_memory_without_addr(self):
+        uop = MicroOp(0x400000, opcodes.LOAD, dest=0)
+        with pytest.raises(ValueError):
+            uop.validate()
+
+    def test_validate_rejects_bad_registers(self):
+        uop = MicroOp(0x400000, opcodes.ALU, dest=99)
+        with pytest.raises(ValueError):
+            uop.validate()
+        uop = MicroOp(0x400000, opcodes.ALU, dest=0, srcs=(77,))
+        with pytest.raises(ValueError):
+            uop.validate()
+
+    def test_validate_rejects_addr_on_alu(self):
+        uop = MicroOp(0x400000, opcodes.ALU, dest=0)
+        uop.addr = 0x1000
+        with pytest.raises(ValueError):
+            uop.validate()
+
+    def test_validate_rejects_bad_size(self):
+        uop = load(0x400000, dest=0, addr=0x1000, mem_size=3)
+        with pytest.raises(ValueError):
+            uop.validate()

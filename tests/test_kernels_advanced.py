@@ -1,0 +1,148 @@
+"""Tests for the advanced kernel features: serial rings, carried
+store-forward hops, and the spill kernel."""
+
+import random
+
+import pytest
+
+from repro.isa import opcodes
+from repro.trace import (
+    IndexedMissKernel,
+    MemImage,
+    SpillKernel,
+    StoreForwardKernel,
+)
+
+REGS = (0, 4, 5, 6, 7)
+
+
+def make(cls, **params):
+    return cls("k", 0x400000, REGS, MemImage(), random.Random(1), **params)
+
+
+class TestIndexedMissKernel:
+    def test_hop_values_are_constant_per_pc(self):
+        kernel = make(IndexedMissKernel, meta_base=0x10000,
+                      data_base=0x100000, hops=3, footprint=1 << 20)
+        values = {}
+        for _ in range(20):
+            for uop in kernel.iteration():
+                if uop.op == opcodes.LOAD and uop.addr < 0x100000:
+                    values.setdefault(uop.pc, set()).add(uop.value)
+        assert len(values) == 3
+        assert all(len(vals) == 1 for vals in values.values())
+
+    def test_hop_chain_is_dataflow_linked(self):
+        kernel = make(IndexedMissKernel, meta_base=0x10000,
+                      data_base=0x100000, hops=3)
+        ops = kernel.iteration()
+        hops = [u for u in ops if u.op == opcodes.LOAD][:3]
+        assert hops[0].srcs == ()
+        assert hops[1].srcs == (hops[0].dest,)
+        # Each hop's address is the previous hop's value.
+        assert hops[1].addr == hops[0].value
+        assert hops[2].addr == hops[1].value
+
+    def test_serial_ring_closes(self):
+        kernel = make(IndexedMissKernel, meta_base=0x10000,
+                      data_base=0x100000, hops=4, serial=True)
+        ops = kernel.iteration()
+        hops = [u for u in ops if u.op == opcodes.LOAD][:4]
+        # First hop reads the carried register; last hop's value points
+        # back at the first hop's address.
+        assert hops[0].srcs != ()
+        assert hops[-1].value == hops[0].addr
+
+    def test_serial_declares_persistent_register(self):
+        assert IndexedMissKernel.persistent_regs_needed(
+            {"serial": True}) == 1
+        assert IndexedMissKernel.persistent_regs_needed({}) == 0
+
+    def test_irregular_offsets_not_strided(self):
+        kernel = make(IndexedMissKernel, meta_base=0x10000,
+                      data_base=0x100000, hops=1, footprint=1 << 24)
+        offsets = [kernel._offset(i) for i in range(32)]
+        deltas = {b - a for a, b in zip(offsets, offsets[1:])}
+        assert len(deltas) > 16
+
+    def test_regular_mode_strides(self):
+        kernel = make(IndexedMissKernel, meta_base=0x10000,
+                      data_base=0x100000, hops=1, irregular=False,
+                      stride=512, footprint=1 << 20)
+        assert kernel._offset(3) - kernel._offset(2) == 512
+
+    def test_rejects_zero_hops(self):
+        with pytest.raises(ValueError):
+            make(IndexedMissKernel, meta_base=0, data_base=0x1000, hops=0)
+
+
+class TestCarriedStoreForward:
+    def test_load_reads_previous_iterations_store(self):
+        kernel = make(StoreForwardKernel, src_base=0x1000,
+                      queue_base=0x2000, data_base=0x100000,
+                      carried=True, hops=1, produce_depth=1)
+        first = kernel.iteration()
+        second = kernel.iteration()
+        store1 = next(u for u in first if u.op == opcodes.STORE)
+        load2 = next(u for u in second if u.op == opcodes.LOAD)
+        assert load2.addr == store1.addr
+        assert load2.value == store1.value
+
+    def test_hops_chain_through_memory(self):
+        kernel = make(StoreForwardKernel, src_base=0x1000,
+                      queue_base=0x2000, data_base=0x100000,
+                      carried=True, hops=3, produce_depth=1)
+        ops = kernel.iteration()
+        stores = [u for u in ops if u.op == opcodes.STORE]
+        loads = [u for u in ops if u.op == opcodes.LOAD]
+        assert len(stores) == 3 and len(loads) == 3
+        # Each hop uses a distinct slot.
+        assert len({s.addr for s in stores}) == 3
+
+    def test_carried_values_evolve(self):
+        kernel = make(StoreForwardKernel, src_base=0x1000,
+                      queue_base=0x2000, data_base=0x100000,
+                      carried=True, hops=1)
+        values = set()
+        for _ in range(16):
+            for uop in kernel.iteration():
+                if uop.op == opcodes.STORE:
+                    values.add(uop.value)
+        assert len(values) == 16  # hostile to last-value prediction
+
+
+class TestSpillKernel:
+    def test_pairs_have_distinct_static_pcs(self):
+        kernel = make(SpillKernel, spill_base=0x1000, dep_base=0x20000,
+                      pairs=8)
+        pcs = set()
+        for _ in range(8):
+            ops = kernel.iteration()
+            store = next(u for u in ops if u.op == opcodes.STORE)
+            load = next(u for u in ops if u.op == opcodes.LOAD)
+            pcs.add((store.pc, load.pc))
+        assert len(pcs) == 8
+
+    def test_fill_reads_spilled_value(self):
+        kernel = make(SpillKernel, spill_base=0x1000, dep_base=0x20000,
+                      pairs=4)
+        ops = kernel.iteration()
+        store = next(u for u in ops if u.op == opcodes.STORE)
+        load = next(u for u in ops if u.op == opcodes.LOAD)
+        assert store.addr == load.addr
+        assert store.value == load.value
+
+    def test_critical_pairs_have_dependent_load(self):
+        kernel = make(SpillKernel, spill_base=0x1000, dep_base=0x20000,
+                      pairs=4, critical_every=2)
+        dep_loads = 0
+        for _ in range(4):
+            ops = kernel.iteration()
+            loads = [u for u in ops if u.op == opcodes.LOAD]
+            if len(loads) == 2:
+                dep_loads += 1
+        assert dep_loads == 2
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            make(SpillKernel, spill_base=0, dep_base=0x1000, pairs=0)

@@ -1,0 +1,88 @@
+"""Unit tests for the energy-accounting model."""
+
+import pytest
+
+from repro.analysis.power import (
+    FLUSH_ENERGY,
+    EnergyReport,
+    compare_energy,
+    format_energy_comparison,
+    predictor_energy,
+    table_access_energy,
+)
+from repro.pipeline.results import SimResult
+
+
+def make_result(instructions=1000, cycles=800, predictions=100,
+                flushes=0):
+    result = SimResult("w", "skylake", "p")
+    result.instructions = instructions
+    result.cycles = cycles
+    result.loads = instructions // 4
+    result.predicted_loads = predictions
+    result.correct_predictions = predictions - flushes
+    result.wrong_predictions = flushes
+    result.vp_flushes = flushes
+    return result
+
+
+class TestTableEnergy:
+    def test_sqrt_scaling(self):
+        small = table_access_energy(8192)       # 1 KB
+        big = table_access_energy(8 * 8192)     # 8 KB
+        assert small == pytest.approx(1.0)
+        assert big == pytest.approx(8 ** 0.5)
+
+    def test_zero_bits(self):
+        assert table_access_energy(0) == 0.0
+
+
+class TestPredictorEnergy:
+    def test_lookup_charged_per_instruction(self):
+        report = predictor_energy(make_result(), storage_bits=8192)
+        assert report.lookup == pytest.approx(1000.0)
+
+    def test_regfile_traffic_scales_with_predictions(self):
+        few = predictor_energy(make_result(predictions=10), 8192)
+        many = predictor_energy(make_result(predictions=400), 8192)
+        assert many.regfile_write == 40 * few.regfile_write
+        assert many.regfile_read_validate == 40 * few.regfile_read_validate
+
+    def test_flushes_cost_energy(self):
+        clean = predictor_energy(make_result(flushes=0), 8192)
+        flushy = predictor_energy(make_result(flushes=5), 8192)
+        assert flushy.flush_overhead == 5 * FLUSH_ENERGY
+        assert clean.flush_overhead == 0
+
+    def test_static_scales_with_bits_and_cycles(self):
+        small = predictor_energy(make_result(), 8192)
+        big = predictor_energy(make_result(), 8 * 8192)
+        assert big.static == pytest.approx(8 * small.static)
+
+    def test_totals_consistent(self):
+        report = predictor_energy(make_result(), 8192)
+        assert report.total == pytest.approx(report.dynamic + report.static)
+        assert report.energy_per_instruction == pytest.approx(
+            report.total / 1000)
+
+    def test_empty_report(self):
+        assert EnergyReport().energy_per_instruction == 0.0
+
+
+class TestComparison:
+    def test_compare_requires_storage(self):
+        with pytest.raises(ValueError):
+            compare_energy({"a": make_result()}, {})
+
+    def test_fvp_vs_composite_energy_ordering(self):
+        results = {"fvp": make_result(predictions=60),
+                   "composite": make_result(predictions=200)}
+        reports = compare_energy(results, {"fvp": 1196 * 8,
+                                           "composite": 8 * 8192})
+        assert reports["fvp"].total < reports["composite"].total
+
+    def test_format(self):
+        reports = compare_energy({"fvp": make_result()},
+                                 {"fvp": 1196 * 8})
+        text = format_energy_comparison(reports)
+        assert "fvp" in text and "total/inst" in text

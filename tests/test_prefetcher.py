@@ -1,0 +1,84 @@
+"""Unit tests for the stride and stream prefetchers."""
+
+from repro.memory.prefetcher import StreamPrefetcher, StridePrefetcher
+
+
+class TestStridePrefetcher:
+    def test_learns_constant_stride(self):
+        pf = StridePrefetcher(degree=2, threshold=2)
+        pc = 0x400000
+        out = []
+        for i in range(6):
+            out = pf.train(pc, 0x1000 + i * 256)
+        assert out == [0x1000 + 5 * 256 + 256, 0x1000 + 5 * 256 + 512]
+
+    def test_no_prefetch_before_confidence(self):
+        pf = StridePrefetcher(threshold=2)
+        pc = 0x400000
+        assert pf.train(pc, 0x1000) == []
+        assert pf.train(pc, 0x1100) == []  # stride learned, conf 0
+
+    def test_stride_change_resets(self):
+        pf = StridePrefetcher(threshold=2)
+        pc = 0x400000
+        for i in range(5):
+            pf.train(pc, 0x1000 + i * 64)
+        assert pf.train(pc, 0x9000) == []   # irregular jump
+        assert pf.train(pc, 0x9040) == []   # new stride, conf resets
+
+    def test_zero_stride_never_prefetches(self):
+        pf = StridePrefetcher(threshold=1)
+        pc = 0x400000
+        for _ in range(8):
+            out = pf.train(pc, 0x2000)
+        assert out == []
+
+    def test_negative_stride(self):
+        pf = StridePrefetcher(degree=1, threshold=2)
+        pc = 0x400000
+        out = []
+        for i in range(6):
+            out = pf.train(pc, 0x10000 - i * 128)
+        assert out == [0x10000 - 5 * 128 - 128]
+
+    def test_table_eviction(self):
+        pf = StridePrefetcher(table_size=2)
+        pf.train(0x1, 0x1000)
+        pf.train(0x2, 0x2000)
+        pf.train(0x3, 0x3000)
+        assert len(pf.entries) == 2
+        assert 0x1 not in pf.entries
+
+
+class TestStreamPrefetcher:
+    def test_confirms_ascending_stream(self):
+        pf = StreamPrefetcher(degree=2, line_bytes=64)
+        assert pf.train(0x0) == []          # allocate
+        out = pf.train(0x40)                # confirm, direction +1
+        assert out == [0x80, 0xC0]
+
+    def test_descending_stream(self):
+        pf = StreamPrefetcher(degree=2, line_bytes=64)
+        pf.train(0x10000)
+        out = pf.train(0x10000 - 64)
+        assert out == [0x10000 - 128, 0x10000 - 192]
+
+    def test_out_of_window_allocates_new_stream(self):
+        pf = StreamPrefetcher(window_lines=4, line_bytes=64)
+        pf.train(0x0)
+        pf.train(0x100000)  # far away: new stream, no prefetch
+        assert len(pf.streams) == 2
+
+    def test_stream_capacity(self):
+        pf = StreamPrefetcher(num_streams=2, line_bytes=64)
+        pf.train(0x000000)
+        pf.train(0x100000)
+        pf.train(0x200000)
+        assert len(pf.streams) == 2
+
+    def test_same_line_rehit_no_prefetch_until_movement(self):
+        pf = StreamPrefetcher(line_bytes=64)
+        pf.train(0x0)
+        assert pf.train(0x8) == []  # same line, no direction yet
+        out = pf.train(0x40)
+        assert out  # movement confirms

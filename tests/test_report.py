@@ -1,0 +1,39 @@
+"""Tests for the one-shot reproduction report."""
+
+from repro.cli import main
+from repro.experiments.report import generate_report, write_report
+from repro.experiments.runner import Runner
+
+
+def tiny_runner():
+    return Runner(length=4000, warmup=1500, workloads=["astar", "hadoop"])
+
+
+class TestGenerateReport:
+    def test_contains_storage_and_figures(self):
+        report = generate_report(tiny_runner(), figure_numbers=(6,))
+        assert "# Reproduction report" in report
+        assert "Table I" in report and "1196" in report
+        assert "Figure 6" in report
+        assert "| configuration | paper | measured |" in report
+
+    def test_figure_selection(self):
+        report = generate_report(tiny_runner(), figure_numbers=(10,))
+        assert "Figure 10" in report
+        assert "Figure 6" not in report
+
+    def test_write_report(self, tmp_path):
+        path = str(tmp_path / "report.md")
+        report = write_report(path, tiny_runner(), figure_numbers=(6,))
+        assert open(path).read() == report
+
+
+class TestCliReport:
+    def test_report_command(self, tmp_path, capsys):
+        path = str(tmp_path / "out.md")
+        code = main(["report", "--output", path, "--figures", "6",
+                     "--length", "4000", "--warmup", "1500",
+                     "--per-category", "1"])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "Figure 6" in open(path).read()

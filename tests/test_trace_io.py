@@ -1,0 +1,89 @@
+"""Tests for trace serialization."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.trace import build_trace, get_profile
+from repro.trace.io import export_jsonl, load_trace, save_trace
+
+
+@pytest.fixture
+def trace():
+    return build_trace(get_profile("astar"), 3000)
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, trace, tmp_path):
+        path = str(tmp_path / "astar.rvpt.gz")
+        written = save_trace(trace, path)
+        loaded = load_trace(path)
+        assert written == len(trace) == len(loaded)
+        for original, restored in zip(trace, loaded):
+            assert original.pc == restored.pc
+            assert original.op == restored.op
+            assert original.dest == restored.dest
+            assert original.srcs == restored.srcs
+            assert original.value == restored.value
+            assert original.addr == restored.addr
+            assert original.mem_size == restored.mem_size
+            assert original.taken == restored.taken
+            assert original.target == restored.target
+
+    def test_loaded_trace_simulates_identically(self, trace, tmp_path):
+        from repro.pipeline import simulate
+
+        path = str(tmp_path / "t.rvpt.gz")
+        save_trace(trace, path)
+        a = simulate(trace)
+        b = simulate(load_trace(path))
+        assert a.cycles == b.cycles
+        assert a.branch_mispredicts == b.branch_mispredicts
+
+    def test_empty_trace(self, tmp_path):
+        path = str(tmp_path / "empty.rvpt.gz")
+        assert save_trace([], path) == 0
+        assert load_trace(path) == []
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        path = str(tmp_path / "bad.gz")
+        with gzip.open(path, "wb") as handle:
+            handle.write(b"NOPE" + b"\x00" * 10)
+        with pytest.raises(ValueError, match="magic"):
+            load_trace(path)
+
+    def test_truncated(self, trace, tmp_path):
+        path = str(tmp_path / "t.rvpt.gz")
+        save_trace(trace[:10], path)
+        raw = gzip.open(path, "rb").read()
+        with gzip.open(path, "wb") as handle:
+            handle.write(raw[:len(raw) - 20])
+        with pytest.raises(ValueError, match="truncated"):
+            load_trace(path)
+
+    def test_too_many_sources(self, tmp_path):
+        from repro.isa import MicroOp, opcodes
+
+        uop = MicroOp(0x400000, opcodes.ALU, dest=0, srcs=(1, 2, 3, 4, 5))
+        with pytest.raises(ValueError, match="4 sources"):
+            save_trace([uop], str(tmp_path / "x.gz"))
+
+
+class TestJsonl:
+    def test_export(self, trace, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        count = export_jsonl(trace[:50], path)
+        assert count == 50
+        lines = open(path).read().splitlines()
+        assert len(lines) == 50
+        first = json.loads(lines[0])
+        assert first["pc"] == trace[0].pc
+
+    def test_export_gzip(self, trace, tmp_path):
+        path = str(tmp_path / "t.jsonl.gz")
+        export_jsonl(trace[:10], path)
+        with gzip.open(path, "rt") as handle:
+            assert len(handle.read().splitlines()) == 10

@@ -1,0 +1,149 @@
+"""Unit tests for the Value Table (§IV-C)."""
+
+from repro.core.value_table import (
+    CONF_MAX,
+    NO_PREDICT_MAX,
+    ValueTable,
+)
+
+
+def saturate(vt, entry, value, rounds=400):
+    for _ in range(rounds):
+        vt.train(entry, value)
+    return entry
+
+
+class TestKeys:
+    def test_lv_and_cv_keys_differ(self):
+        pc = 0x400000
+        assert ValueTable.lv_key(pc) != ValueTable.cv_key(pc, 0b1010)
+
+    def test_cv_key_depends_on_history(self):
+        pc = 0x400000
+        assert ValueTable.cv_key(pc, 0b0001) != ValueTable.cv_key(pc, 0b0010)
+
+    def test_cv_key_fold_window(self):
+        pc = 0x400000
+        # Bits beyond the fold window are ignored.
+        assert ValueTable.cv_key(pc, 0xFF, history_bits=8) == \
+            ValueTable.cv_key(pc, 0x1FF, history_bits=8)
+
+
+class TestAllocationAndKinds:
+    def test_alloc_and_lookup(self):
+        vt = ValueTable()
+        entry = vt.allocate(ValueTable.lv_key(0x400000), 42)
+        assert entry is not None
+        assert vt.lookup(ValueTable.lv_key(0x400000)) is entry
+
+    def test_context_kind_separated(self):
+        vt = ValueTable()
+        key = 0x400000
+        vt.allocate(key, 1, context=False)
+        assert vt.lookup(key, context=True) is None
+        vt.allocate(key, 2, context=True)
+        assert vt.lookup(key, context=True).data == 2
+        assert vt.lookup(key, context=False).data == 1
+
+    def test_nonload_allocated_unpredictable(self):
+        vt = ValueTable()
+        entry = vt.allocate(ValueTable.lv_key(0x400000), 7,
+                            predictable=False)
+        assert not entry.predictable
+        assert entry.no_predict == NO_PREDICT_MAX
+
+    def _same_set_keys(self, vt, count):
+        target = None
+        keys = []
+        probe = 0
+        while len(keys) < count:
+            index = ((probe * 0x9E3779B1) & 0xFFFFFFFF) % vt.sets
+            if target is None:
+                target = index
+            if index == target:
+                keys.append(probe)
+            probe += 1
+        return keys
+
+    def test_utility_protects_useful_entries(self):
+        vt = ValueTable(entries=4, ways=2)
+        k0, k1, k2 = self._same_set_keys(vt, 3)
+        e0 = vt.allocate(k0, 1)
+        e1 = vt.allocate(k1, 2)
+        saturate(vt, e0, 1, rounds=8)
+        saturate(vt, e1, 2, rounds=8)
+        # Both ways useful: allocation is refused, utilities decay.
+        assert vt.allocate(k2, 3) is None
+        assert e0.utility < 3 or e1.utility < 3
+
+    def test_useless_entries_evicted(self):
+        vt = ValueTable(entries=4, ways=2)
+        k0, k1, k2 = self._same_set_keys(vt, 3)
+        vt.allocate(k0, 1)
+        vt.allocate(k1, 2)
+        # Neither entry trained: utilities are 0, so k2 replaces one.
+        assert vt.allocate(k2, 3) is not None
+
+    def test_reallocation_returns_existing(self):
+        vt = ValueTable()
+        first = vt.allocate(0x400000, 1)
+        again = vt.allocate(0x400000, 999)
+        assert first is again
+        assert first.data == 1  # not reset
+
+
+class TestTraining:
+    def test_confidence_saturates_on_repeats(self):
+        vt = ValueTable()
+        entry = vt.allocate(0x400000, 42)
+        saturate(vt, entry, 42)
+        assert entry.confidence == CONF_MAX
+        assert entry.confident
+
+    def test_change_resets_confidence_and_bumps_no_predict(self):
+        vt = ValueTable()
+        entry = vt.allocate(0x400000, 42)
+        saturate(vt, entry, 42)
+        vt.train(entry, 43)
+        assert entry.confidence == 0
+        assert entry.no_predict == 1
+
+    def test_no_predict_saturation_marks_unpredictable(self):
+        vt = ValueTable()
+        entry = vt.allocate(0x400000, 0)
+        for value in range(1, NO_PREDICT_MAX + 2):
+            vt.train(entry, value)
+        assert not entry.predictable
+
+    def test_confidence_saturation_clears_no_predict(self):
+        vt = ValueTable()
+        entry = vt.allocate(0x400000, 0)
+        vt.train(entry, 1)
+        vt.train(entry, 2)
+        assert entry.no_predict == 2
+        saturate(vt, entry, 2)
+        assert entry.no_predict == 0
+
+    def test_train_returns_repeat_flag(self):
+        vt = ValueTable()
+        entry = vt.allocate(0x400000, 5)
+        assert vt.train(entry, 5) is True
+        assert vt.train(entry, 6) is False
+
+
+class TestAccounting:
+    def test_storage_matches_table1(self):
+        assert ValueTable(entries=48).storage_bits() == 48 * 82
+
+    def test_capacity_and_occupancy(self):
+        vt = ValueTable(entries=48)
+        assert vt.capacity == 48
+        assert vt.occupancy() == 0
+        vt.allocate(1, 0)
+        assert vt.occupancy() == 1
+
+    def test_rejects_bad_geometry(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ValueTable(entries=7, ways=2)

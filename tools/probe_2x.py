@@ -1,0 +1,23 @@
+"""Probe 2X amplification of carried chains under dilution."""
+from repro.trace.builder import KernelSpec, WorkloadProfile, build_trace
+from repro.trace.kernels import StoreForwardKernel, StreamKernel, HotLoadsKernel
+from repro.pipeline import simulate, CoreConfig
+from repro.core import fvp_default
+
+for hops, pad, w in ((3, 10, 0.12), (4, 16, 0.12), (5, 24, 0.12), (6, 10, 0.08)):
+    specs = [
+        KernelSpec(StoreForwardKernel, w, src_base=0, queue_base=1<<20,
+                   data_base=1<<23, carried=True, hops=hops, addr_depth=4,
+                   produce_depth=2, pad=pad),
+        KernelSpec(StreamKernel, 0.4, array_base=0, footprint=8<<20, unroll=4),
+        KernelSpec(HotLoadsKernel, 0.3, globals_base=0, count=8),
+    ]
+    profile = WorkloadProfile(f'p{hops}-{pad}', 'ISPEC06', 42, specs)
+    tr = build_trace(profile, 60000)
+    out = []
+    for core in (CoreConfig.skylake(), CoreConfig.skylake_2x()):
+        base = simulate(tr, core, warmup=29000)
+        f = simulate(tr, core, predictor=fvp_default(), warmup=29000)
+        out.append((base.ipc, 100*(f.ipc/base.ipc-1)))
+    print('hops %d pad %2d w %.2f | sky base %.2f fvp %+5.1f%% | 2x base %.2f fvp %+5.1f%% | amp %.1fx' % (
+        hops, pad, w, out[0][0], out[0][1], out[1][0], out[1][1], out[1][1]/max(out[0][1],0.01)))

@@ -1,0 +1,26 @@
+"""Single-kernel calibration probe (development tool)."""
+from repro.trace.builder import KernelSpec, WorkloadProfile, build_trace
+from repro.trace.kernels import IndexedMissKernel, StoreForwardKernel
+from repro.pipeline import simulate, CoreConfig
+from repro.core import fvp_default
+from repro.predictors import make_predictor
+
+def probe(label, spec, n=60000, w=24000):
+    profile = WorkloadProfile(label, "ISPEC06", 42, [spec])
+    tr = build_trace(profile, n)
+    base = simulate(tr, CoreConfig.skylake(), warmup=w)
+    f = simulate(tr, CoreConfig.skylake(), predictor=fvp_default(), warmup=w)
+    m = simulate(tr, CoreConfig.skylake(), predictor=make_predictor('mr-8kb'), warmup=w)
+    base2 = simulate(tr, CoreConfig.skylake_2x(), warmup=w)
+    f2 = simulate(tr, CoreConfig.skylake_2x(), predictor=fvp_default(), warmup=w)
+    print('%-40s base %.3f | fvp %+6.1f%% cov %3.0f%% | mr8 %+5.1f%% | 2x base %.3f fvp %+6.1f%% | DRAM %d LLC %d L2 %d' % (
+        label, base.ipc, 100*(f.ipc/base.ipc-1), 100*f.coverage, 100*(m.ipc/base.ipc-1),
+        base2.ipc, 100*(f2.ipc/base2.ipc-1),
+        base.level_counts.get('DRAM',0), base.level_counts.get('LLC',0), base.level_counts.get('L2',0)))
+
+for slots in (1024, 8192):
+    for fp in (6<<20, 48<<20):
+        for pad in (12, 32):
+            probe(f'idx slots={slots} fp={fp>>20}M pad={pad}',
+                  KernelSpec(IndexedMissKernel, 1.0, meta_base=0, meta_slots=slots,
+                             data_base=1<<23, footprint=fp, alu_depth=3, pad=pad))

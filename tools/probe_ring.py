@@ -1,0 +1,22 @@
+from repro.trace.builder import KernelSpec, WorkloadProfile, build_trace
+from repro.trace.kernels import IndexedMissKernel, StreamKernel, HotLoadsKernel
+from repro.pipeline import simulate, CoreConfig
+from repro.core import fvp_default
+
+for hops, pad, w, miss_fp in ((4, 10, 0.08, 0), (6, 10, 0.08, 0), (6, 20, 0.10, 0), (4, 16, 0.06, 32<<20)):
+    specs = [
+        KernelSpec(IndexedMissKernel, w, meta_base=0, hops=hops, serial=True,
+                   data_base=1<<23, footprint=miss_fp if miss_fp else 1<<20,
+                   alu_depth=2, pad=pad),
+        KernelSpec(StreamKernel, 0.4, array_base=0, footprint=8<<20, unroll=4),
+        KernelSpec(HotLoadsKernel, 0.3, globals_base=0, count=8),
+    ]
+    profile = WorkloadProfile(f'r{hops}-{pad}-{w}', 'ISPEC06', 42, specs)
+    tr = build_trace(profile, 60000)
+    out = []
+    for core in (CoreConfig.skylake(), CoreConfig.skylake_2x()):
+        base = simulate(tr, core, warmup=29000)
+        f = simulate(tr, core, predictor=fvp_default(), warmup=29000)
+        out.append((base.ipc, 100*(f.ipc/base.ipc-1)))
+    print('hops %d pad %2d w %.2f fp %dM | sky %.2f %+6.1f%% | 2x %.2f %+6.1f%% | amp %.1fx' % (
+        hops, pad, w, miss_fp>>20, out[0][0], out[0][1], out[1][0], out[1][1], out[1][1]/max(out[0][1],0.01)))

@@ -1,0 +1,32 @@
+import statistics
+from repro.trace.builder import KernelSpec, WorkloadProfile, build_trace
+from repro.trace.kernels import IndexedMissKernel
+from repro.pipeline import simulate, CoreConfig
+from repro.core import fvp_default
+from repro.isa import opcodes
+
+spec = KernelSpec(IndexedMissKernel, 1.0, meta_base=0, meta_slots=2048,
+                  data_base=1<<22, footprint=48<<20, alu_depth=5, pad=32)
+profile = WorkloadProfile('probe', 'ISPEC06', 42, [spec])
+tr = build_trace(profile, 40000)
+
+# identify pcs
+miss_pc = None
+for u in tr[:60]:
+    pass
+loads = [u.pc for u in tr if u.op == opcodes.LOAD]
+from collections import Counter
+print('load pcs:', Counter(loads).most_common(3))
+
+for pred in (None, fvp_default()):
+    r = simulate(tr, CoreConfig.skylake(), predictor=pred, collect_timing=True)
+    t = r.timing
+    # miss pc = second most common? both equal; miss is the one with srcs
+    miss_idx = [i for i,u in enumerate(tr) if u.op==opcodes.LOAD and u.srcs][:2000]
+    meta_idx = [i for i,u in enumerate(tr) if u.op==opcodes.LOAD and not u.srcs][:2000]
+    d_miss = statistics.mean(t['issue'][i]-t['alloc'][i] for i in miss_idx[500:1500])
+    lat_miss = statistics.mean(t['complete'][i]-t['issue'][i] for i in miss_idx[500:1500])
+    d_meta = statistics.mean(t['complete'][i]-t['alloc'][i] for i in meta_idx[500:1500])
+    print('pred', pred.name if pred else 'none', 'IPC %.3f' % r.ipc,
+          'miss issue-alloc %.1f' % d_miss, 'miss lat %.1f' % lat_miss, 'meta complete-alloc %.1f' % d_meta,
+          'cov %.2f' % r.coverage)

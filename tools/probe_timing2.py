@@ -1,0 +1,30 @@
+import statistics
+from repro.trace.builder import KernelSpec, WorkloadProfile, build_trace
+from repro.trace.kernels import IndexedMissKernel
+from repro.pipeline import simulate, CoreConfig
+from repro.core import fvp_default
+from repro.isa import opcodes
+
+spec = KernelSpec(IndexedMissKernel, 1.0, meta_base=0, meta_slots=2048,
+                  data_base=1<<22, footprint=48<<20, alu_depth=5, pad=32)
+profile = WorkloadProfile('probe', 'ISPEC06', 42, [spec])
+tr = build_trace(profile, 40000)
+
+for pred in (None, fvp_default()):
+    r = simulate(tr, CoreConfig.skylake(), predictor=pred, collect_timing=True)
+    t = r.timing
+    miss_idx = [i for i,u in enumerate(tr) if u.op==opcodes.LOAD and u.srcs]
+    meta_idx = [i for i,u in enumerate(tr) if u.op==opcodes.LOAD and not u.srcs]
+    last = miss_idx[-500:]
+    d_miss = statistics.mean(t['issue'][i]-t['alloc'][i] for i in last)
+    # consumer readiness: the addr ALU right before the miss = i-1
+    d_ready = statistics.mean(t['ready'][i]-t['alloc'][i] for i in last)
+    print('pred', pred.name if pred else 'none', 'IPC %.3f' % r.ipc,
+          'last500 miss issue-alloc %.1f ready-alloc %.1f' % (d_miss, d_ready),
+          'src', r.by_source)
+    # chain inspect one iteration late in trace
+    i = miss_idx[-100]
+    for j in range(i-8, i+2):
+        u = tr[j]
+        print('   idx', j, 'op', u.op, 'pc', hex(u.pc), 'srcs', u.srcs,
+              'alloc', t['alloc'][j], 'ready', t['ready'][j], 'issue', t['issue'][j], 'complete', t['complete'][j])
