@@ -2,8 +2,12 @@
 
 The benchmarks regenerate every table and figure of the paper's
 evaluation.  One session-scoped :class:`~repro.experiments.Runner`
-caches traces, baselines, and named-predictor suites so the figures
-share work (Figures 6, 8 and 10 all need FVP-on-Skylake, for example).
+drives the campaign engine (:mod:`repro.experiments.campaign`): jobs
+are deduplicated, fanned out over worker processes, and — when the
+cache is enabled — served from ``.repro-cache/`` so a re-run of an
+unchanged figure never simulates.  The in-process suite memo still
+lets figures share work (Figures 6, 8 and 10 all need FVP-on-Skylake,
+for example).
 
 Scale knobs (environment variables):
 
@@ -12,6 +16,10 @@ REPRO_LENGTH       trace length per workload (default 60 000)
 REPRO_WARMUP       warmup prefix excluded from statistics (default
                    24 000)
 REPRO_PER_CATEGORY limit workloads per category (default: all 60)
+REPRO_JOBS         campaign worker processes (default: all cores;
+                   1 = serial in-process)
+REPRO_CACHE        "1" enables the persistent result cache under
+                   $REPRO_CACHE_DIR or .repro-cache (default: off)
 =================  ====================================================
 
 The defaults keep a full `pytest benchmarks/ --benchmark-only` run in
@@ -27,6 +35,8 @@ from repro.experiments.figures import default_runner
 LENGTH = int(os.environ.get("REPRO_LENGTH", 60_000))
 WARMUP = int(os.environ.get("REPRO_WARMUP", 24_000))
 PER_CATEGORY = os.environ.get("REPRO_PER_CATEGORY")
+JOBS = int(os.environ.get("REPRO_JOBS", 0)) or None
+USE_CACHE = os.environ.get("REPRO_CACHE", "") == "1"
 
 
 @pytest.fixture(scope="session")
@@ -34,13 +44,15 @@ def runner():
     """Session-wide experiment runner over the workload suite."""
     per_category = int(PER_CATEGORY) if PER_CATEGORY else None
     return default_runner(length=LENGTH, warmup=WARMUP,
-                          per_category=per_category)
+                          per_category=per_category,
+                          jobs=JOBS, use_cache=USE_CACHE)
 
 
 @pytest.fixture(scope="session")
 def small_runner():
     """Reduced runner for parameter sweeps (sensitivity studies)."""
-    return default_runner(length=LENGTH, warmup=WARMUP, per_category=2)
+    return default_runner(length=LENGTH, warmup=WARMUP, per_category=2,
+                          jobs=JOBS, use_cache=USE_CACHE)
 
 
 def print_paper_vs_measured(title, paper, measured, key="gain"):

@@ -8,6 +8,7 @@ coverage aggregates are arithmetic means of per-workload coverages.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence as SequenceABC
 from typing import Dict, Iterable, List, Mapping, Sequence
 
 from repro.pipeline.results import SimResult
@@ -54,6 +55,70 @@ class WorkloadRun:
     @property
     def coverage(self) -> float:
         return self.result.coverage
+
+
+class SuiteResult(SequenceABC):
+    """An ordered collection of :class:`WorkloadRun` — what one
+    predictor/core configuration produced over the whole suite.
+
+    Behaves as a sequence (iteration, indexing, ``len``) so existing
+    per-run code keeps working, and centralises the aggregations the
+    figure drivers and reports repeat: geomean speedup, mean coverage,
+    category grouping, and flat rows for tabulation.
+    """
+
+    __slots__ = ("runs",)
+
+    def __init__(self, runs: Iterable[WorkloadRun]) -> None:
+        self.runs: List[WorkloadRun] = list(runs)
+
+    # -- sequence protocol ---------------------------------------------
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return SuiteResult(self.runs[index])
+        return self.runs[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SuiteResult {len(self.runs)} runs>"
+
+    # -- aggregation ---------------------------------------------------
+    def geomean_speedup(self) -> float:
+        """Geometric-mean IPC ratio over the baseline (paper headline)."""
+        return geomean(r.speedup for r in self.runs)
+
+    @property
+    def gain(self) -> float:
+        """Fractional geomean gain (0.033 = +3.3%)."""
+        return self.geomean_speedup() - 1.0
+
+    @property
+    def coverage(self) -> float:
+        """Arithmetic-mean coverage across workloads."""
+        return mean(r.coverage for r in self.runs)
+
+    def by_category(self) -> Dict[str, "SuiteResult"]:
+        """Category → SuiteResult of that category's runs."""
+        return {category: SuiteResult(group)
+                for category, group in by_category(self.runs).items()}
+
+    def category_summary(self) -> Dict[str, Dict[str, float]]:
+        """Figures-6/7-shaped per-category summary (see
+        :func:`category_summary`)."""
+        return category_summary(self.runs)
+
+    def to_rows(self) -> List[Dict[str, float]]:
+        """One flat dict per workload, for tables and serialization."""
+        return [{"workload": r.workload,
+                 "category": r.category,
+                 "speedup": r.speedup,
+                 "gain": r.gain,
+                 "coverage": r.coverage,
+                 "ipc": r.result.ipc,
+                 "baseline_ipc": r.baseline.ipc}
+                for r in self.runs]
 
 
 def by_category(runs: Sequence[WorkloadRun]) -> Dict[str, List[WorkloadRun]]:

@@ -59,6 +59,22 @@ def format_bar_comparison(title: str,
     return f"{title}\n{table}"
 
 
+def format_suite(title: str, suite) -> str:
+    """Render a :class:`~repro.analysis.metrics.SuiteResult` as a
+    per-workload table with a geomean footer — the shared renderer for
+    suite-shaped output (CLI ``sweep --per-workload``, reports), so
+    callers stop hand-rolling row comprehensions."""
+    rows = [(row["workload"], row["category"],
+             f"{row['speedup']:.3f}", format_percent(row["gain"]),
+             f"{row['coverage']:.1%}")
+            for row in suite.to_rows()]
+    rows.append(("geomean", "-", f"{suite.geomean_speedup():.3f}",
+                 format_percent(suite.gain), f"{suite.coverage:.1%}"))
+    table = format_table(
+        ("workload", "category", "speedup", "gain", "coverage"), rows)
+    return f"{title}\n{table}"
+
+
 def format_series(title: str, labels: Sequence[str],
                   series: Mapping[str, Sequence[float]],
                   percent: bool = False) -> str:

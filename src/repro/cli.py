@@ -5,8 +5,17 @@ Commands
 ``list``      — list workloads (optionally one category)
 ``run``       — simulate one workload under one predictor
 ``compare``   — baseline vs a set of predictors on one workload
-``figure``    — regenerate one of the paper's figures
+``figure``    — regenerate one of the paper's figures (``6`` or ``fig06``)
+``sweep``     — predictors × cores over the workload suite
 ``storage``   — print Table I
+``report``    — write a full reproduction report
+``cache``     — inspect or clear the persistent result cache
+
+Every simulating command runs through the campaign engine
+(:mod:`repro.experiments.campaign`): ``--jobs N`` fans simulations out
+over N worker processes (default: all cores), and results persist
+under ``.repro-cache/`` so an identical rerun never simulates
+(``--no-cache`` opts out; ``repro cache stats`` shows the counters).
 """
 
 from __future__ import annotations
@@ -15,7 +24,13 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.experiments.runner import DEFAULT_LENGTH, DEFAULT_WARMUP, Runner
+from repro.experiments.campaign import JobEvent, ResultCache
+from repro.experiments.runner import (
+    DEFAULT_LENGTH,
+    Runner,
+    default_warmup,
+)
+from repro.predictors import make_predictor
 from repro.trace.workloads import CATALOGUE, CATEGORIES, get_profile
 
 
@@ -24,15 +39,58 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
                         help="trace length in micro-ops")
     parser.add_argument("--warmup", type=int, default=None,
                         help="warmup prefix excluded from statistics "
-                             "(default: 40%% of length)")
+                             "(default: 40%% of length, capped at 40k)")
     parser.add_argument("--core", choices=("skylake", "skylake-2x"),
                         default="skylake")
+    _add_campaign_args(parser)
+
+
+def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the campaign engine "
+                             "(default: all cores; 1 = serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the persistent "
+                             "result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result-cache directory (default: "
+                             "$REPRO_CACHE_DIR or .repro-cache)")
 
 
 def _warmup(args) -> int:
     if args.warmup is not None:
         return args.warmup
-    return min(int(args.length * 0.4), DEFAULT_WARMUP)
+    return default_warmup(args.length)
+
+
+def _progress(event: JobEvent) -> None:
+    """Per-job progress line on stderr — campaigns stay observable."""
+    if event.status == "start":
+        return
+    timing = "cache hit" if event.status == "hit" \
+        else f"{event.elapsed:.2f}s"
+    print(f"  [{event.index}/{event.total}] {event.job.label}: {timing}",
+          file=sys.stderr)
+
+
+def _runner(args, workloads: Optional[List[str]] = None) -> Runner:
+    return Runner(length=args.length, warmup=_warmup(args),
+                  workloads=workloads, jobs=args.jobs,
+                  use_cache=not args.no_cache, cache_dir=args.cache_dir,
+                  progress=_progress)
+
+
+def _figure_number(text: str) -> int:
+    """Accept both ``6`` and the figure label forms ``fig6``/``fig06``."""
+    raw = text.lower()
+    if raw.startswith("fig"):
+        raw = raw[3:]
+    try:
+        return int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a figure number (use 6..13 or fig06..fig13)"
+        ) from None
 
 
 def cmd_list(args) -> int:
@@ -47,8 +105,7 @@ def cmd_list(args) -> int:
 
 
 def cmd_run(args) -> int:
-    runner = Runner(length=args.length, warmup=_warmup(args),
-                    workloads=[args.workload])
+    runner = _runner(args, workloads=[args.workload])
     run = runner.workload_run(args.workload, args.core, args.predictor)
     result = run.result
     print(result.summary())
@@ -57,8 +114,7 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    runner = Runner(length=args.length, warmup=_warmup(args),
-                    workloads=[args.workload])
+    runner = _runner(args, workloads=[args.workload])
     baseline = runner.baseline(args.workload, args.core)
     print(f"{args.workload} on {args.core}: baseline IPC "
           f"{baseline.ipc:.3f}")
@@ -81,9 +137,43 @@ def cmd_figure(args) -> int:
         return 2
     runner = figures.default_runner(length=args.length,
                                     warmup=_warmup(args),
-                                    per_category=args.per_category)
+                                    per_category=args.per_category,
+                                    jobs=args.jobs,
+                                    use_cache=not args.no_cache,
+                                    cache_dir=args.cache_dir,
+                                    progress=_progress)
     print(renderer(driver(runner)))
     return 0
+
+
+def cmd_sweep(args) -> int:
+    """Full design-space sweep: every predictor × every core over the
+    workload suite, as one deduplicated campaign."""
+    from repro.analysis.reporting import format_suite, format_table
+
+    runner = _default_runner_for(args)
+    rows = []
+    for core in args.cores:
+        for predictor in args.predictors:
+            suite = runner.suite(predictor, core=core)
+            rows.append((core, predictor, f"{suite.gain:+.2%}",
+                         f"{suite.coverage:.1%}", len(suite)))
+            if args.per_workload:
+                print(format_suite(f"{predictor} on {core}", suite))
+                print()
+    print(format_table(
+        ("core", "predictor", "geomean gain", "coverage", "workloads"),
+        rows))
+    return 0
+
+
+def _default_runner_for(args) -> Runner:
+    from repro.experiments.figures import default_runner
+
+    return default_runner(length=args.length, warmup=_warmup(args),
+                          per_category=args.per_category,
+                          jobs=args.jobs, use_cache=not args.no_cache,
+                          cache_dir=args.cache_dir, progress=_progress)
 
 
 def cmd_storage(_args) -> int:
@@ -94,14 +184,30 @@ def cmd_storage(_args) -> int:
 
 
 def cmd_report(args) -> int:
-    from repro.experiments.figures import default_runner
     from repro.experiments.report import write_report
 
-    runner = default_runner(length=args.length, warmup=_warmup(args),
-                            per_category=args.per_category)
+    runner = _default_runner_for(args)
     write_report(args.output, runner, figure_numbers=args.figures,
                  include_oracle=args.oracle)
     print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    stats = cache.load_stats()
+    entries = cache.entries()
+    last = stats["last_run"]
+    print(f"cache directory: {cache.root}")
+    print(f"entries: {len(entries)} ({cache.size_bytes() / 1024:.1f} KiB)")
+    print(f"cumulative: {stats['hits']} hits, {stats['misses']} misses, "
+          f"{stats['simulated']} simulations executed")
+    print(f"last run: {last['hits']} hits, {last['misses']} misses, "
+          f"{last['simulated']} simulations executed")
     return 0
 
 
@@ -128,10 +234,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.set_defaults(func=cmd_compare)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
-    p_fig.add_argument("number", type=int, choices=range(6, 14))
+    p_fig.add_argument("number", type=_figure_number,
+                       choices=range(6, 14), metavar="{6..13|fig06..fig13}")
     p_fig.add_argument("--per-category", type=int, default=None)
     _add_scale_args(p_fig)
     p_fig.set_defaults(func=cmd_figure)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="sweep predictors × cores over the suite")
+    p_sweep.add_argument("predictors", nargs="+",
+                         help="predictor registry names")
+    p_sweep.add_argument("--cores", nargs="+", default=["skylake"],
+                         choices=("skylake", "skylake-2x"))
+    p_sweep.add_argument("--per-category", type=int, default=None)
+    p_sweep.add_argument("--per-workload", action="store_true",
+                         help="also print per-workload tables")
+    _add_scale_args(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_storage = sub.add_parser("storage", help="print Table I")
     p_storage.set_defaults(func=cmd_storage)
@@ -146,6 +265,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="include the (slow) DDG-oracle bar")
     _add_scale_args(p_report)
     p_report.set_defaults(func=cmd_report)
+
+    p_cache = sub.add_parser("cache",
+                             help="inspect or clear the result cache")
+    p_cache.add_argument("action", choices=("stats", "clear"))
+    p_cache.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_cache.set_defaults(func=cmd_cache)
     return parser
 
 
@@ -158,6 +283,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         except KeyError:
             print(f"unknown workload {workload!r} "
                   f"(see `repro list`)", file=sys.stderr)
+            return 2
+    for name in getattr(args, "predictors", None) or ():
+        try:
+            make_predictor(name)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
             return 2
     return args.func(args)
 

@@ -30,6 +30,7 @@ the factory functions at the bottom (`fvp_l1_miss`, `fvp_oracle`, ...).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Iterable, Optional, Set
 
 from repro.core.cit import DEFAULT_EPOCH, CriticalInstructionTable
@@ -162,8 +163,7 @@ class FVP(ValuePredictor):
             prediction = self.mr.predict(uop, ctx)
             if prediction is not None:
                 self.mr_predictions += 1
-                prediction.source = "fvp-mr"
-                return prediction
+                return replace(prediction, source="fvp-mr")
 
         predictable_type = is_load or not self.loads_only
         if self.use_vt and predictable_type:

@@ -1,6 +1,25 @@
-"""Experiment drivers: one per paper table/figure, plus sensitivity."""
+"""Experiment drivers: one per paper table/figure, plus sensitivity,
+on top of the parallel campaign engine (see ``docs/CAMPAIGNS.md``)."""
 
-from repro.experiments import figures, sensitivity, storage
-from repro.experiments.runner import Runner, core_config
+from repro.experiments import campaign, figures, sensitivity, storage
+from repro.experiments.campaign import (
+    CampaignEngine,
+    Job,
+    JobEvent,
+    ResultCache,
+)
+from repro.experiments.runner import Runner, core_config, default_warmup
 
-__all__ = ["Runner", "core_config", "figures", "sensitivity", "storage"]
+__all__ = [
+    "CampaignEngine",
+    "Job",
+    "JobEvent",
+    "ResultCache",
+    "Runner",
+    "campaign",
+    "core_config",
+    "default_warmup",
+    "figures",
+    "sensitivity",
+    "storage",
+]

@@ -1,0 +1,504 @@
+"""Parallel experiment campaigns with a persistent result cache.
+
+A paper-scale evaluation is a *campaign*: hundreds of independent
+``(workload, core, predictor, length, warmup)`` simulations whose
+results feed the figure drivers.  This module gives campaigns three
+things the plain :class:`~repro.experiments.runner.Runner` loop lacks:
+
+* **Jobs** — :class:`Job` is the unit of work.  Jobs are value objects,
+  so a campaign can be deduplicated before anything runs (Figures 6, 8
+  and 9 all need FVP-on-Skylake; the engine simulates it once).
+* **Fan-out** — :class:`CampaignEngine` runs jobs over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (``jobs=N``, default
+  ``os.cpu_count()``).  Traces are deterministic, so workers rebuild
+  them locally instead of shipping micro-ops across the pipe.  Jobs
+  whose predictor spec is a Python callable cannot be pickled and run
+  in-process; if the pool itself fails (sandboxes without ``fork``,
+  broken workers), the engine degrades to serial execution rather than
+  aborting the campaign.
+* **A persistent cache** — :class:`ResultCache` stores every
+  :class:`~repro.pipeline.results.SimResult` under ``.repro-cache/``
+  keyed by a content hash of everything that determines the result:
+  the workload profile (kernel classes, weights, parameters, seed),
+  trace length and warmup, every :class:`CoreConfig` field, the
+  predictor spec, and ``repro.__version__``.  Re-running an unchanged
+  figure is a pure cache hit; changing any input — or bumping the
+  package version — invalidates exactly the affected jobs.
+
+Observability: the engine emits a :class:`JobEvent` per job (cache hit,
+start, completion with wall-clock seconds) through a ``progress``
+callback, and persists hit/miss/simulation counters to
+``stats.json`` inside the cache directory (``python -m repro cache
+stats`` prints them).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import repro
+from repro.isa.instruction import MicroOp
+from repro.pipeline.engine import Engine
+from repro.pipeline.results import SimResult
+from repro.pipeline.vp_interface import ValuePredictor
+from repro.trace.builder import build_trace
+from repro.trace.workloads import get_profile
+
+#: A predictor specification: a registry name, a zero-argument factory,
+#: or a ``callable(trace, config) -> predictor`` (see
+#: :func:`repro.predictors.make_predictor`).  ``None`` means baseline.
+PredictorSpec = Union[str, Callable, None]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+# ----------------------------------------------------------------------
+# Jobs.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Job:
+    """One simulation: a workload on a core under a predictor spec.
+
+    Jobs compare by value (callable specs by identity), so a campaign
+    deduplicates naturally when used as dict keys.
+    """
+
+    workload: str
+    core: str
+    spec: PredictorSpec = None
+    length: int = 100_000
+    warmup: int = 40_000
+
+    @property
+    def distributable(self) -> bool:
+        """Whether the job can be shipped to a worker process.  Only
+        named (or baseline) specs are picklable by construction."""
+        return self.spec is None or isinstance(self.spec, str)
+
+    @property
+    def label(self) -> str:
+        spec = self.spec if isinstance(self.spec, str) else \
+            ("baseline" if self.spec is None else "<callable>")
+        return f"{self.workload}/{self.core}/{spec}"
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """Progress report for one job.
+
+    ``status`` is ``"hit"`` (served from cache), ``"start"`` (about to
+    simulate) or ``"done"`` (simulated in ``elapsed`` seconds).
+    ``index``/``total`` count completed jobs in the campaign.
+    """
+
+    job: Job
+    status: str
+    index: int
+    total: int
+    elapsed: Optional[float] = None
+
+
+# ----------------------------------------------------------------------
+# Content fingerprinting → cache keys.
+# ----------------------------------------------------------------------
+def fingerprint(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serialisable structure that captures its
+    *content*.  Slotted config objects (CoreConfig, PortGroup,
+    FrontEndConfig, MemHierarchyConfig, WorkloadProfile, KernelSpec)
+    are walked recursively; classes contribute their qualified name.
+    Raises :class:`TypeError` for objects with no stable content
+    representation (lambdas, arbitrary instances)."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [fingerprint(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(key): fingerprint(value)
+                for key, value in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, type):
+        return f"{obj.__module__}.{obj.__qualname__}"
+    slots = getattr(type(obj), "__slots__", None)
+    if slots is not None:
+        body = {name: fingerprint(getattr(obj, name)) for name in slots}
+        body["__class__"] = fingerprint(type(obj))
+        return body
+    raise TypeError(f"cannot fingerprint {obj!r}")
+
+
+def job_key(job: Job) -> Optional[str]:
+    """Content-hash cache key for ``job``, or ``None`` when the job has
+    no stable key (callable predictor specs)."""
+    if not job.distributable:
+        return None
+    from repro.experiments.runner import core_config
+
+    payload = {
+        "profile": fingerprint(get_profile(job.workload)),
+        "core": fingerprint(core_config(job.core)),
+        "spec": job.spec if job.spec is not None else "baseline",
+        "length": job.length,
+        "warmup": job.warmup,
+        "version": repro.__version__,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Predictor construction (shared with Runner).
+# ----------------------------------------------------------------------
+def build_predictor(spec: PredictorSpec, trace: Sequence[MicroOp],
+                    config) -> Optional[ValuePredictor]:
+    """Instantiate a predictor from its spec (see :data:`PredictorSpec`)."""
+    import inspect
+
+    from repro.predictors import make_predictor
+
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        return make_predictor(spec)
+    if callable(spec):
+        try:
+            params = inspect.signature(spec).parameters
+        except (TypeError, ValueError):
+            params = {}
+        if len(params) >= 2:
+            return spec(trace, config)
+        return spec()
+    raise TypeError(f"bad predictor spec: {spec!r}")
+
+
+def _claim_predictor(predictor: Optional[ValuePredictor]) -> None:
+    """Assert the instance has not already been consumed by a job.
+
+    Predictor state must never leak between jobs; a spec like
+    ``lambda: shared_instance`` would silently corrupt a campaign.
+    :meth:`ValuePredictor.reset` clears the claim for deliberate reuse
+    outside the engine."""
+    if predictor is None:
+        return
+    if getattr(predictor, "_claimed_by_job", False):
+        raise RuntimeError(
+            f"predictor {predictor.name!r} reused across jobs; specs must "
+            "return a fresh instance (or call reset() between runs)")
+    try:
+        predictor._claimed_by_job = True
+    except AttributeError:  # pragma: no cover - slotted user predictor
+        pass
+
+
+def execute_job(job: Job, trace: Optional[List[MicroOp]] = None) -> SimResult:
+    """Run one job to completion in this process."""
+    from repro.experiments.runner import core_config
+
+    if trace is None:
+        trace = build_trace(get_profile(job.workload), job.length)
+    config = core_config(job.core)
+    predictor = build_predictor(job.spec, trace, config)
+    _claim_predictor(predictor)
+    engine = Engine(config, predictor)
+    return engine.run(trace, workload=job.workload, warmup=job.warmup)
+
+
+def _worker(payload: Tuple[str, str, Optional[str], int, int]
+            ) -> Tuple[SimResult, float]:
+    """Pool entry point: rebuild everything locally, return the result
+    and its wall-clock seconds."""
+    workload, core, spec, length, warmup = payload
+    start = time.perf_counter()
+    result = execute_job(Job(workload, core, spec, length, warmup))
+    return result, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Persistent result cache.
+# ----------------------------------------------------------------------
+class ResultCache:
+    """On-disk SimResult store keyed by :func:`job_key` hashes.
+
+    Layout: ``<root>/<key>.pkl`` per result plus ``<root>/stats.json``
+    with cumulative and last-run hit/miss/simulation counters.
+    Corrupted entries are deleted and treated as misses.
+    """
+
+    STATS_FILE = "stats.json"
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root or os.environ.get("REPRO_CACHE_DIR",
+                                           DEFAULT_CACHE_DIR)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._flushed: Dict[str, int] = {"hits": 0, "misses": 0,
+                                         "simulated": 0}
+
+    # -- storage -------------------------------------------------------
+    def path(self, key: str) -> str:
+        return os.path.join(self.root, key + ".pkl")
+
+    def get(self, key: str) -> Optional[SimResult]:
+        try:
+            with open(self.path(key), "rb") as handle:
+                result = pickle.load(handle)
+            if not isinstance(result, SimResult):
+                raise pickle.UnpicklingError("not a SimResult")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupted entry: drop it and recompute.
+            try:
+                os.remove(self.path(key))
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimResult) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        final = self.path(key)
+        tmp = final + f".tmp.{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, final)  # atomic: concurrent campaigns never
+        self.stores += 1        # observe a half-written entry
+
+    # -- inventory -----------------------------------------------------
+    def entries(self) -> List[str]:
+        try:
+            return sorted(name[:-4] for name in os.listdir(self.root)
+                          if name.endswith(".pkl"))
+        except FileNotFoundError:
+            return []
+
+    def size_bytes(self) -> int:
+        return sum(os.path.getsize(self.path(key))
+                   for key in self.entries())
+
+    def clear(self) -> int:
+        """Delete every cached result (and the stats); returns the
+        number of entries removed."""
+        removed = 0
+        for key in self.entries():
+            try:
+                os.remove(self.path(key))
+                removed += 1
+            except OSError:
+                pass
+        try:
+            os.remove(os.path.join(self.root, self.STATS_FILE))
+        except OSError:
+            pass
+        return removed
+
+    # -- persistent counters -------------------------------------------
+    def _stats_path(self) -> str:
+        return os.path.join(self.root, self.STATS_FILE)
+
+    def load_stats(self) -> Dict[str, Any]:
+        try:
+            with open(self._stats_path(), "r", encoding="utf-8") as handle:
+                stats = json.load(handle)
+            if not isinstance(stats, dict):
+                raise ValueError
+        except (OSError, ValueError):
+            stats = {}
+        stats.setdefault("hits", 0)
+        stats.setdefault("misses", 0)
+        stats.setdefault("simulated", 0)
+        stats.setdefault("last_run", {"hits": 0, "misses": 0,
+                                      "simulated": 0})
+        return stats
+
+    def flush_stats(self, simulated: int) -> None:
+        """Merge this instance's counters into ``stats.json``.
+
+        Cumulative totals grow by the delta since the previous flush;
+        ``last_run`` reflects this instance's whole lifetime (one CLI
+        command = one instance)."""
+        current = {"hits": self.hits, "misses": self.misses,
+                   "simulated": self._flushed["simulated"] + simulated}
+        stats = self.load_stats()
+        for field_name in ("hits", "misses", "simulated"):
+            stats[field_name] += current[field_name] - \
+                self._flushed[field_name]
+        stats["last_run"] = current
+        self._flushed = current
+        os.makedirs(self.root, exist_ok=True)
+        tmp = self._stats_path() + f".tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=1)
+        os.replace(tmp, self._stats_path())
+
+
+# ----------------------------------------------------------------------
+# The engine.
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignStats:
+    """Per-campaign accounting returned by :meth:`CampaignEngine.stats`."""
+
+    hits: int = 0
+    simulated: int = 0
+    elapsed: float = 0.0
+    fallbacks: int = 0
+
+    def merge_event(self, event: JobEvent) -> None:
+        if event.status == "hit":
+            self.hits += 1
+        elif event.status == "done":
+            self.simulated += 1
+            self.elapsed += event.elapsed or 0.0
+
+
+class CampaignEngine:
+    """Deduplicates, caches, and fans out simulation jobs.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count.  ``None`` means ``os.cpu_count()``;
+        ``1`` (or fewer) runs everything in-process.
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable caching.
+    progress:
+        Optional callback receiving a :class:`JobEvent` per job.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 progress: Optional[Callable[[JobEvent], None]] = None
+                 ) -> None:
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.cache = cache
+        self.progress = progress
+        self.stats = CampaignStats()
+
+    # ------------------------------------------------------------------
+    def _emit(self, event: JobEvent) -> None:
+        self.stats.merge_event(event)
+        if self.progress is not None:
+            self.progress(event)
+
+    def run_jobs(self, jobs: Sequence[Job],
+                 trace_provider: Optional[Callable[[str], List[MicroOp]]]
+                 = None) -> Dict[Job, SimResult]:
+        """Run every distinct job once; returns ``{job: SimResult}``.
+
+        ``trace_provider`` supplies prebuilt traces for the in-process
+        path (the Runner's trace cache); worker processes always
+        rebuild deterministically.
+        """
+        unique: List[Job] = []
+        seen = set()
+        for job in jobs:
+            if job not in seen:
+                seen.add(job)
+                unique.append(job)
+
+        results: Dict[Job, SimResult] = {}
+        total = len(unique)
+        done = 0
+
+        # 1. Serve cache hits.
+        pending: List[Job] = []
+        keys: Dict[Job, Optional[str]] = {}
+        for job in unique:
+            key = job_key(job) if self.cache is not None else None
+            keys[job] = key
+            cached = self.cache.get(key) if key is not None else None
+            if cached is not None:
+                results[job] = cached
+                done += 1
+                self._emit(JobEvent(job, "hit", done, total))
+            else:
+                pending.append(job)
+
+        # 2. Fan the picklable remainder out to worker processes.
+        parallel = [job for job in pending if job.distributable]
+        serial = [job for job in pending if not job.distributable]
+        simulated = 0
+        if self.jobs > 1 and len(parallel) > 1:
+            try:
+                executed = self._run_pool(parallel)
+            except Exception:
+                # Pool infrastructure failed (no fork, dead workers,
+                # pickling) — degrade to serial rather than abort.
+                self.stats.fallbacks += 1
+                executed = None
+            if executed is not None:
+                for job, (result, elapsed) in executed.items():
+                    results[job] = result
+                    simulated += 1
+                    done += 1
+                    self._store(keys[job], result)
+                    self._emit(JobEvent(job, "done", done, total, elapsed))
+                parallel = []
+        serial = parallel + serial
+
+        # 3. Whatever is left runs here, with the shared trace cache.
+        for job in serial:
+            self._emit(JobEvent(job, "start", done, total))
+            trace = trace_provider(job.workload) if trace_provider else None
+            start = time.perf_counter()
+            result = execute_job(job, trace)
+            elapsed = time.perf_counter() - start
+            results[job] = result
+            simulated += 1
+            done += 1
+            self._store(keys[job], result)
+            self._emit(JobEvent(job, "done", done, total, elapsed))
+
+        if self.cache is not None:
+            self.cache.flush_stats(simulated)
+        return results
+
+    # ------------------------------------------------------------------
+    def _store(self, key: Optional[str], result: SimResult) -> None:
+        if self.cache is not None and key is not None:
+            self.cache.put(key, result)
+
+    def _run_pool(self, jobs: Sequence[Job]
+                  ) -> Dict[Job, Tuple[SimResult, float]]:
+        payloads = [(job.workload, job.core, job.spec, job.length,
+                     job.warmup) for job in jobs]
+        workers = min(self.jobs, len(jobs))
+        executed: Dict[Job, Tuple[SimResult, float]] = {}
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for job, outcome in zip(jobs, pool.map(_worker, payloads)):
+                executed[job] = outcome
+        return executed
+
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignStats",
+    "DEFAULT_CACHE_DIR",
+    "Job",
+    "JobEvent",
+    "PredictorSpec",
+    "ResultCache",
+    "build_predictor",
+    "execute_job",
+    "fingerprint",
+    "job_key",
+]

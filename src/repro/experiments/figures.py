@@ -9,19 +9,15 @@ side.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.analysis.metrics import (
-    category_summary,
-    overall_coverage,
-    overall_gain,
-)
 from repro.analysis.reporting import (
     format_bar_comparison,
     format_category_summary,
     format_series,
 )
 from repro.criticality.oracle import oracle_critical_pcs
+from repro.experiments.campaign import JobEvent
 from repro.experiments.runner import Runner, core_config
 from repro.trace.workloads import CATALOGUE
 
@@ -76,13 +72,13 @@ PAPER_FIG13 = {
 def figure6(runner: Optional[Runner] = None) -> Dict[str, Dict[str, float]]:
     """FVP on the Skylake baseline (Figure 6)."""
     runner = runner or Runner()
-    return category_summary(runner.suite("fvp", core="skylake"))
+    return runner.suite("fvp", core="skylake").category_summary()
 
 
 def figure7(runner: Optional[Runner] = None) -> Dict[str, Dict[str, float]]:
     """FVP on the Skylake-2X baseline (Figure 7)."""
     runner = runner or Runner()
-    return category_summary(runner.suite("fvp", core="skylake-2x"))
+    return runner.suite("fvp", core="skylake-2x").category_summary()
 
 
 def render_figure6(summary: Dict[str, Dict[str, float]]) -> str:
@@ -101,10 +97,9 @@ def render_figure7(summary: Dict[str, Dict[str, float]]) -> str:
 def figure8(runner: Optional[Runner] = None) -> Dict[str, Dict[str, float]]:
     """workload -> {speedup, coverage} for FVP on Skylake."""
     runner = runner or Runner()
-    runs = runner.suite("fvp", core="skylake")
-    return {run.workload: {"speedup": run.speedup,
-                           "coverage": run.coverage}
-            for run in runs}
+    return {row["workload"]: {"speedup": row["speedup"],
+                              "coverage": row["coverage"]}
+            for row in runner.suite("fvp", core="skylake").to_rows()}
 
 
 def render_figure8(data: Dict[str, Dict[str, float]]) -> str:
@@ -123,9 +118,10 @@ def render_figure8(data: Dict[str, Dict[str, float]]) -> str:
 def figure9(runner: Optional[Runner] = None) -> Dict[str, Dict[str, float]]:
     """workload -> {skylake, skylake_2x} FVP speedups."""
     runner = runner or Runner()
-    sky = {r.workload: r.speedup for r in runner.suite("fvp", "skylake")}
-    sky2 = {r.workload: r.speedup for r in runner.suite("fvp", "skylake-2x")}
-    return {w: {"skylake": sky[w], "skylake_2x": sky2[w]} for w in sky}
+    sky = runner.suite("fvp", "skylake")
+    sky2 = runner.suite("fvp", "skylake-2x")
+    return {a["workload"]: {"skylake": a["speedup"], "skylake_2x": b["speedup"]}
+            for a, b in zip(sky.to_rows(), sky2.to_rows())}
 
 
 def render_figure9(data: Dict[str, Dict[str, float]]) -> str:
@@ -149,9 +145,8 @@ def _bar_comparison(runner: Runner, core: str,
                     predictors: Sequence[str]) -> Dict[str, Dict[str, float]]:
     bars: Dict[str, Dict[str, float]] = {}
     for name in predictors:
-        runs = runner.suite(name, core=core)
-        bars[name] = {"gain": overall_gain(runs),
-                      "coverage": overall_coverage(runs)}
+        suite = runner.suite(name, core=core)
+        bars[name] = {"gain": suite.gain, "coverage": suite.coverage}
     return bars
 
 
@@ -196,9 +191,9 @@ def figure12(runner: Optional[Runner] = None,
     runner = runner or Runner()
     bars = _bar_comparison(runner, "skylake", FIG12_PREDICTORS)
     if include_oracle:
-        runs = runner.suite(_oracle_spec, core="skylake")
-        bars["fvp-oracle"] = {"gain": overall_gain(runs),
-                              "coverage": overall_coverage(runs)}
+        suite = runner.suite(_oracle_spec, core="skylake")
+        bars["fvp-oracle"] = {"gain": suite.gain,
+                              "coverage": suite.coverage}
     return bars
 
 
@@ -213,8 +208,8 @@ def render_figure12(bars: Dict[str, Dict[str, float]]) -> str:
 def figure13(runner: Optional[Runner] = None) -> Dict[str, Dict[str, float]]:
     """component -> per-category gain for FVP's two halves."""
     runner = runner or Runner()
-    register = category_summary(runner.suite("fvp-reg", core="skylake"))
-    memory = category_summary(runner.suite("fvp-mem", core="skylake"))
+    register = runner.suite("fvp-reg", core="skylake").category_summary()
+    memory = runner.suite("fvp-mem", core="skylake").category_summary()
     return {
         "register": {cat: stats["gain"] for cat, stats in register.items()},
         "memory": {cat: stats["gain"] for cat, stats in memory.items()},
@@ -235,9 +230,15 @@ def render_figure13(data: Dict[str, Dict[str, float]]) -> str:
 
 # ----------------------------------------------------------------------
 def default_runner(length: int = None, warmup: int = None,
-                   per_category: Optional[int] = None) -> Runner:
+                   per_category: Optional[int] = None,
+                   jobs: int = 1, use_cache: bool = False,
+                   cache_dir: Optional[str] = None,
+                   progress: Optional[Callable[[JobEvent], None]] = None
+                   ) -> Runner:
     """Runner over the full 60-workload suite, optionally subsampled to
-    ``per_category`` workloads per category (benchmark scaling)."""
+    ``per_category`` workloads per category (benchmark scaling).
+    ``jobs``/``use_cache`` configure the campaign engine (see
+    :class:`repro.experiments.Runner`)."""
     workloads: Optional[List[str]] = None
     if per_category is not None:
         seen: Dict[str, int] = {}
@@ -246,7 +247,9 @@ def default_runner(length: int = None, warmup: int = None,
             if seen.get(profile.category, 0) < per_category:
                 workloads.append(name)
                 seen[profile.category] = seen.get(profile.category, 0) + 1
-    return Runner(length=length, warmup=warmup, workloads=workloads)
+    return Runner(length=length, warmup=warmup, workloads=workloads,
+                  jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
+                  progress=progress)
 
 
 __all__ = [

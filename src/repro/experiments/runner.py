@@ -1,15 +1,30 @@
-"""Experiment runner: workloads × cores × predictors with caching.
+"""Experiment runner: workloads × cores × predictors, on the campaign
+engine.
 
-Traces are deterministic, so the runner builds each workload's trace
-once; baselines are cached per (workload, core).  Predictor state is
-never shared between runs — each run constructs a fresh predictor from
-its *spec*:
+The :class:`Runner` is the front door for experiments.  Since the
+campaign redesign it is a thin façade over
+:class:`repro.experiments.campaign.CampaignEngine`, which deduplicates
+jobs, fans them out over worker processes (``jobs=N``), and serves
+repeats from the persistent on-disk cache (``use_cache=True``) — see
+``docs/CAMPAIGNS.md``.  The public surface is unchanged:
+
+* :meth:`Runner.run` — one ``(workload, core, predictor)`` simulation.
+* :meth:`Runner.baseline` — memoised no-predictor run.
+* :meth:`Runner.suite` — every workload under one predictor spec,
+  returned as a :class:`~repro.analysis.metrics.SuiteResult`.
+
+Predictor state is never shared between runs — each run constructs a
+fresh predictor from its *spec* (and the campaign engine asserts it):
 
 * a registry name (``"fvp"``, ``"composite-8kb"``, ... — see
   :func:`repro.predictors.make_predictor`),
 * a zero-argument factory, or
 * a ``callable(trace, config) -> predictor`` (used by the oracle
   configuration, which needs a per-workload DDG analysis).
+
+Only *named* specs are distributable to worker processes and cacheable
+on disk; callable specs always run in-process (they cannot be pickled
+or content-hashed).
 
 Scale knobs (`length`, `warmup`, `workloads`) let benchmarks trade
 fidelity for wall-clock; the environment variables ``REPRO_LENGTH``
@@ -18,29 +33,44 @@ and ``REPRO_WARMUP`` override the defaults globally.
 
 from __future__ import annotations
 
-import inspect
 import os
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.analysis.metrics import WorkloadRun
+from repro.analysis.metrics import SuiteResult, WorkloadRun
+from repro.experiments.campaign import (
+    CampaignEngine,
+    Job,
+    JobEvent,
+    ResultCache,
+    build_predictor,
+)
 from repro.isa.instruction import MicroOp
 from repro.pipeline.config import CoreConfig
-from repro.pipeline.engine import Engine
 from repro.pipeline.results import SimResult
-from repro.pipeline.vp_interface import ValuePredictor
-from repro.predictors import make_predictor
 from repro.trace.builder import build_trace
 from repro.trace.workloads import CATALOGUE, get_profile
 
 PredictorSpec = Union[str, Callable]
 
 DEFAULT_LENGTH = int(os.environ.get("REPRO_LENGTH", 100_000))
-DEFAULT_WARMUP = int(os.environ.get("REPRO_WARMUP", 40_000))
+#: Cap on the default warmup prefix (micro-ops).
+DEFAULT_WARMUP = 40_000
 
 _CORES = {
     "skylake": CoreConfig.skylake,
     "skylake-2x": CoreConfig.skylake_2x,
 }
+
+
+def default_warmup(length: int) -> int:
+    """The warmup prefix used when none is given: 40% of the trace,
+    capped at :data:`DEFAULT_WARMUP` micro-ops (valid for any length —
+    the shared rule for the CLI, the Runner, and the campaign engine).
+    The ``REPRO_WARMUP`` environment variable overrides it outright."""
+    env = os.environ.get("REPRO_WARMUP")
+    if env is not None:
+        return int(env)
+    return min(int(length * 0.4), DEFAULT_WARMUP)
 
 
 def core_config(core: str) -> CoreConfig:
@@ -54,20 +84,43 @@ def core_config(core: str) -> CoreConfig:
 
 
 class Runner:
-    """Caches traces and baseline runs for an experiment campaign."""
+    """Runs experiment campaigns; caches traces and baseline runs.
+
+    Parameters
+    ----------
+    length, warmup, workloads:
+        Scale knobs; ``warmup`` defaults to :func:`default_warmup`.
+    jobs:
+        Worker processes for suite campaigns (``1`` = in-process
+        serial, ``None`` = ``os.cpu_count()``).
+    use_cache:
+        Persist results under ``cache_dir`` (default ``.repro-cache/``
+        or ``$REPRO_CACHE_DIR``) and serve identical reruns from disk.
+    progress:
+        Optional ``callable(JobEvent)`` observing every job.
+    """
 
     def __init__(self, length: int = None, warmup: int = None,
-                 workloads: Optional[Sequence[str]] = None) -> None:
+                 workloads: Optional[Sequence[str]] = None,
+                 jobs: int = 1, use_cache: bool = False,
+                 cache_dir: Optional[str] = None,
+                 progress: Optional[Callable[[JobEvent], None]] = None
+                 ) -> None:
         self.length = length if length is not None else DEFAULT_LENGTH
-        self.warmup = warmup if warmup is not None else DEFAULT_WARMUP
+        self.warmup = warmup if warmup is not None \
+            else default_warmup(self.length)
         if not 0 <= self.warmup < self.length:
             raise ValueError(
                 f"warmup {self.warmup} must be < length {self.length}")
         self.workloads = list(workloads) if workloads is not None \
             else list(CATALOGUE)
+        self.engine = CampaignEngine(
+            jobs=jobs,
+            cache=ResultCache(cache_dir) if use_cache else None,
+            progress=progress)
         self._traces: Dict[str, List[MicroOp]] = {}
         self._baselines: Dict[Tuple[str, str], SimResult] = {}
-        self._suites: Dict[Tuple[str, str], List[WorkloadRun]] = {}
+        self._suites: Dict[Tuple[str, str], SuiteResult] = {}
 
     # ------------------------------------------------------------------
     def trace(self, workload: str) -> List[MicroOp]:
@@ -76,22 +129,23 @@ class Runner:
                 get_profile(workload), self.length)
         return self._traces[workload]
 
-    def _build_predictor(self, spec: Optional[PredictorSpec],
-                         trace: Sequence[MicroOp],
-                         config: CoreConfig) -> Optional[ValuePredictor]:
-        if spec is None:
-            return None
-        if isinstance(spec, str):
-            return make_predictor(spec)
-        if callable(spec):
-            try:
-                params = inspect.signature(spec).parameters
-            except (TypeError, ValueError):
-                params = {}
-            if len(params) >= 2:
-                return spec(trace, config)
-            return spec()
-        raise TypeError(f"bad predictor spec: {spec!r}")
+    def job(self, workload: str, core: str,
+            predictor: Optional[PredictorSpec]) -> Job:
+        """The campaign job this runner would execute for the triple."""
+        return Job(workload, core, predictor, self.length, self.warmup)
+
+    def _build_predictor(self, spec, trace, config):
+        # Retained for API compatibility; construction lives in
+        # repro.experiments.campaign.build_predictor now.
+        return build_predictor(spec, trace, config)
+
+    def _run_jobs(self, jobs: Sequence[Job]) -> Dict[Job, SimResult]:
+        results = self.engine.run_jobs(jobs, trace_provider=self.trace)
+        # Keep the in-process baseline memo warm whatever path ran.
+        for job, result in results.items():
+            if job.spec is None:
+                self._baselines.setdefault((job.workload, job.core), result)
+        return results
 
     # ------------------------------------------------------------------
     def baseline(self, workload: str, core: str = "skylake") -> SimResult:
@@ -102,11 +156,8 @@ class Runner:
 
     def run(self, workload: str, core: str = "skylake",
             predictor: Optional[PredictorSpec] = None) -> SimResult:
-        trace = self.trace(workload)
-        config = core_config(core)
-        built = self._build_predictor(predictor, trace, config)
-        engine = Engine(config, built)
-        return engine.run(trace, workload=workload, warmup=self.warmup)
+        job = self.job(workload, core, predictor)
+        return self._run_jobs([job])[job]
 
     def workload_run(self, workload: str, core: str,
                      predictor: PredictorSpec) -> WorkloadRun:
@@ -118,18 +169,33 @@ class Runner:
 
     def suite(self, predictor: PredictorSpec, core: str = "skylake",
               progress: Optional[Callable[[str], None]] = None
-              ) -> List[WorkloadRun]:
-        """Run every workload under one predictor spec.  Named specs
-        are cached per core, so figure drivers sharing a configuration
-        (e.g. Figures 6 and 8 both need FVP-on-Skylake) reuse runs."""
+              ) -> SuiteResult:
+        """Run every workload under one predictor spec, as a single
+        deduplicated campaign (baselines included, so they parallelise
+        too).  Named specs are memoised per core, so figure drivers
+        sharing a configuration (e.g. Figures 6 and 8 both need
+        FVP-on-Skylake) reuse runs.  ``progress`` is called with each
+        workload name as its predictor job completes."""
         cache_key = (predictor, core) if isinstance(predictor, str) else None
         if cache_key is not None and cache_key in self._suites:
             return self._suites[cache_key]
+        jobs: List[Job] = []
+        for workload in self.workloads:
+            jobs.append(self.job(workload, core, None))
+            jobs.append(self.job(workload, core, predictor))
+        baseline_missing = [job for job in jobs if job.spec is None and
+                            (job.workload, job.core) not in self._baselines]
+        predictor_jobs = [job for job in jobs if job.spec is not None]
+        results = self._run_jobs(baseline_missing + predictor_jobs)
         runs = []
         for workload in self.workloads:
             if progress is not None:
                 progress(workload)
-            runs.append(self.workload_run(workload, core, predictor))
+            runs.append(WorkloadRun(
+                workload, get_profile(workload).category,
+                baseline=self._baselines[(workload, core)],
+                result=results[self.job(workload, core, predictor)]))
+        suite = SuiteResult(runs)
         if cache_key is not None:
-            self._suites[cache_key] = runs
-        return runs
+            self._suites[cache_key] = suite
+        return suite

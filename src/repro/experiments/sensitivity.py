@@ -8,7 +8,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.analysis.metrics import overall_coverage, overall_gain
 from repro.core.fvp import FVP
 from repro.experiments.runner import Runner
 
@@ -24,9 +23,8 @@ def all_instruction_study(runner: Optional[Runner] = None
     runner = runner or Runner()
     out = {}
     for name in ("fvp", "fvp-all"):
-        runs = runner.suite(name, core="skylake")
-        out[name] = {"gain": overall_gain(runs),
-                     "coverage": overall_coverage(runs)}
+        suite = runner.suite(name, core="skylake")
+        out[name] = {"gain": suite.gain, "coverage": suite.coverage}
     return out
 
 
@@ -41,9 +39,8 @@ def branch_chain_study(runner: Optional[Runner] = None
     runner = runner or Runner()
     out = {}
     for name in ("fvp", "fvp-br"):
-        runs = runner.suite(name, core="skylake")
-        out[name] = {"gain": overall_gain(runs),
-                     "coverage": overall_coverage(runs)}
+        suite = runner.suite(name, core="skylake")
+        out[name] = {"gain": suite.gain, "coverage": suite.coverage}
     return out
 
 
@@ -58,7 +55,7 @@ def epoch_sweep(runner: Optional[Runner] = None,
     out = {}
     for epoch in epochs:
         spec = (lambda e: (lambda: FVP(epoch=e)))(epoch)
-        out[epoch] = overall_gain(runner.suite(spec, core="skylake"))
+        out[epoch] = runner.suite(spec, core="skylake").gain
     return out
 
 
@@ -85,9 +82,8 @@ def table_size_sweep(runner: Optional[Runner] = None
     }
     out = {}
     for label, spec in configs.items():
-        runs = runner.suite(spec, core="skylake")
-        out[label] = {"gain": overall_gain(runs),
-                      "coverage": overall_coverage(runs)}
+        suite = runner.suite(spec, core="skylake")
+        out[label] = {"gain": suite.gain, "coverage": suite.coverage}
     return out
 
 
@@ -98,7 +94,7 @@ def lt_size_sweep(runner: Optional[Runner] = None,
     out = {}
     for size in sizes:
         spec = (lambda s: (lambda: FVP(lt_size=s)))(size)
-        out[size] = overall_gain(runner.suite(spec, core="skylake"))
+        out[size] = runner.suite(spec, core="skylake").gain
     return out
 
 
@@ -113,9 +109,8 @@ def combined_mr_composite_study(runner: Optional[Runner] = None
     out = {}
     for name in ("fvp", "composite-1kb", "mr+composite-1kb",
                  "mr+composite-8kb"):
-        runs = runner.suite(name, core="skylake")
-        out[name] = {"gain": overall_gain(runs),
-                     "coverage": overall_coverage(runs)}
+        suite = runner.suite(name, core="skylake")
+        out[name] = {"gain": suite.gain, "coverage": suite.coverage}
     return out
 
 
@@ -129,9 +124,8 @@ def stride_addition_study(runner: Optional[Runner] = None
     runner = runner or Runner()
     out = {}
     for name in ("fvp", "fvp+stride"):
-        runs = runner.suite(name, core="skylake")
-        out[name] = {"gain": overall_gain(runs),
-                     "coverage": overall_coverage(runs)}
+        suite = runner.suite(name, core="skylake")
+        out[name] = {"gain": suite.gain, "coverage": suite.coverage}
     return out
 
 
@@ -175,7 +169,7 @@ def store_chain_study(runner: Optional[Runner] = None
     store's dependence chain after a confident memory renaming."""
     runner = runner or Runner()
     return {
-        "fvp": overall_gain(runner.suite("fvp", core="skylake")),
-        "fvp+store-chains": overall_gain(runner.suite(
-            lambda: FVP(accelerate_store_chains=True), core="skylake")),
+        "fvp": runner.suite("fvp", core="skylake").gain,
+        "fvp+store-chains": runner.suite(
+            lambda: FVP(accelerate_store_chains=True), core="skylake").gain,
     }

@@ -50,6 +50,15 @@ class SimResult:
         self.timing: Optional[Dict[str, List[int]]] = None
 
     # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Field-by-field equality — two runs of the same deterministic
+        job (serial, parallel, or cache-restored) compare equal."""
+        if not isinstance(other, SimResult):
+            return NotImplemented
+        return all(getattr(self, slot) == getattr(other, slot)
+                   for slot in self.__slots__)
+
+    # ------------------------------------------------------------------
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0

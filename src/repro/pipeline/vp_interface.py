@@ -24,13 +24,21 @@ in-flight store tracking that MR and DLVP tap.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.isa.instruction import MicroOp
 
 
+@dataclass(frozen=True, repr=False)
 class Prediction:
     """A confident value prediction consumed by the engine.
+
+    Predictions are immutable value objects: once a predictor hands one
+    to the engine it must not change (the engine compares it against
+    the architectural value at completion, possibly many cycles later),
+    and two predictions compare equal iff they carry the same value,
+    store tag, and source.
 
     Attributes
     ----------
@@ -47,13 +55,9 @@ class Prediction:
         ``"cv"``, ``"mr"``, ``"stride"``, ...) for attribution stats.
     """
 
-    __slots__ = ("value", "store_seq", "source")
-
-    def __init__(self, value: int, store_seq: Optional[int] = None,
-                 source: str = "vp") -> None:
-        self.value = value
-        self.store_seq = store_seq
-        self.source = source
+    value: int
+    store_seq: Optional[int] = None
+    source: str = "vp"
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         extra = f" store_seq={self.store_seq}" if self.store_seq is not None \
@@ -116,10 +120,34 @@ class EngineContext:
 
 
 class ValuePredictor:
-    """Base class; the default implementation predicts nothing."""
+    """Base class; the default implementation predicts nothing.
+
+    Lifecycle
+    ---------
+    A predictor instance belongs to exactly **one** simulation.  The
+    campaign engine (:mod:`repro.experiments.campaign`) marks each
+    instance when a job consumes it and raises if a spec hands the same
+    instance to a second job — learned state leaking between runs
+    would silently corrupt a campaign.  :meth:`reset` is the escape
+    hatch: it returns the predictor to a just-constructed state and
+    clears the engine's reuse marker, for interactive use and tests
+    that deliberately rerun one instance.
+    """
 
     #: Short identifier used in result tables.
     name = "none"
+
+    #: Set by the campaign engine when a job consumes this instance.
+    _claimed_by_job = False
+
+    def reset(self) -> None:
+        """Restore the just-constructed state.
+
+        The base implementation only clears the campaign engine's
+        reuse marker; stateful predictors should override it to clear
+        their tables (calling ``super().reset()`` first) if they want
+        to support explicit reuse."""
+        self._claimed_by_job = False
 
     def predict(self, uop: MicroOp, ctx: EngineContext) -> Optional[Prediction]:
         """Front-end lookup at allocation.  Return a prediction only at

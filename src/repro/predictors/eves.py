@@ -16,6 +16,7 @@ confident stride subsumes a constant: stride 0).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from repro.isa import opcodes
@@ -66,7 +67,7 @@ class EvesPredictor(ValuePredictor):
             return Prediction(predicted, source="estride")
         inner = self.evtage.predict(uop, ctx)
         if inner is not None:
-            inner.source = "evtage"
+            inner = replace(inner, source="evtage")
         return inner
 
     def train_execute(self, uop: MicroOp, ctx: EngineContext,

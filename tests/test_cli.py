@@ -16,6 +16,27 @@ class TestParser:
         args = build_parser().parse_args(["figure", "10"])
         assert args.number == 10
 
+    def test_figure_accepts_fig_labels(self):
+        assert build_parser().parse_args(["figure", "fig06"]).number == 6
+        assert build_parser().parse_args(["figure", "fig13"]).number == 13
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig05"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "figx"])
+
+    def test_campaign_flags(self):
+        args = build_parser().parse_args(
+            ["figure", "6", "--jobs", "4", "--no-cache"])
+        assert args.jobs == 4
+        assert args.no_cache is True
+        args = build_parser().parse_args(["run", "astar"])
+        assert args.jobs is None and args.no_cache is False
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "fvp", "lvp"])
+        assert args.predictors == ["fvp", "lvp"]
+        assert args.cores == ["skylake"]
+
 
 class TestCommands:
     def test_storage(self, capsys):
@@ -35,7 +56,7 @@ class TestCommands:
 
     def test_run(self, capsys):
         code = main(["run", "astar", "--length", "4000",
-                     "--warmup", "1000"])
+                     "--warmup", "1000", "--no-cache"])
         assert code == 0
         assert "speedup" in capsys.readouterr().out
 
@@ -45,7 +66,52 @@ class TestCommands:
 
     def test_compare(self, capsys):
         code = main(["compare", "astar", "baseline", "lvp",
-                     "--length", "4000", "--warmup", "1000"])
+                     "--length", "4000", "--warmup", "1000", "--no-cache"])
         assert code == 0
         out = capsys.readouterr().out
         assert "lvp" in out and "baseline" in out
+
+    def test_sweep(self, capsys):
+        code = main(["sweep", "fvp", "lvp", "--length", "3000",
+                     "--warmup", "800", "--per-category", "1",
+                     "--jobs", "1", "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fvp" in out and "lvp" in out and "geomean gain" in out
+
+    def test_sweep_per_workload(self, capsys):
+        code = main(["sweep", "fvp", "--length", "3000",
+                     "--warmup", "800", "--per-category", "1",
+                     "--jobs", "1", "--no-cache", "--per-workload"])
+        assert code == 0
+        assert "geomean" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def test_run_populates_cache_then_rerun_hits(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["run", "astar", "--length", "3000", "--warmup", "800",
+                "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 2" in out
+        assert "last run: 2 hits, 0 misses, 0 simulations executed" in out
+
+    def test_cache_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["run", "astar", "--length", "3000", "--warmup", "800",
+              "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 2" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_stats_on_missing_dir(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "nothing-here")
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" in out

@@ -33,7 +33,7 @@ class TestCliReport:
         path = str(tmp_path / "out.md")
         code = main(["report", "--output", path, "--figures", "6",
                      "--length", "4000", "--warmup", "1500",
-                     "--per-category", "1"])
+                     "--per-category", "1", "--no-cache"])
         assert code == 0
         assert "wrote" in capsys.readouterr().out
         assert "Figure 6" in open(path).read()
