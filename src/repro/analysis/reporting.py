@@ -8,7 +8,9 @@ EXPERIMENTS.md quotes them).
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
+
+from repro.telemetry.stalls import ALL_BUCKETS
 
 
 def format_table(headers: Sequence[str],
@@ -73,6 +75,43 @@ def format_suite(title: str, suite) -> str:
     table = format_table(
         ("workload", "category", "speedup", "gain", "coverage"), rows)
     return f"{title}\n{table}"
+
+
+def format_cpi_breakdown(result, baseline: Optional[object] = None,
+                         title: Optional[str] = None) -> str:
+    """Render a run's per-bucket CPI breakdown (``repro profile``).
+
+    One row per stall-taxonomy bucket with its cycle count, CPI
+    contribution, and share of all cycles; when ``baseline`` (another
+    :class:`~repro.pipeline.results.SimResult` over the same trace) is
+    given, two more columns show the baseline's CPI and the delta —
+    negative deltas are cycles-per-instruction the predictor removed
+    from that bucket.
+    """
+    mine = result.cpi_breakdown()
+    theirs = baseline.cpi_breakdown() if baseline is not None else None
+    total = sum(result.stall_cycles.values())
+    headers = ["bucket", "cycles", "CPI", "share"]
+    if theirs is not None:
+        headers += [f"{baseline.predictor} CPI", "ΔCPI"]
+    rows = []
+    for bucket in ALL_BUCKETS:
+        cycles = result.stall_cycles.get(bucket, 0)
+        row = [bucket, cycles, f"{mine[bucket]:.4f}",
+               f"{cycles / total:.1%}" if total else "-"]
+        if theirs is not None:
+            row += [f"{theirs[bucket]:.4f}",
+                    f"{mine[bucket] - theirs[bucket]:+.4f}"]
+        rows.append(row)
+    footer = ["total", total, f"{sum(mine.values()):.4f}", "100.0%"]
+    if theirs is not None:
+        footer += [f"{sum(theirs.values()):.4f}",
+                   f"{sum(mine.values()) - sum(theirs.values()):+.4f}"]
+    rows.append(footer)
+    if title is None:
+        title = (f"{result.workload} on {result.core}: "
+                 f"{result.predictor} CPI breakdown")
+    return f"{title}\n{format_table(headers, rows)}"
 
 
 def format_series(title: str, labels: Sequence[str],

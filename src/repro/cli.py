@@ -5,11 +5,14 @@ Commands
 ``list``      — list workloads (optionally one category)
 ``run``       — simulate one workload under one predictor
 ``compare``   — baseline vs a set of predictors on one workload
+``profile``   — per-bucket CPI breakdown (stall attribution) and the
+                delta against a second predictor; optional event-trace
+                export (``--trace-json``/``--trace-csv``)
 ``figure``    — regenerate one of the paper's figures (``6`` or ``fig06``)
 ``sweep``     — predictors × cores over the workload suite
 ``storage``   — print Table I
 ``report``    — write a full reproduction report
-``cache``     — inspect or clear the persistent result cache
+``cache``     — inspect, clear, or prune the persistent result cache
 
 Every simulating command runs through the campaign engine
 (:mod:`repro.experiments.campaign`): ``--jobs N`` fans simulations out
@@ -31,6 +34,7 @@ from repro.experiments.runner import (
     default_warmup,
 )
 from repro.predictors import make_predictor
+from repro.telemetry.trace import DEFAULT_CAPACITY
 from repro.trace.workloads import CATALOGUE, CATEGORIES, get_profile
 
 
@@ -127,6 +131,67 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _parse_age(text: str) -> float:
+    """Duration in seconds from ``3600``, ``30m``, ``12h``, ``7d``,
+    ``2w`` forms."""
+    units = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 7 * 86400}
+    raw = text.strip().lower()
+    scale = 1.0
+    if raw and raw[-1] in units:
+        scale = units[raw[-1]]
+        raw = raw[:-1]
+    try:
+        seconds = float(raw) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not an age (use e.g. 3600, 30m, 12h, 7d)"
+        ) from None
+    if seconds < 0:
+        raise argparse.ArgumentTypeError("age must be >= 0")
+    return seconds
+
+
+def cmd_profile(args) -> int:
+    """Stall-attribution CPI breakdown, predictor vs baseline."""
+    from repro.analysis.reporting import format_cpi_breakdown
+
+    runner = _runner(args, workloads=[args.workload])
+    against_spec = None if args.against == "baseline" else args.against
+    result = runner.run(args.workload, args.core, args.predictor)
+    against = runner.run(args.workload, args.core, against_spec)
+    print(format_cpi_breakdown(result, against))
+    print(f"IPC {result.ipc:.3f} vs {against.predictor} "
+          f"{against.ipc:.3f} ({result.ipc / against.ipc - 1:+.2%})")
+    if args.trace_json or args.trace_csv:
+        _export_event_trace(args, runner)
+    return 0
+
+
+def _export_event_trace(args, runner) -> None:
+    """Rerun the profiled configuration in-process with the bounded
+    event ring enabled and write the requested export(s)."""
+    from repro.experiments.campaign import build_predictor
+    from repro.experiments.runner import core_config
+    from repro.pipeline.engine import Engine
+    from repro.telemetry.export import write_chrome_trace, write_csv_trace
+
+    trace = runner.trace(args.workload)
+    config = core_config(args.core)
+    predictor = build_predictor(args.predictor, trace, config)
+    engine = Engine(config, predictor, collect_events=True,
+                    event_capacity=args.trace_events)
+    result = engine.run(trace, workload=args.workload,
+                        warmup=_warmup(args))
+    label = f"{args.workload}/{args.core}/{args.predictor}"
+    if args.trace_json:
+        write_chrome_trace(args.trace_json, result.events, label)
+        print(f"wrote {args.trace_json} ({len(result.events)} events, "
+              f"{result.events.dropped} dropped)")
+    if args.trace_csv:
+        write_csv_trace(args.trace_csv, result.events)
+        print(f"wrote {args.trace_csv}")
+
+
 def cmd_figure(args) -> int:
     from repro.experiments import figures
 
@@ -199,6 +264,15 @@ def cmd_cache(args) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.root}")
         return 0
+    if args.action == "prune":
+        if args.older_than is None:
+            print("cache prune requires --older-than (e.g. 7d, 12h)",
+                  file=sys.stderr)
+            return 2
+        removed = cache.prune(args.older_than)
+        print(f"pruned {removed} cached result(s) older than "
+              f"{args.older_than:.0f}s from {cache.root}")
+        return 0
     stats = cache.load_stats()
     entries = cache.entries()
     last = stats["last_run"]
@@ -233,6 +307,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_args(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="per-bucket CPI breakdown and delta vs another predictor")
+    p_prof.add_argument("workload")
+    p_prof.add_argument("--predictor", default="fvp")
+    p_prof.add_argument("--against", default="baseline", metavar="PRED",
+                        help="predictor to diff against "
+                             "(default: baseline)")
+    p_prof.add_argument("--trace-json", default=None, metavar="FILE",
+                        help="write a Chrome-trace JSON event trace")
+    p_prof.add_argument("--trace-csv", default=None, metavar="FILE",
+                        help="write a CSV event trace")
+    p_prof.add_argument("--trace-events", type=int, default=DEFAULT_CAPACITY,
+                        metavar="N",
+                        help="event ring-buffer capacity (keeps the "
+                             "newest N events)")
+    _add_scale_args(p_prof)
+    p_prof.set_defaults(func=cmd_profile)
+
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", type=_figure_number,
                        choices=range(6, 14), metavar="{6..13|fig06..fig13}")
@@ -266,9 +359,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_args(p_report)
     p_report.set_defaults(func=cmd_report)
 
-    p_cache = sub.add_parser("cache",
-                             help="inspect or clear the result cache")
-    p_cache.add_argument("action", choices=("stats", "clear"))
+    p_cache = sub.add_parser(
+        "cache", help="inspect, clear, or prune the result cache")
+    p_cache.add_argument("action", choices=("stats", "clear", "prune"))
+    p_cache.add_argument("--older-than", type=_parse_age, default=None,
+                         metavar="AGE",
+                         help="prune entries older than AGE "
+                              "(e.g. 3600, 30m, 12h, 7d)")
     p_cache.add_argument("--cache-dir", default=None, metavar="DIR")
     p_cache.set_defaults(func=cmd_cache)
     return parser
@@ -284,7 +381,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"unknown workload {workload!r} "
                   f"(see `repro list`)", file=sys.stderr)
             return 2
-    for name in getattr(args, "predictors", None) or ():
+    names = list(getattr(args, "predictors", None) or ())
+    for attr in ("predictor", "against"):
+        value = getattr(args, attr, None)
+        if value is not None and value != "baseline":
+            names.append(value)
+    for name in names:
         try:
             make_predictor(name)
         except ValueError as exc:

@@ -18,12 +18,17 @@ things the plain :class:`~repro.experiments.runner.Runner` loop lacks:
   aborting the campaign.
 * **A persistent cache** — :class:`ResultCache` stores every
   :class:`~repro.pipeline.results.SimResult` under ``.repro-cache/``
-  keyed by a content hash of everything that determines the result:
-  the workload profile (kernel classes, weights, parameters, seed),
-  trace length and warmup, every :class:`CoreConfig` field, the
-  predictor spec, and ``repro.__version__``.  Re-running an unchanged
-  figure is a pure cache hit; changing any input — or bumping the
-  package version — invalidates exactly the affected jobs.
+  (as ``SimResult.to_dict()`` JSON) keyed by a content hash of
+  everything that determines the result: the workload profile (kernel
+  classes, weights, parameters, seed), trace length and warmup, every
+  :class:`CoreConfig` field, the predictor spec, ``repro.__version__``
+  and the telemetry schema version (results carry their stall
+  attribution and statistic tree, so a taxonomy change invalidates the
+  cache too).  Re-running an unchanged figure is a pure cache hit;
+  changing any input — or bumping either version — invalidates exactly
+  the affected jobs.  :meth:`ResultCache.prune` (CLI: ``repro cache
+  prune --older-than 7d``) ages out stale entries so the directory
+  cannot grow unbounded.
 
 Observability: the engine emits a :class:`JobEvent` per job (cache hit,
 start, completion with wall-clock seconds) through a ``progress``
@@ -37,7 +42,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -55,7 +59,7 @@ from typing import (
 import repro
 from repro.isa.instruction import MicroOp
 from repro.pipeline.engine import Engine
-from repro.pipeline.results import SimResult
+from repro.pipeline.results import TELEMETRY_SCHEMA_VERSION, SimResult
 from repro.pipeline.vp_interface import ValuePredictor
 from repro.trace.builder import build_trace
 from repro.trace.workloads import get_profile
@@ -155,6 +159,7 @@ def job_key(job: Job) -> Optional[str]:
         "length": job.length,
         "warmup": job.warmup,
         "version": repro.__version__,
+        "telemetry": TELEMETRY_SCHEMA_VERSION,
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -233,12 +238,19 @@ def _worker(payload: Tuple[str, str, Optional[str], int, int]
 class ResultCache:
     """On-disk SimResult store keyed by :func:`job_key` hashes.
 
-    Layout: ``<root>/<key>.pkl`` per result plus ``<root>/stats.json``
-    with cumulative and last-run hit/miss/simulation counters.
-    Corrupted entries are deleted and treated as misses.
+    Layout: ``<root>/<key>.json`` per result (the
+    :meth:`SimResult.to_dict` round-trip format) plus
+    ``<root>/stats.json`` with cumulative and last-run
+    hit/miss/simulation counters.  Corrupted entries — including
+    entries written by an older telemetry schema — are deleted and
+    treated as misses.
     """
 
     STATS_FILE = "stats.json"
+    SUFFIX = ".json"
+    #: Suffix of pre-telemetry pickle entries; never read, but still
+    #: swept by :meth:`clear` and :meth:`prune`.
+    LEGACY_SUFFIX = ".pkl"
 
     def __init__(self, root: Optional[str] = None) -> None:
         self.root = root or os.environ.get("REPRO_CACHE_DIR",
@@ -251,19 +263,17 @@ class ResultCache:
 
     # -- storage -------------------------------------------------------
     def path(self, key: str) -> str:
-        return os.path.join(self.root, key + ".pkl")
+        return os.path.join(self.root, key + self.SUFFIX)
 
     def get(self, key: str) -> Optional[SimResult]:
         try:
-            with open(self.path(key), "rb") as handle:
-                result = pickle.load(handle)
-            if not isinstance(result, SimResult):
-                raise pickle.UnpicklingError("not a SimResult")
+            with open(self.path(key), "r", encoding="utf-8") as handle:
+                result = SimResult.from_dict(json.load(handle))
         except FileNotFoundError:
             self.misses += 1
             return None
         except Exception:
-            # Corrupted entry: drop it and recompute.
+            # Corrupted or stale-schema entry: drop it and recompute.
             try:
                 os.remove(self.path(key))
             except OSError:
@@ -277,30 +287,50 @@ class ResultCache:
         os.makedirs(self.root, exist_ok=True)
         final = self.path(key)
         tmp = final + f".tmp.{os.getpid()}"
-        with open(tmp, "wb") as handle:
-            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle,
+                      separators=(",", ":"))
         os.replace(tmp, final)  # atomic: concurrent campaigns never
         self.stores += 1        # observe a half-written entry
 
     # -- inventory -----------------------------------------------------
     def entries(self) -> List[str]:
+        suffix = self.SUFFIX
+        stats_name = self.STATS_FILE
         try:
-            return sorted(name[:-4] for name in os.listdir(self.root)
-                          if name.endswith(".pkl"))
+            return sorted(name[:-len(suffix)]
+                          for name in os.listdir(self.root)
+                          if name.endswith(suffix) and name != stats_name)
         except FileNotFoundError:
             return []
 
+    def _entry_files(self) -> List[str]:
+        """Every result file on disk, current and legacy format."""
+        try:
+            names = os.listdir(self.root)
+        except FileNotFoundError:
+            return []
+        return [os.path.join(self.root, name) for name in sorted(names)
+                if (name.endswith(self.SUFFIX)
+                    or name.endswith(self.LEGACY_SUFFIX))
+                and name != self.STATS_FILE]
+
     def size_bytes(self) -> int:
-        return sum(os.path.getsize(self.path(key))
-                   for key in self.entries())
+        total = 0
+        for path in self._entry_files():
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                pass
+        return total
 
     def clear(self) -> int:
         """Delete every cached result (and the stats); returns the
         number of entries removed."""
         removed = 0
-        for key in self.entries():
+        for path in self._entry_files():
             try:
-                os.remove(self.path(key))
+                os.remove(path)
                 removed += 1
             except OSError:
                 pass
@@ -308,6 +338,24 @@ class ResultCache:
             os.remove(os.path.join(self.root, self.STATS_FILE))
         except OSError:
             pass
+        return removed
+
+    def prune(self, older_than: float,
+              now: Optional[float] = None) -> int:
+        """Delete entries not touched for ``older_than`` seconds
+        (by file mtime — a cache hit does not refresh it); returns the
+        number removed.  Keeps ``stats.json``."""
+        if older_than < 0:
+            raise ValueError(f"older_than must be >= 0, got {older_than}")
+        cutoff = (time.time() if now is None else now) - older_than
+        removed = 0
+        for path in self._entry_files():
+            try:
+                if os.path.getmtime(path) < cutoff:
+                    os.remove(path)
+                    removed += 1
+            except OSError:
+                pass
         return removed
 
     # -- persistent counters -------------------------------------------

@@ -117,3 +117,19 @@ class FrontEnd:
         if not self.control_ops:
             return 0.0
         return self.mispredicts / self.control_ops
+
+    # ------------------------------------------------------------------
+    def publish_stats(self, group) -> None:
+        """Register this front end's statistics into a telemetry
+        :class:`~repro.telemetry.stats.StatGroup`."""
+        group.counter("branch_accuracy",
+                      "fraction of control ops fully predicted",
+                      1.0 - self.mispredict_rate)
+        group.counter("control_ops", "control micro-ops seen",
+                      self.control_ops)
+        group.counter("mispredicts", "direction or target mispredicts",
+                      self.mispredicts)
+        group.counter("btb_misses", "BTB target misses", self.btb_misses)
+        group.counter("icache_misses", "L1I line misses",
+                      self.icache.misses)
+        group.counter("icache_hits", "L1I line hits", self.icache.hits)

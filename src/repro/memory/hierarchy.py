@@ -158,3 +158,19 @@ class MemoryHierarchy:
             "llc_hit_rate": self.llc.hit_rate,
             "dram_row_hit_rate": self.dram.row_hit_rate,
         }
+
+    def publish_stats(self, group) -> None:
+        """Register the hierarchy's statistics into a telemetry
+        :class:`~repro.telemetry.stats.StatGroup` — one child group per
+        cache plus the DRAM row-state counters."""
+        for cache in (self.l1, self.l2, self.llc):
+            sub = group.group(cache.name.lower())
+            sub.counter("hits", value=cache.hits)
+            sub.counter("misses", value=cache.misses)
+            sub.counter("prefetch_fills", value=cache.prefetch_fills)
+            sub.counter("prefetch_hits", value=cache.prefetch_hits)
+        dram = group.group("dram")
+        dram.counter("accesses", value=self.dram.accesses)
+        dram.counter("row_hits", value=self.dram.row_hits)
+        dram.counter("row_misses", value=self.dram.row_misses)
+        dram.counter("row_conflicts", value=self.dram.row_conflicts)

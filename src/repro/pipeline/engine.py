@@ -11,6 +11,15 @@ The engine hosts exactly one :class:`~repro.pipeline.vp_interface.ValuePredictor
 and gives it the architectural hooks the paper's hardware has: a
 front-end lookup at allocation, a training call at execution carrying
 the retirement-stall criticality signal, and the LSQ forwarding tap.
+
+Cycle accounting (docs/TELEMETRY.md): as each op's retirement is
+scheduled, the gap back to the previous retirement is charged to the
+top-down cause that bound it — the op's own execution (load vs
+non-load), port/issue contention, a producer dependence, or whichever
+allocation constraint (flush recovery, window/queue occupancy, fetch)
+held it back.  The per-bucket totals partition the run's cycles
+exactly, and every component publishes its statistics into one
+:class:`~repro.telemetry.stats.StatGroup` tree on the result.
 """
 
 from __future__ import annotations
@@ -28,6 +37,23 @@ from repro.pipeline.config import CoreConfig
 from repro.pipeline.results import SimResult
 from repro.pipeline.vp_interface import (EngineContext, NoPredictor,
                                          ValuePredictor)
+from repro.telemetry.stalls import (
+    BRANCH_FLUSH,
+    FRONTEND_STARVED,
+    HEAD_WAIT_EXEC,
+    HEAD_WAIT_LOAD,
+    IQ_FULL,
+    LQ_FULL,
+    MEM_FLUSH,
+    PORT_CONTENTION,
+    RETIRING,
+    ROB_FULL,
+    SQ_FULL,
+    VP_FLUSH,
+    empty_buckets,
+)
+from repro.telemetry.stats import StatGroup
+from repro.telemetry.trace import DEFAULT_CAPACITY, EventTrace
 
 # Port-group aliasing: control ops share the branch ports, NOPs flow
 # through the ALU ports.
@@ -77,10 +103,14 @@ class Engine:
 
     def __init__(self, config: CoreConfig,
                  predictor: Optional[ValuePredictor] = None,
-                 collect_timing: bool = False) -> None:
+                 collect_timing: bool = False,
+                 collect_events: bool = False,
+                 event_capacity: int = DEFAULT_CAPACITY) -> None:
         self.config = config
         self.predictor = predictor or NoPredictor()
         self.collect_timing = collect_timing
+        self.collect_events = collect_events
+        self.event_capacity = event_capacity
         self.frontend = FrontEnd(config.frontend)
         self.memory = MemoryHierarchy(config.memory)
         self.store_sets = StoreSets()
@@ -152,11 +182,17 @@ class Engine:
             raise ValueError(f"warmup {warmup} must be in [0, {n})")
         result.instructions = n - warmup
         if n == 0:
+            result.telemetry = self._publish(result, StatGroup("sim"))
             return result
         cycle_base = 0
         level_base = {}
 
         reg_ready = [0] * 16
+        # Whether the last writer of each register was a load whose
+        # value arrives from the memory system (value-predicted and
+        # renamed producers count as non-load: their consumers are not
+        # waiting on memory).
+        reg_writer_load = [False] * 16
         writer_pc = [0] * 16
         writer_seq = [-1] * 16
         self._reg_ready = reg_ready
@@ -190,9 +226,24 @@ class Engine:
         heapq.heapify(issue_bw)
 
         redirect_t = 0
+        redirect_cause = FRONTEND_STARVED  # placeholder until a flush
         prev_retire = 0
         num_loads = 0
         num_stores = 0
+
+        # Cycle accounting: post-warmup and warmup buckets (kept
+        # separate so default_warmup runs don't pollute the reported
+        # breakdown), plus a histogram of retirement-gap lengths.
+        main_buckets = result.stall_cycles
+        warmup_buckets = result.warmup_stall_cycles
+        telemetry = StatGroup("sim")
+        pipeline_group = telemetry.group(
+            "pipeline", "cycle accounting and stall attribution")
+        gap_hist = pipeline_group.histogram(
+            "stall-gaps", "non-retiring gap lengths (post-warmup)")
+
+        events = EventTrace(self.event_capacity) \
+            if self.collect_events else None
 
         timing = None
         if self.collect_timing:
@@ -218,18 +269,34 @@ class Engine:
                 level_base = dict(memory.level_counts)
 
             # ---------------- front end / allocate ----------------
+            # Track which constraint binds allocation (`alloc_cause`);
+            # ties keep the earlier, higher-priority cause.
             earliest = redirect_t
+            alloc_cause = redirect_cause
             bubbles = frontend.fetch_bubbles(uop.pc)
             if bubbles:
-                earliest = max(earliest, alloc_machine.cycle) + bubbles
+                base = earliest if earliest > alloc_machine.cycle \
+                    else alloc_machine.cycle
+                earliest = base + bubbles
+                alloc_cause = FRONTEND_STARVED
             if idx >= rob_size:
-                earliest = max(earliest, retire_times[idx - rob_size])
+                t = retire_times[idx - rob_size]
+                if t > earliest:
+                    earliest = t
+                    alloc_cause = ROB_FULL
             if len(iq_heap) >= iq_size and iq_heap[0] > earliest:
                 earliest = iq_heap[0]
+                alloc_cause = IQ_FULL
             if is_load and num_loads >= lq_size:
-                earliest = max(earliest, load_retires[num_loads - lq_size])
+                t = load_retires[num_loads - lq_size]
+                if t > earliest:
+                    earliest = t
+                    alloc_cause = LQ_FULL
             if is_store and num_stores >= sq_size:
-                earliest = max(earliest, store_retires[num_stores - sq_size])
+                t = store_retires[num_stores - sq_size]
+                if t > earliest:
+                    earliest = t
+                    alloc_cause = SQ_FULL
             alloc_t = alloc_machine.schedule(earliest)
             self._now_alloc = alloc_t
 
@@ -252,10 +319,12 @@ class Engine:
 
             # ---------------- dataflow readiness ----------------
             ready = alloc_t + 1
+            dep_load = False
             for src in uop.srcs:
                 t = reg_ready[src]
                 if t > ready:
                     ready = t
+                    dep_load = reg_writer_load[src]
 
             # Memory disambiguation for loads with an in-flight producer
             # store: a store-sets hit serialises the load behind the
@@ -268,6 +337,7 @@ class Engine:
                 if dep is not None:
                     if store_complete > ready:
                         ready = store_complete
+                        dep_load = False
                 elif store_complete > ready:
                     violation = True
 
@@ -301,9 +371,13 @@ class Engine:
                         if collecting:
                             result.mem_violations += 1
                         self.store_sets.record_violation(uop.pc, fwd[1])
-                        redirect_t = max(
-                            redirect_t,
-                            complete_t + cfg.mem_violation_penalty)
+                        t = complete_t + cfg.mem_violation_penalty
+                        if t > redirect_t:
+                            redirect_t = t
+                            redirect_cause = MEM_FLUSH
+                            if events is not None:
+                                events.record(complete_t, "flush", idx,
+                                              uop.pc, op, MEM_FLUSH)
             elif is_store:
                 complete_t = issue_t + 1
                 memory.access(uop.pc, uop.addr, complete_t, is_store=True)
@@ -313,6 +387,37 @@ class Engine:
             # ---------------- retire ----------------
             retire_t = retire_machine.schedule(
                 max(complete_t + 1, prev_retire))
+
+            # ---------------- cycle accounting ----------------
+            # Gap cycles back to the previous retirement are exactly
+            # the cycles in which nothing retired; charge them to the
+            # constraint chain that bound this op (retirement times are
+            # monotone, so the partition is exact by construction).
+            gap = retire_t - prev_retire
+            if gap > 0:
+                buckets = main_buckets if collecting else warmup_buckets
+                buckets[RETIRING] += 1
+                if gap > 1:
+                    # gap > 1 implies retire_t == complete_t + 1: the
+                    # op's own completion was the binding constraint.
+                    hi = retire_t - 1
+                    pos = prev_retire
+                    for bound, bucket in (
+                            (earliest, alloc_cause),
+                            (alloc_t, FRONTEND_STARVED),
+                            (ready, HEAD_WAIT_LOAD if dep_load
+                             else HEAD_WAIT_EXEC),
+                            (issue_t, PORT_CONTENTION),
+                            (hi, HEAD_WAIT_LOAD if is_load
+                             else HEAD_WAIT_EXEC)):
+                        if bound > pos:
+                            top = bound if bound < hi else hi
+                            buckets[bucket] += top - pos
+                            pos = top
+                            if pos == hi:
+                                break
+                    if collecting:
+                        gap_hist.observe(gap - 1)
             prev_retire = retire_t
 
             # ---------------- criticality signal ----------------
@@ -342,9 +447,13 @@ class Engine:
                     if collecting:
                         result.branch_mispredicts += 1
                     ctx.branch_mispredicted = True
-                    redirect_t = max(
-                        redirect_t,
-                        complete_t + frontend.mispredict_penalty)
+                    t = complete_t + frontend.mispredict_penalty
+                    if t > redirect_t:
+                        redirect_t = t
+                        redirect_cause = BRANCH_FLUSH
+                        if events is not None:
+                            events.record(complete_t, "flush", idx,
+                                          uop.pc, op, BRANCH_FLUSH)
 
             # ---------------- value-prediction outcome ----------------
             vp_correct = True
@@ -369,8 +478,13 @@ class Engine:
                         result.wrong_predictions += 1
                         result.vp_flushes += 1
                 if not vp_correct:
-                    redirect_t = max(redirect_t,
-                                     complete_t + cfg.vp_penalty)
+                    t = complete_t + cfg.vp_penalty
+                    if t > redirect_t:
+                        redirect_t = t
+                        redirect_cause = VP_FLUSH
+                        if events is not None:
+                            events.record(complete_t, "flush", idx,
+                                          uop.pc, op, VP_FLUSH)
 
             # ---------------- architectural updates ----------------
             dest = uop.dest
@@ -382,8 +496,10 @@ class Engine:
                         if rec is not None and rec[2] > avail:
                             avail = rec[2]
                     reg_ready[dest] = avail
+                    reg_writer_load[dest] = False
                 else:
                     reg_ready[dest] = complete_t
+                    reg_writer_load[dest] = is_load
                 writer_pc[dest] = uop.pc
                 writer_seq[dest] = idx
 
@@ -421,17 +537,46 @@ class Engine:
                 timing["retire"][idx] = retire_t
                 timing["mispredict"][idx] = ctx.branch_mispredicted
 
+            if events is not None:
+                events.record(alloc_t, "alloc", idx, uop.pc, op)
+                events.record(issue_t, "issue", idx, uop.pc, op)
+                events.record(complete_t, "complete", idx, uop.pc, op)
+                events.record(retire_t, "retire", idx, uop.pc, op)
+
         result.cycles = prev_retire - cycle_base
         result.level_counts = {
             level: count - level_base.get(level, 0)
             for level, count in memory.level_counts.items()}
-        result.frontend_stats = {
-            "branch_accuracy": 1.0 - frontend.mispredict_rate,
-            "icache_misses": frontend.icache.misses,
-            "btb_misses": frontend.btb_misses,
-        }
-        result.predictor_stats = predictor.stats()
+        result.events = events
+        result.telemetry = self._publish(result, telemetry)
         return result
+
+    # ------------------------------------------------------------------
+    def _publish(self, result: SimResult, telemetry: StatGroup) -> StatGroup:
+        """Assemble the per-run statistic tree: the engine's cycle
+        accounting plus every component's published group."""
+        pipeline_group = telemetry.group(
+            "pipeline", "cycle accounting and stall attribution")
+        pipeline_group.counter("cycles", "post-warmup cycles",
+                               result.cycles)
+        pipeline_group.counter("instructions", "post-warmup micro-ops",
+                               result.instructions)
+        stalls = pipeline_group.group("stalls",
+                                      "post-warmup cycle partition")
+        stalls.counters_from(result.stall_cycles)
+        warm = pipeline_group.group("warmup-stalls",
+                                    "warmup-prefix cycle partition")
+        warm.counters_from(result.warmup_stall_cycles)
+        self.frontend.publish_stats(
+            telemetry.group("frontend", "branch prediction and fetch"))
+        memory_group = telemetry.group("memory", "data-side hierarchy")
+        memory_group.group(
+            "levels", "post-warmup accesses served per level"
+        ).counters_from(result.level_counts)
+        self.memory.publish_stats(memory_group)
+        self.predictor.publish_stats(
+            telemetry.group("predictor", "value-predictor internals"))
+        return telemetry
 
     def _prune_stores(self, now: int) -> None:
         """Drop store records that can no longer forward or be renamed."""
@@ -450,7 +595,8 @@ class Engine:
 def simulate(trace: Sequence[MicroOp], config: CoreConfig = None,
              predictor: Optional[ValuePredictor] = None,
              workload: str = "trace", warmup: int = 0,
-             collect_timing: bool = False) -> SimResult:
+             collect_timing: bool = False,
+             collect_events: bool = False) -> SimResult:
     """One-call convenience wrapper: build an engine and run a trace.
 
     >>> from repro.isa import alu
@@ -460,5 +606,6 @@ def simulate(trace: Sequence[MicroOp], config: CoreConfig = None,
     64
     """
     engine = Engine(config or CoreConfig.skylake(), predictor,
-                    collect_timing=collect_timing)
+                    collect_timing=collect_timing,
+                    collect_events=collect_events)
     return engine.run(trace, workload=workload, warmup=warmup)

@@ -132,6 +132,13 @@ class ValuePredictor:
     hatch: it returns the predictor to a just-constructed state and
     clears the engine's reuse marker, for interactive use and tests
     that deliberately rerun one instance.
+
+    Every subclass supports :meth:`reset` without writing any code:
+    the base class records each instance's constructor arguments (see
+    ``__init_subclass__``) and ``reset`` replays the constructor, so
+    post-reset state is *defined* to equal fresh-construction state
+    (asserted over the whole registry in
+    ``tests/test_predictor_reset.py``).
     """
 
     #: Short identifier used in result tables.
@@ -140,13 +147,41 @@ class ValuePredictor:
     #: Set by the campaign engine when a job consumes this instance.
     _claimed_by_job = False
 
-    def reset(self) -> None:
-        """Restore the just-constructed state.
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Wrap the subclass's own ``__init__`` to remember the
+        arguments it was constructed with.  The outermost constructor
+        records last, so ``_ctor_args`` always reflects the arguments
+        of the instance's actual class."""
+        super().__init_subclass__(**kwargs)
+        init = cls.__dict__.get("__init__")
+        if init is None or getattr(init, "_records_ctor_args", False):
+            return
 
-        The base implementation only clears the campaign engine's
-        reuse marker; stateful predictors should override it to clear
-        their tables (calling ``super().reset()`` first) if they want
-        to support explicit reuse."""
+        import functools
+
+        @functools.wraps(init)
+        def recording_init(self, *args, **kw):
+            init(self, *args, **kw)
+            self._ctor_args = (args, kw)
+
+        recording_init._records_ctor_args = True
+        cls.__init__ = recording_init
+
+    def reset(self) -> None:
+        """Restore the just-constructed state by replaying the
+        constructor with its recorded arguments, and clear the
+        campaign engine's reuse marker.
+
+        Composite predictors take already-built component predictors
+        as constructor arguments; replaying the constructor alone
+        would re-adopt them with their learned state intact, so any
+        :class:`ValuePredictor` found among the recorded arguments is
+        reset first.
+        """
+        args, kwargs = getattr(self, "_ctor_args", ((), {}))
+        for argument in (*args, *kwargs.values()):
+            _reset_nested(argument)
+        self.__init__(*args, **kwargs)
         self._claimed_by_job = False
 
     def predict(self, uop: MicroOp, ctx: EngineContext) -> Optional[Prediction]:
@@ -176,6 +211,33 @@ class ValuePredictor:
     def stats(self) -> dict:
         """Optional predictor-internal statistics for reports."""
         return {}
+
+    def publish_stats(self, group) -> None:
+        """Register this predictor's statistics into a telemetry
+        :class:`~repro.telemetry.stats.StatGroup`.  The default
+        publishes :meth:`stats` (nested dicts become child groups);
+        predictors with richer structure can override."""
+        _publish_mapping(group, self.stats())
+        group.counter("storage_bits", "Table-I state budget",
+                      self.storage_bits())
+
+
+def _reset_nested(argument) -> None:
+    """Reset predictors hiding in a recorded constructor argument."""
+    if isinstance(argument, ValuePredictor):
+        argument.reset()
+    elif isinstance(argument, (list, tuple)):
+        for item in argument:
+            _reset_nested(item)
+
+
+def _publish_mapping(group, mapping: dict) -> None:
+    """Register a (possibly nested) stats dict as counters/groups."""
+    for key, value in mapping.items():
+        if isinstance(value, dict):
+            _publish_mapping(group.group(key), value)
+        else:
+            group.counter(key, value=value)
 
 
 class NoPredictor(ValuePredictor):

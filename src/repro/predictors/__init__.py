@@ -22,18 +22,10 @@ from repro.predictors.stride import StridePredictor
 from repro.predictors.vtage import VtagePredictor
 
 
-def make_predictor(name: str) -> ValuePredictor:
-    """Build a predictor configuration by its figure-label name.
-
-    Supported names: ``baseline``, ``lvp``, ``stride``, ``fcm``,
-    ``vtage``, ``dvtage``, ``eves``, ``dlvp``, ``mr-8kb``, ``mr-1kb``,
-    ``composite-8kb``, ``composite-1kb``, ``fvp`` and the FVP variants
-    (``fvp-l1-miss``, ``fvp-l1-miss-only``, ``fvp-reg``, ``fvp-mem``,
-    ``fvp-all``, ``fvp-br``).
-    """
+def _factories() -> dict:
     from repro.core import fvp as fvp_mod
 
-    factories = {
+    return {
         "baseline": NoPredictor,
         "lvp": LastValuePredictor,
         "stride": StridePredictor,
@@ -57,6 +49,23 @@ def make_predictor(name: str) -> ValuePredictor:
         "fvp-br": fvp_mod.fvp_branch_chains,
         "fvp+stride": fvp_mod.fvp_with_stride,
     }
+
+
+def predictor_names() -> tuple:
+    """Every registry name, in registration order (for sweeps/tests)."""
+    return tuple(_factories())
+
+
+def make_predictor(name: str) -> ValuePredictor:
+    """Build a predictor configuration by its figure-label name.
+
+    Supported names: ``baseline``, ``lvp``, ``stride``, ``fcm``,
+    ``vtage``, ``dvtage``, ``eves``, ``dlvp``, ``mr-8kb``, ``mr-1kb``,
+    ``composite-8kb``, ``composite-1kb``, ``fvp`` and the FVP variants
+    (``fvp-l1-miss``, ``fvp-l1-miss-only``, ``fvp-reg``, ``fvp-mem``,
+    ``fvp-all``, ``fvp-br``).
+    """
+    factories = _factories()
     try:
         factory = factories[name]
     except KeyError:
@@ -68,6 +77,7 @@ def make_predictor(name: str) -> ValuePredictor:
 
 __all__ = [
     "make_predictor",
+    "predictor_names",
     "ValuePredictor",
     "NoPredictor",
     "LastValuePredictor",

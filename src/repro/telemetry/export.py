@@ -1,0 +1,94 @@
+"""Event-trace exporters: ``chrome://tracing`` JSON and CSV.
+
+The Chrome trace format (a.k.a. Trace Event Format) renders in
+``chrome://tracing`` / Perfetto's legacy loader: each traced micro-op
+becomes one complete (``"ph": "X"``) slice from allocation to
+retirement with its issue/complete milestones in ``args``, laid out
+over a small number of lanes so overlapping lifetimes stay readable;
+flushes become global instant events.  Timestamps are cycles (the
+viewer's "µs" axis reads as cycles).
+
+The CSV export is one row per raw event — the shape spreadsheet /
+pandas post-processing wants.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List
+
+from repro.isa import opcodes
+from repro.telemetry.trace import Event, EventTrace
+
+#: Display lanes ("threads") used to unstack overlapping op lifetimes.
+LANES = 16
+
+
+def chrome_trace(trace: EventTrace, process_name: str = "repro") -> dict:
+    """The trace as a Trace-Event-Format dict (``json.dump`` it, or use
+    :func:`write_chrome_trace`)."""
+    events: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 0,
+        "args": {"name": process_name},
+    }]
+    spans: Dict[int, Dict[str, Event]] = {}
+    for event in trace:
+        if event.kind == "flush":
+            events.append({
+                "name": event.detail or "flush", "ph": "i", "s": "g",
+                "pid": 0, "tid": 0, "ts": event.cycle,
+                "args": {"seq": event.seq, "pc": hex(event.pc)},
+            })
+        else:
+            spans.setdefault(event.seq, {})[event.kind] = event
+    for seq in sorted(spans):
+        milestones = spans[seq]
+        alloc = milestones.get("alloc")
+        retire = milestones.get("retire")
+        if alloc is None or retire is None:
+            continue  # truncated by the ring boundary
+        args = {"seq": seq, "pc": hex(alloc.pc)}
+        for kind in ("issue", "complete"):
+            if kind in milestones:
+                args[kind] = milestones[kind].cycle
+        events.append({
+            "name": f"{opcodes.op_name(alloc.op)}@{alloc.pc:#x}",
+            "cat": opcodes.op_name(alloc.op),
+            "ph": "X", "pid": 0, "tid": seq % LANES,
+            "ts": alloc.cycle,
+            "dur": max(retire.cycle - alloc.cycle, 1),
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, trace: EventTrace,
+                       process_name: str = "repro") -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(trace, process_name), handle)
+
+
+CSV_HEADER = ("cycle", "kind", "seq", "pc", "op", "detail")
+
+
+def csv_trace(trace: EventTrace) -> str:
+    """The trace as CSV text, one row per event."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(CSV_HEADER)
+    for event in trace:
+        writer.writerow((event.cycle, event.kind, event.seq,
+                         f"{event.pc:#x}", opcodes.op_name(event.op),
+                         event.detail))
+    return out.getvalue()
+
+
+def write_csv_trace(path: str, trace: EventTrace) -> None:
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(csv_trace(trace))
+
+
+__all__ = ["LANES", "CSV_HEADER", "chrome_trace", "write_chrome_trace",
+           "csv_trace", "write_csv_trace"]

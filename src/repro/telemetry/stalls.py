@@ -1,0 +1,109 @@
+"""The top-down stall taxonomy.
+
+Every cycle of a simulation is charged to exactly one bucket:
+``retiring`` when at least one micro-op retires that cycle, otherwise
+the cause that kept the ROB head from retiring.  The attribution is
+*exact by construction* — the engine charges the gap between
+consecutive retirement cycles as it schedules each op, so
+
+    sum(stall_cycles.values()) == SimResult.cycles
+
+holds for every workload/core/predictor combination (asserted in
+``tests/test_telemetry.py``).  Warmup cycles are accumulated into a
+separate dict so the reported breakdown covers only the measured
+region.
+
+Bucket semantics (the cause the ROB head was bound by):
+
+=====================  ==============================================
+``retiring``           at least one op retired this cycle
+``frontend-starved``   allocation bound by fetch (I-cache bubbles or
+                       fetch bandwidth)
+``rob-full``           allocation bound by the reorder-buffer window
+``iq-full``            allocation bound by issue-queue occupancy
+``lq-full``            allocation bound by load-queue occupancy
+``sq-full``            allocation bound by store-queue occupancy
+``port-contention``    ready but waiting for an execution port or an
+                       issue slot
+``head-waiting-on-load``  head op is a load in the memory system, or
+                       is waiting on a load producer's data
+``head-waiting-on-exec``  head op (or its producer) is still executing
+                       on a non-load unit
+``branch-flush``       allocation bound by a control-mispredict
+                       redirect
+``vp-flush``           allocation bound by a value-mispredict redirect
+``mem-flush``          allocation bound by a memory-ordering-violation
+                       redirect
+=====================  ==============================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+RETIRING = "retiring"
+FRONTEND_STARVED = "frontend-starved"
+ROB_FULL = "rob-full"
+IQ_FULL = "iq-full"
+LQ_FULL = "lq-full"
+SQ_FULL = "sq-full"
+PORT_CONTENTION = "port-contention"
+HEAD_WAIT_LOAD = "head-waiting-on-load"
+HEAD_WAIT_EXEC = "head-waiting-on-exec"
+BRANCH_FLUSH = "branch-flush"
+VP_FLUSH = "vp-flush"
+MEM_FLUSH = "mem-flush"
+
+#: Non-retiring causes, in reporting order (front of the machine to
+#: the back, flush recovery last).
+STALL_BUCKETS = (
+    FRONTEND_STARVED,
+    ROB_FULL,
+    IQ_FULL,
+    LQ_FULL,
+    SQ_FULL,
+    PORT_CONTENTION,
+    HEAD_WAIT_LOAD,
+    HEAD_WAIT_EXEC,
+    BRANCH_FLUSH,
+    VP_FLUSH,
+    MEM_FLUSH,
+)
+
+#: Every bucket, ``retiring`` first — the full partition of cycles.
+ALL_BUCKETS = (RETIRING,) + STALL_BUCKETS
+
+
+def empty_buckets() -> Dict[str, int]:
+    """A zeroed cycle-accounting dict covering the full taxonomy."""
+    return {bucket: 0 for bucket in ALL_BUCKETS}
+
+
+def cpi_breakdown(stall_cycles: Mapping[str, int],
+                  instructions: int) -> Dict[str, float]:
+    """Per-bucket cycles-per-instruction; the values sum to the run's
+    CPI when ``stall_cycles`` covers all its cycles."""
+    if not instructions:
+        return {bucket: 0.0 for bucket in ALL_BUCKETS}
+    return {bucket: stall_cycles.get(bucket, 0) / instructions
+            for bucket in ALL_BUCKETS}
+
+
+def breakdown_delta(stall_cycles: Mapping[str, int], instructions: int,
+                    baseline_cycles: Optional[Mapping[str, int]] = None,
+                    baseline_instructions: int = 0) -> Dict[str, float]:
+    """Per-bucket CPI delta versus a baseline run (positive = this run
+    spends more cycles per instruction in the bucket)."""
+    mine = cpi_breakdown(stall_cycles, instructions)
+    if baseline_cycles is None:
+        return mine
+    theirs = cpi_breakdown(baseline_cycles, baseline_instructions)
+    return {bucket: mine[bucket] - theirs[bucket] for bucket in ALL_BUCKETS}
+
+
+__all__ = [
+    "RETIRING", "FRONTEND_STARVED", "ROB_FULL", "IQ_FULL", "LQ_FULL",
+    "SQ_FULL", "PORT_CONTENTION", "HEAD_WAIT_LOAD", "HEAD_WAIT_EXEC",
+    "BRANCH_FLUSH", "VP_FLUSH", "MEM_FLUSH", "STALL_BUCKETS",
+    "ALL_BUCKETS", "empty_buckets", "cpi_breakdown", "breakdown_delta",
+]

@@ -1,0 +1,99 @@
+"""Bounded pipeline event trace.
+
+An opt-in ring buffer (``Engine(..., collect_events=True)``) recording
+one event per pipeline milestone — ``alloc``, ``issue``, ``complete``,
+``retire`` — plus ``flush`` events carrying their cause
+(``branch-flush`` / ``vp-flush`` / ``mem-flush``).  The buffer is
+bounded (default 2^16 events ≈ four events per op over the last ~16k
+ops), so tracing a long run keeps the *tail*, which is what you want
+when a profile points at a steady-state pathology.
+
+Exporters live in :mod:`repro.telemetry.export`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, NamedTuple, Optional
+
+DEFAULT_CAPACITY = 1 << 16
+
+#: Milestones recorded for every traced micro-op, in pipeline order.
+KINDS = ("alloc", "issue", "complete", "retire", "flush")
+
+
+class Event(NamedTuple):
+    """One pipeline milestone.
+
+    ``cycle``   when it happened;
+    ``kind``    one of :data:`KINDS`;
+    ``seq``     dynamic sequence number of the micro-op;
+    ``pc``      its program counter;
+    ``op``      its opcode class (``repro.isa.opcodes`` constant);
+    ``detail``  flush cause for ``flush`` events, else "".
+    """
+
+    cycle: int
+    kind: str
+    seq: int
+    pc: int
+    op: int
+    detail: str = ""
+
+
+class EventTrace:
+    """Fixed-capacity ring buffer of :class:`Event` records."""
+
+    __slots__ = ("capacity", "dropped", "_ring")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        #: Events evicted from the ring (oldest-first) — lets reports
+        #: say "showing the last N of M".
+        self.dropped = 0
+        self._ring: Deque[Event] = deque(maxlen=capacity)
+
+    def record(self, cycle: int, kind: str, seq: int, pc: int, op: int,
+               detail: str = "") -> None:
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(Event(cycle, kind, seq, pc, op, detail))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._ring)
+
+    def events(self) -> List[Event]:
+        """Chronological snapshot of the retained window."""
+        return list(self._ring)
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"capacity": self.capacity, "dropped": self.dropped,
+                "events": [list(event) for event in self._ring]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EventTrace":
+        trace = cls(payload["capacity"])
+        trace.dropped = payload["dropped"]
+        for fields in payload["events"]:
+            trace._ring.append(Event(*fields))
+        return trace
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventTrace):
+            return NotImplemented
+        return (self.capacity == other.capacity
+                and self.dropped == other.dropped
+                and self._ring == other._ring)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<EventTrace {len(self._ring)}/{self.capacity} events, "
+                f"{self.dropped} dropped>")
+
+
+__all__ = ["DEFAULT_CAPACITY", "KINDS", "Event", "EventTrace"]

@@ -115,3 +115,71 @@ class TestCacheCommand:
         assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
         out = capsys.readouterr().out
         assert "entries: 0" in out
+
+    def test_cache_prune(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["run", "astar", "--length", "3000", "--warmup", "800",
+              "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "prune", "--older-than", "1d",
+                     "--cache-dir", cache_dir]) == 0
+        assert "pruned 0" in capsys.readouterr().out
+        assert main(["cache", "prune", "--older-than", "0",
+                     "--cache-dir", cache_dir]) == 0
+        assert "pruned 2" in capsys.readouterr().out
+
+    def test_prune_requires_age(self, tmp_path, capsys):
+        assert main(["cache", "prune",
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "--older-than" in capsys.readouterr().err
+
+    def test_prune_age_forms(self):
+        parser = build_parser()
+        args = parser.parse_args(["cache", "prune", "--older-than", "30m"])
+        assert args.older_than == 1800
+        args = parser.parse_args(["cache", "prune", "--older-than", "7d"])
+        assert args.older_than == 7 * 86400
+        with pytest.raises(SystemExit):
+            parser.parse_args(["cache", "prune", "--older-than", "sometime"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["cache", "prune", "--older-than", "-5m"])
+
+
+class TestProfileCommand:
+    def test_profile_against_baseline(self, capsys):
+        code = main(["profile", "milc", "--length", "4000",
+                     "--warmup", "1000", "--no-cache", "--jobs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CPI breakdown" in out
+        assert "retiring" in out and "head-waiting-on-load" in out
+        assert "ΔCPI" in out and "IPC" in out
+
+    def test_profile_against_named_predictor(self, capsys):
+        code = main(["profile", "milc", "--predictor", "fvp",
+                     "--against", "lvp", "--length", "4000",
+                     "--warmup", "1000", "--no-cache", "--jobs", "1"])
+        assert code == 0
+        assert "lvp" in capsys.readouterr().out
+
+    def test_profile_unknown_predictor(self, capsys):
+        assert main(["profile", "milc", "--predictor", "nope",
+                     "--no-cache"]) == 2
+        assert "unknown predictor" in capsys.readouterr().err
+
+    def test_profile_trace_export(self, tmp_path, capsys):
+        json_path = tmp_path / "trace.json"
+        csv_path = tmp_path / "trace.csv"
+        code = main(["profile", "astar", "--length", "3000",
+                     "--warmup", "800", "--no-cache", "--jobs", "1",
+                     "--trace-json", str(json_path),
+                     "--trace-csv", str(csv_path),
+                     "--trace-events", "512"])
+        assert code == 0
+        import json as json_mod
+
+        doc = json_mod.loads(json_path.read_text())
+        assert doc["traceEvents"]
+        assert csv_path.read_text().startswith("cycle,")
+        out = capsys.readouterr().out
+        assert "512 events" in out

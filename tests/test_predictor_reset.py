@@ -1,0 +1,103 @@
+"""``ValuePredictor.reset()`` across the whole registry.
+
+The base class promises that ``reset()`` returns any predictor to its
+just-constructed state (it replays the recorded constructor
+arguments).  These tests hold every registry entry to that promise by
+comparing a deep structural fingerprint of a reset instance against a
+freshly built one — so new predictors are covered automatically the
+moment they are registered.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro import build_workload, simulate
+from repro.predictors import make_predictor, predictor_names
+
+#: Instance attributes that legitimately differ between a fresh and a
+#: reset predictor (bookkeeping owned by the base class / campaign
+#: engine, not learned state).
+_EXCLUDED = {"_claimed_by_job"}
+
+
+def _slot_names(cls) -> list:
+    names = []
+    for klass in cls.__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        names.extend(slots)
+    return names
+
+
+def fingerprint(obj, _seen=None):
+    """Deep, address-free structural snapshot of an object's state."""
+    if _seen is None:
+        _seen = set()
+    if isinstance(obj, (int, float, bool, str, bytes, type(None))):
+        return obj
+    marker = id(obj)
+    if marker in _seen:
+        return "<cycle>"
+    _seen = _seen | {marker}
+    if isinstance(obj, dict):
+        items = [(fingerprint(k, _seen), fingerprint(v, _seen))
+                 for k, v in obj.items()]
+        return ("dict", sorted(items, key=repr))
+    if isinstance(obj, (list, tuple, deque)):
+        return ("seq", tuple(fingerprint(v, _seen) for v in obj))
+    if isinstance(obj, (set, frozenset)):
+        return ("set", sorted((fingerprint(v, _seen) for v in obj),
+                              key=repr))
+    if callable(obj) and not hasattr(obj, "__dict__"):
+        return ("fn", getattr(obj, "__qualname__", repr(obj)))
+    state = {}
+    for name in _slot_names(type(obj)):
+        if name not in _EXCLUDED and hasattr(obj, name):
+            state[name] = fingerprint(getattr(obj, name), _seen)
+    for name, value in getattr(obj, "__dict__", {}).items():
+        if name not in _EXCLUDED:
+            state[name] = fingerprint(value, _seen)
+    if not state and not hasattr(obj, "__dict__"):
+        return ("atom", type(obj).__name__, repr(obj))
+    return (type(obj).__name__, ("dict", sorted(state.items())))
+
+
+@pytest.fixture(scope="module")
+def trace():
+    # hadoop's mix (regular loads + store→load forwarding) trains
+    # every registered predictor, including MR, within 3000 ops.
+    return build_workload("hadoop", length=3000)
+
+
+@pytest.mark.parametrize("name", predictor_names())
+def test_reset_restores_fresh_construction_state(name, trace):
+    predictor = make_predictor(name)
+    fresh = fingerprint(make_predictor(name))
+    assert fingerprint(predictor) == fresh, \
+        "construction is nondeterministic; fingerprints can't compare"
+
+    simulate(trace, predictor=predictor)
+    if name != "baseline":
+        assert fingerprint(predictor) != fresh, \
+            "trace did not train the predictor; test would be vacuous"
+
+    predictor.reset()
+    assert fingerprint(predictor) == fresh
+
+
+def test_reset_clears_campaign_claim_marker():
+    predictor = make_predictor("lvp")
+    predictor._claimed_by_job = True
+    predictor.reset()
+    assert predictor._claimed_by_job is False
+
+
+def test_reset_replays_factory_arguments():
+    # Factory-built configurations (classmethod constructors with
+    # arguments) must come back at the same budget, not the default.
+    predictor = make_predictor("mr-8kb")
+    before = predictor.storage_bits()
+    predictor.reset()
+    assert predictor.storage_bits() == before
