@@ -13,6 +13,10 @@ Commands
 ``storage``   — print Table I
 ``report``    — write a full reproduction report
 ``cache``     — inspect, clear, or prune the persistent result cache
+``bench``     — simulator performance benchmark: sim-KIPS over a fixed
+                (workload × predictor) matrix, fast-vs-slow-path
+                speedup, baseline comparison and the CI regression
+                gate (``--check``); writes ``BENCH_<date>.json``
 
 Every simulating command runs through the campaign engine
 (:mod:`repro.experiments.campaign`): ``--jobs N`` fans simulations out
@@ -98,6 +102,7 @@ def _figure_number(text: str) -> int:
 
 
 def cmd_list(args) -> int:
+    """List the workload catalogue, grouped by category."""
     for category in CATEGORIES:
         if args.category and category != args.category:
             continue
@@ -109,6 +114,7 @@ def cmd_list(args) -> int:
 
 
 def cmd_run(args) -> int:
+    """Simulate one (workload, core, predictor) job."""
     runner = _runner(args, workloads=[args.workload])
     run = runner.workload_run(args.workload, args.core, args.predictor)
     result = run.result
@@ -118,6 +124,7 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    """Rank predictors against the baseline on one workload."""
     runner = _runner(args, workloads=[args.workload])
     baseline = runner.baseline(args.workload, args.core)
     print(f"{args.workload} on {args.core}: baseline IPC "
@@ -193,6 +200,7 @@ def _export_event_trace(args, runner) -> None:
 
 
 def cmd_figure(args) -> int:
+    """Regenerate one paper figure via its experiment driver."""
     from repro.experiments import figures
 
     driver = getattr(figures, f"figure{args.number}", None)
@@ -242,6 +250,7 @@ def _default_runner_for(args) -> Runner:
 
 
 def cmd_storage(_args) -> int:
+    """Print the paper's Table I storage breakdown."""
     from repro.experiments import storage
 
     print(storage.format_table1())
@@ -249,6 +258,7 @@ def cmd_storage(_args) -> int:
 
 
 def cmd_report(args) -> int:
+    """Write the full paper-vs-measured markdown report."""
     from repro.experiments.report import write_report
 
     runner = _default_runner_for(args)
@@ -259,6 +269,7 @@ def cmd_report(args) -> int:
 
 
 def cmd_cache(args) -> int:
+    """Inspect or clear the campaign result cache."""
     cache = ResultCache(args.cache_dir)
     if args.action == "clear":
         removed = cache.clear()
@@ -285,7 +296,46 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Simulator throughput benchmark + regression gate (docs/PERF.md)."""
+    from repro.experiments import perfbench
+
+    report = perfbench.run_bench(
+        workloads=args.workloads, predictors=args.predictors,
+        length=args.length, warmup=args.warmup, repeats=args.repeats,
+        core=args.core, measure_slow=not args.no_slow,
+        progress=lambda line: print(f"  {line}", file=sys.stderr))
+
+    comparison = None
+    baseline = perfbench.load_baseline(args.baseline)
+    if baseline is not None:
+        comparison = perfbench.compare_to_baseline(report, baseline)
+        report["baseline_comparison"] = comparison
+    print(perfbench.format_report(report, comparison))
+
+    if not args.no_output:
+        path = perfbench.write_report(report, args.output)
+        print(f"wrote {path}")
+    if args.update_baseline:
+        perfbench.write_report(report, args.baseline)
+        print(f"updated baseline {args.baseline}")
+        return 0
+    if args.check:
+        if comparison is None:
+            print(f"no baseline at {args.baseline} to check against",
+                  file=sys.stderr)
+            return 2
+        failures = perfbench.check_regression(comparison, args.tolerance)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"check passed (tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """The `python -m repro` argument parser (one sub-command per verb)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Focused Value Prediction (ISCA 2020) reproduction")
@@ -359,6 +409,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_args(p_report)
     p_report.set_defaults(func=cmd_report)
 
+    from repro.experiments.perfbench import (
+        BASELINE_PATH,
+        CHECK_TOLERANCE,
+        DEFAULT_LENGTH as BENCH_LENGTH,
+        DEFAULT_PREDICTORS,
+        DEFAULT_REPEATS,
+        DEFAULT_WORKLOADS,
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="simulator performance benchmark (sim-KIPS)")
+    p_bench.add_argument("--workloads", nargs="+",
+                         default=list(DEFAULT_WORKLOADS))
+    p_bench.add_argument("--predictors", nargs="+",
+                         default=list(DEFAULT_PREDICTORS))
+    p_bench.add_argument("--length", type=int, default=BENCH_LENGTH)
+    p_bench.add_argument("--warmup", type=int, default=None)
+    p_bench.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                         help="per-cell repeats; best time kept")
+    p_bench.add_argument("--core", choices=("skylake", "skylake-2x"),
+                         default="skylake")
+    p_bench.add_argument("--no-slow", action="store_true",
+                         help="skip the slow-path runs (no speedup "
+                              "column; faster)")
+    p_bench.add_argument("--output", default=None, metavar="FILE",
+                         help="report path (default: BENCH_<date>.json)")
+    p_bench.add_argument("--no-output", action="store_true",
+                         help="do not write a BENCH_*.json file")
+    p_bench.add_argument("--baseline", default=BASELINE_PATH, metavar="FILE",
+                         help="committed baseline to compare against")
+    p_bench.add_argument("--check", action="store_true",
+                         help="exit non-zero on >tolerance speedup "
+                              "regression or any cycle-count drift")
+    p_bench.add_argument("--tolerance", type=float, default=CHECK_TOLERANCE,
+                         help="--check regression tolerance (fraction)")
+    p_bench.add_argument("--update-baseline", action="store_true",
+                         help="overwrite the baseline with this run")
+    p_bench.set_defaults(func=cmd_bench)
+
     p_cache = sub.add_parser(
         "cache", help="inspect, clear, or prune the result cache")
     p_cache.add_argument("action", choices=("stats", "clear", "prune"))
@@ -372,6 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
     workload = getattr(args, "workload", None)
     if workload is not None:

@@ -35,7 +35,7 @@ from typing import Iterable, Optional, Set
 
 from repro.core.cit import DEFAULT_EPOCH, CriticalInstructionTable
 from repro.core.learning_table import LearningTable
-from repro.core.value_table import CV_FAIL_MAX, ValueTable
+from repro.core.value_table import CONF_MAX, CV_FAIL_MAX, ValueTable
 from repro.isa import opcodes
 from repro.isa.instruction import MicroOp
 from repro.pipeline.vp_interface import (EngineContext, Prediction,
@@ -165,29 +165,37 @@ class FVP(ValuePredictor):
                 self.mr_predictions += 1
                 return replace(prediction, source="fvp-mr")
 
-        predictable_type = is_load or not self.loads_only
-        if self.use_vt and predictable_type:
-            lv_entry = self.vt.lookup(ValueTable.lv_key(uop.pc))
-            # 2. Last-value prediction.
-            if lv_entry is not None and lv_entry.predictable \
-                    and lv_entry.confident:
-                self.lv_predictions += 1
-                return Prediction(lv_entry.data, source="fvp-lv")
-            # 3. Context prediction for LV-hostile entries.
-            if lv_entry is not None and not lv_entry.predictable:
-                cv_entry = self.vt.lookup(
-                    ValueTable.cv_key(uop.pc, ctx.history32), context=True)
-                if cv_entry is not None and cv_entry.predictable \
-                        and cv_entry.confident:
-                    self.cv_predictions += 1
-                    return Prediction(cv_entry.data, source="fvp-cv")
+        if self.use_vt and (is_load or not self.loads_only):
+            # lv_key(pc) is the identity; look up by PC directly and
+            # hand the entry to _maybe_walk so it is not re-fetched.
+            lv_entry = self.vt.lookup(uop.pc)
+            if lv_entry is not None:
+                # 2. Last-value prediction.
+                if lv_entry.predictable:
+                    if lv_entry.confidence >= CONF_MAX:
+                        self.lv_predictions += 1
+                        return Prediction(lv_entry.data, source="fvp-lv")
+                else:
+                    # 3. Context prediction for LV-hostile entries.
+                    cv_entry = self.vt.lookup(
+                        ValueTable.cv_key(uop.pc, ctx.history32),
+                        context=True)
+                    if cv_entry is not None and cv_entry.predictable \
+                            and cv_entry.confident:
+                        self.cv_predictions += 1
+                        return Prediction(cv_entry.data, source="fvp-cv")
+            # 4. Nothing predicted: possibly extend the focused walk.
+            self._maybe_walk(uop, ctx, lv_entry)
+            return None
 
-        # 4. Nothing predicted: possibly extend the focused walk.
         self._maybe_walk(uop, ctx)
         return None
 
     # ------------------------------------------------------------------
-    def _maybe_walk(self, uop: MicroOp, ctx: EngineContext) -> None:
+    _NO_ENTRY = object()  # "lv_entry not looked up yet" sentinel
+
+    def _maybe_walk(self, uop: MicroOp, ctx: EngineContext,
+                    lv_entry=_NO_ENTRY) -> None:
         """One level of the backward walk (§IV-B): park this op's
         parent-source PCs in the Learning Table when the op is a
         confident critical root, or an already-targeted op that has
@@ -199,7 +207,8 @@ class FVP(ValuePredictor):
         if self._is_critical_root(uop.pc):
             self._walk_parents(uop, ctx)
             return
-        lv_entry = self.vt.lookup(ValueTable.lv_key(uop.pc))
+        if lv_entry is FVP._NO_ENTRY:
+            lv_entry = self.vt.lookup(uop.pc)
         if lv_entry is None or lv_entry.predictable:
             return
         # The op is targeted but LV-unpredictable.  Loads get their
@@ -227,7 +236,7 @@ class FVP(ValuePredictor):
         for src in uop.srcs:
             parent = writer_pc[src]
             if parent and parent not in self.lt \
-                    and self.vt.lookup(ValueTable.lv_key(parent)) is None:
+                    and self.vt.lookup(parent) is None:
                 self.lt.insert(parent)
                 walked = True
         if walked:
@@ -245,8 +254,11 @@ class FVP(ValuePredictor):
         is_load = uop.op == opcodes.LOAD
         producing = uop.dest is not None
 
-        # Criticality learning.
-        if self._criticality_signal(uop, ctx):
+        # Criticality learning.  The leading type check mirrors
+        # _criticality_signal's own first test — it just skips the call
+        # for ops that can never signal.
+        if (is_load if self.loads_only else producing) \
+                and self._criticality_signal(uop, ctx):
             self.cit.record(uop.pc)
             # A confident root is itself a prediction target (§IV-A1:
             # "value predicting the root ... may also be beneficial").
@@ -267,8 +279,7 @@ class FVP(ValuePredictor):
         # Learning Table hit: a parked parent executes and is allocated.
         if self.lt.hit(uop.pc):
             predictable = is_load or not self.loads_only
-            self.vt.allocate(ValueTable.lv_key(uop.pc), uop.value,
-                             predictable=predictable)
+            self.vt.allocate(uop.pc, uop.value, predictable=predictable)
 
         # Memory-renamed loads do not train the Value Table (§IV-D).
         if used_prediction is not None and \
@@ -279,7 +290,7 @@ class FVP(ValuePredictor):
         if self.loads_only and not is_load:
             return
 
-        lv_entry = self.vt.lookup(ValueTable.lv_key(uop.pc))
+        lv_entry = self.vt.lookup(uop.pc)
         if lv_entry is None:
             return
         repeated = self.vt.train(lv_entry, uop.value)
@@ -309,10 +320,9 @@ class FVP(ValuePredictor):
                     lv_entry.cv_fail += 1
 
     def _allocate_target(self, uop: MicroOp) -> None:
-        if self.vt.lookup(ValueTable.lv_key(uop.pc)) is None:
+        if self.vt.lookup(uop.pc) is None:
             predictable = uop.op == opcodes.LOAD or not self.loads_only
-            self.vt.allocate(ValueTable.lv_key(uop.pc), uop.value,
-                             predictable=predictable)
+            self.vt.allocate(uop.pc, uop.value, predictable=predictable)
 
     # ------------------------------------------------------------------
     def on_forwarding(self, store_pc: int, load_pc: int,
@@ -324,7 +334,7 @@ class FVP(ValuePredictor):
         if not self.use_mr:
             return
         if self.use_vt:
-            lv_entry = self.vt.lookup(ValueTable.lv_key(load_pc))
+            lv_entry = self.vt.lookup(load_pc)
             already_known = self.mr.assoc.lookup(load_pc) is not None
             if not already_known and (
                     lv_entry is None or lv_entry.predictable):
@@ -332,7 +342,11 @@ class FVP(ValuePredictor):
         self.mr.on_forwarding(store_pc, load_pc, store_seq)
 
     def epoch_tick(self, retired: int) -> None:
-        self.cit.tick(retired)
+        # Inline guard (same test as cit.tick): this runs once per
+        # retired op, and the reset fires once per 400k.
+        cit = self.cit
+        if cit.epoch and retired - cit._last_reset >= cit.epoch:
+            cit.tick(retired)
 
     def storage_bits(self) -> int:
         """Table I accounting: CIT + VT + MR (S/L cache and Value File)

@@ -41,10 +41,10 @@ class LearningTable:
     def hit(self, pc: int) -> bool:
         """Check-and-release: True when ``pc`` was parked (the caller
         then allocates it into the Value Table)."""
-        try:
-            self._slots.remove(pc)
-        except ValueError:
+        slots = self._slots
+        if pc not in slots:
             return False
+        slots.remove(pc)
         self.hits += 1
         return True
 

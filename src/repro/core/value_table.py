@@ -121,8 +121,9 @@ class ValueTable:
 
     # -- access ----------------------------------------------------------
     def lookup(self, key: int, context: bool = False) -> Optional[VTEntry]:
-        index, tag = self._set_tag(key)
-        for entry in self.rows[index]:
+        mixed = (key * 0x9E3779B1) & 0xFFFFFFFF
+        tag = (mixed >> 12) & 0x7FF
+        for entry in self.rows[mixed % self.sets]:
             if entry.tag == tag and entry.context == context:
                 return entry
         return None
@@ -133,8 +134,9 @@ class ValueTable:
         and arrive with the no-predict counter pre-saturated (§IV-B).
         Returns None when every way still has utility (utilities decay
         instead — allocation succeeds on a later attempt)."""
-        index, tag = self._set_tag(key)
-        row = self.rows[index]
+        mixed = (key * 0x9E3779B1) & 0xFFFFFFFF
+        tag = (mixed >> 12) & 0x7FF
+        row = self.rows[mixed % self.sets]
         for entry in row:
             if entry.tag == tag and entry.context == context:
                 return entry
@@ -144,7 +146,10 @@ class ValueTable:
                 victim = entry
                 break
         if victim is None:
-            lowest = min(row, key=lambda e: e.utility)
+            lowest = row[0]
+            for entry in row:
+                if entry.utility < lowest.utility:
+                    lowest = entry
             if lowest.utility > 0:
                 for entry in row:
                     if entry.utility > 0:

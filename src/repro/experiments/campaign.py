@@ -97,6 +97,7 @@ class Job:
 
     @property
     def label(self) -> str:
+        """Human-readable ``workload/core/predictor`` job identifier."""
         spec = self.spec if isinstance(self.spec, str) else \
             ("baseline" if self.spec is None else "<callable>")
         return f"{self.workload}/{self.core}/{spec}"
@@ -263,9 +264,15 @@ class ResultCache:
 
     # -- storage -------------------------------------------------------
     def path(self, key: str) -> str:
+        """On-disk location of the entry for a job key."""
         return os.path.join(self.root, key + self.SUFFIX)
 
     def get(self, key: str) -> Optional[SimResult]:
+        """Cached :class:`SimResult` for ``key``, or ``None`` on a miss.
+
+        Corrupted or stale-schema entries are deleted and count as
+        misses, so a schema bump self-heals the cache directory.
+        """
         try:
             with open(self.path(key), "r", encoding="utf-8") as handle:
                 result = SimResult.from_dict(json.load(handle))
@@ -284,6 +291,7 @@ class ResultCache:
         return result
 
     def put(self, key: str, result: SimResult) -> None:
+        """Persist a result under ``key`` (atomic write-then-rename)."""
         os.makedirs(self.root, exist_ok=True)
         final = self.path(key)
         tmp = final + f".tmp.{os.getpid()}"
@@ -295,6 +303,7 @@ class ResultCache:
 
     # -- inventory -----------------------------------------------------
     def entries(self) -> List[str]:
+        """Job keys of every entry currently in the cache directory."""
         suffix = self.SUFFIX
         stats_name = self.STATS_FILE
         try:
@@ -316,6 +325,7 @@ class ResultCache:
                 and name != self.STATS_FILE]
 
     def size_bytes(self) -> int:
+        """Total on-disk size of all cache entries, in bytes."""
         total = 0
         for path in self._entry_files():
             try:
@@ -363,6 +373,7 @@ class ResultCache:
         return os.path.join(self.root, self.STATS_FILE)
 
     def load_stats(self) -> Dict[str, Any]:
+        """Lifetime hit/miss/simulated counters persisted in the cache."""
         try:
             with open(self._stats_path(), "r", encoding="utf-8") as handle:
                 stats = json.load(handle)
@@ -411,6 +422,7 @@ class CampaignStats:
     fallbacks: int = 0
 
     def merge_event(self, event: JobEvent) -> None:
+        """Fold one :class:`JobEvent` into the campaign totals."""
         if event.status == "hit":
             self.hits += 1
         elif event.status == "done":
@@ -452,9 +464,25 @@ class CampaignEngine:
                  = None) -> Dict[Job, SimResult]:
         """Run every distinct job once; returns ``{job: SimResult}``.
 
-        ``trace_provider`` supplies prebuilt traces for the in-process
-        path (the Runner's trace cache); worker processes always
-        rebuild deterministically.
+        The campaign pipeline, in order: duplicate jobs collapse to
+        one execution; cached results are restored without simulating
+        (when a :class:`ResultCache` is attached); the remainder fan
+        out over ``self.jobs`` worker processes (in-process when 1).
+        Results are bit-identical however a job is executed — serial,
+        parallel, or restored — because traces rebuild
+        deterministically from their seeds inside each worker.
+
+        Parameters
+        ----------
+        jobs:
+            The job list; order is irrelevant and duplicates are free.
+        trace_provider:
+            Optional ``workload -> trace`` callable supplying prebuilt
+            traces for the in-process path (the Runner's trace cache);
+            worker processes always rebuild deterministically.
+
+        Every executed or restored job emits a :class:`JobEvent` to the
+        ``progress`` callback and updates ``self.stats``.
         """
         unique: List[Job] = []
         seen = set()

@@ -1,0 +1,317 @@
+"""Simulator performance benchmark (`repro bench`).
+
+Runs a fixed matrix of (workload x predictor) simulation jobs and
+reports *simulator* throughput — sim-kilo-instructions per second
+(sim-KIPS) — plus peak RSS, seeding the repo's performance trajectory
+(the ``BENCH_<date>.json`` files; see docs/PERF.md).
+
+Two throughput numbers are measured per cell:
+
+* ``sim_kips`` — the optimized engine hot path (the default).
+* ``slow_kips`` — the same job under ``REPRO_SLOW_PATH=1``, i.e. the
+  reference per-op loop the optimized path is verified against.
+
+Their ratio (``speedup``) is machine-*independent*: both sides run in
+the same process on the same machine moments apart, so it survives CI
+runner variance where raw KIPS would not.  The regression gate
+(``repro bench --check``) therefore compares the geomean speedup and
+the simulated cycle counts against the committed baseline
+(``benchmarks/perf_baseline.json``) — a >20% speedup regression or
+*any* cycle-count drift fails the check.  Raw KIPS are recorded for
+trend reading but never gated on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default bench matrix: one memory-bound, one control-bound, and one
+#: mixed workload, against no prediction, the paper's predictor, and a
+#: prior-art budget point.  Small enough for CI, varied enough that an
+#: optimization helping only one op class shows up.
+DEFAULT_WORKLOADS = ("mcf", "gcc", "omnetpp")
+DEFAULT_PREDICTORS = ("baseline", "fvp", "mr-8kb")
+DEFAULT_LENGTH = 30_000
+DEFAULT_REPEATS = 3
+
+#: Fractional tolerance of the --check regression gate.
+CHECK_TOLERANCE = 0.20
+
+#: Default location of the committed baseline, relative to the repo root.
+BASELINE_PATH = os.path.join("benchmarks", "perf_baseline.json")
+
+
+def _default_warmup(length: int) -> int:
+    from repro.experiments.runner import default_warmup
+
+    return default_warmup(length)
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Peak resident set size of this process in KiB (None when the
+    platform has no resource module, e.g. Windows)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover - platform specific
+        usage //= 1024
+    return usage
+
+
+def _run_once(trace, config, predictor_spec: str, workload: str,
+              warmup: int, slow: bool) -> Tuple[float, int]:
+    """One timed simulation; returns ``(seconds, cycles)``.
+
+    A fresh predictor is built per run (predictor instances are
+    single-simulation; see ``ValuePredictor``) and only the engine run
+    is timed — trace construction is deterministic and not part of
+    simulator throughput.
+    """
+    from repro.experiments.campaign import build_predictor
+    from repro.pipeline.engine import Engine
+
+    saved = os.environ.get("REPRO_SLOW_PATH")
+    os.environ["REPRO_SLOW_PATH"] = "1" if slow else "0"
+    try:
+        predictor = build_predictor(predictor_spec, trace, config)
+        engine = Engine(config, predictor)
+        start = time.perf_counter()
+        result = engine.run(trace, workload=workload, warmup=warmup)
+        return time.perf_counter() - start, result.cycles
+    finally:
+        if saved is None:
+            del os.environ["REPRO_SLOW_PATH"]
+        else:
+            os.environ["REPRO_SLOW_PATH"] = saved
+
+
+def _time_cell(trace, config, predictor_spec: str, workload: str,
+               warmup: int, repeats: int,
+               measure_slow: bool) -> Tuple[float, Optional[float], int]:
+    """Best-of-``repeats`` wall time for one cell.
+
+    Returns ``(fast_seconds, slow_seconds_or_None, cycles)``.  Fast and
+    slow runs are *interleaved* so machine-load drift hits both sides
+    equally — the speedup ratio is what the regression gate consumes,
+    and back-to-back pairing is what keeps it stable.
+    """
+    best_fast = math.inf
+    best_slow = math.inf
+    cycles = 0
+    for _ in range(repeats):
+        fast_s, fast_cycles = _run_once(
+            trace, config, predictor_spec, workload, warmup, slow=False)
+        best_fast = min(best_fast, fast_s)
+        cycles = fast_cycles
+        if measure_slow:
+            slow_s, slow_cycles = _run_once(
+                trace, config, predictor_spec, workload, warmup, slow=True)
+            best_slow = min(best_slow, slow_s)
+            if slow_cycles != fast_cycles:
+                raise RuntimeError(
+                    f"result divergence on {workload}/{predictor_spec}: "
+                    f"fast path {fast_cycles} cycles vs slow path "
+                    f"{slow_cycles} — the engine paths are no longer "
+                    "result-neutral")
+    return best_fast, best_slow if measure_slow else None, cycles
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (1.0 for an empty sequence)."""
+    if not values:
+        return 1.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_bench(workloads: Sequence[str] = DEFAULT_WORKLOADS,
+              predictors: Sequence[str] = DEFAULT_PREDICTORS,
+              length: int = DEFAULT_LENGTH,
+              warmup: Optional[int] = None,
+              repeats: int = DEFAULT_REPEATS,
+              core: str = "skylake",
+              measure_slow: bool = True,
+              progress=None) -> Dict:
+    """Run the bench matrix and return the report dictionary.
+
+    Parameters
+    ----------
+    workloads / predictors:
+        The matrix axes; every (workload, predictor) pair is one cell.
+    length / warmup:
+        Trace length in micro-ops and the warmup prefix (default: the
+        runner's standard 40% heuristic).
+    repeats:
+        Per-cell repeats; the *best* time is kept (the standard
+        wall-clock benchmarking defence against scheduler noise).
+    measure_slow:
+        Also time each cell under the reference slow path and report
+        the machine-independent speedup ratio.
+    progress:
+        Optional callable invoked with a one-line message per cell.
+    """
+    from repro.experiments.runner import core_config
+    from repro.trace import build_trace
+    from repro.trace.workloads import get_profile
+
+    if warmup is None:
+        warmup = _default_warmup(length)
+    config = core_config(core)
+
+    cells: List[Dict] = []
+    for workload in workloads:
+        trace = build_trace(get_profile(workload), length)
+        n = len(trace)
+        for predictor in predictors:
+            fast_s, slow_s, cycles = _time_cell(
+                trace, config, predictor, workload, warmup, repeats,
+                measure_slow=measure_slow)
+            cell = {
+                "workload": workload,
+                "predictor": predictor,
+                "ops": n,
+                "cycles": cycles,
+                "sim_kips": round(n / fast_s / 1e3, 2),
+            }
+            if measure_slow:
+                cell["slow_kips"] = round(n / slow_s / 1e3, 2)
+                cell["speedup"] = round(slow_s / fast_s, 3)
+            cells.append(cell)
+            if progress is not None:
+                line = (f"{workload}/{predictor}: "
+                        f"{cell['sim_kips']:.0f} KIPS")
+                if measure_slow:
+                    line += (f" ({cell['speedup']:.2f}x vs slow path)")
+                progress(line)
+
+    report = {
+        "schema": 1,
+        "date": time.strftime("%Y-%m-%d"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "matrix": {
+            "workloads": list(workloads),
+            "predictors": list(predictors),
+            "length": length,
+            "warmup": warmup,
+            "repeats": repeats,
+            "core": core,
+        },
+        "cells": cells,
+        "geomean_kips": round(geomean([c["sim_kips"] for c in cells]), 2),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    if measure_slow:
+        report["geomean_speedup"] = round(
+            geomean([c["speedup"] for c in cells]), 3)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison and the regression gate.
+# ----------------------------------------------------------------------
+def load_baseline(path: str = BASELINE_PATH) -> Optional[Dict]:
+    """The committed baseline report, or None when absent."""
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare_to_baseline(report: Dict, baseline: Dict) -> Dict:
+    """Compare a fresh report against the committed baseline.
+
+    Returns a dict with the KIPS trend (informational: raw KIPS are
+    machine-dependent), the speedup-ratio trend (gateable), and any
+    cycle-count mismatches (result drift — always a failure).
+    """
+    base_cells = {(c["workload"], c["predictor"]): c
+                  for c in baseline.get("cells", ())}
+    kips_ratios: List[float] = []
+    speedup_ratios: List[float] = []
+    cycle_mismatches: List[str] = []
+    missing: List[str] = []
+    for cell in report["cells"]:
+        key = (cell["workload"], cell["predictor"])
+        base = base_cells.get(key)
+        if base is None:
+            missing.append("/".join(key))
+            continue
+        kips_ratios.append(cell["sim_kips"] / base["sim_kips"])
+        if "speedup" in cell and "speedup" in base:
+            speedup_ratios.append(cell["speedup"] / base["speedup"])
+        if cell["cycles"] != base["cycles"] and cell["ops"] == base["ops"]:
+            cycle_mismatches.append(
+                f"{'/'.join(key)}: {cell['cycles']} != {base['cycles']}")
+    return {
+        "baseline_date": baseline.get("date"),
+        "kips_vs_baseline": round(geomean(kips_ratios), 3),
+        "speedup_vs_baseline": round(geomean(speedup_ratios), 3),
+        "cycle_mismatches": cycle_mismatches,
+        "cells_missing_from_baseline": missing,
+    }
+
+
+def check_regression(comparison: Dict,
+                     tolerance: float = CHECK_TOLERANCE) -> List[str]:
+    """Failure messages for the CI gate (empty = pass).
+
+    Gates on the machine-independent speedup ratio and on cycle-count
+    drift; raw KIPS are reported but never gated (CI runners vary far
+    more than any real regression).
+    """
+    failures: List[str] = []
+    if comparison["cycle_mismatches"]:
+        failures.append("simulated cycle counts drifted from baseline: "
+                        + "; ".join(comparison["cycle_mismatches"]))
+    ratio = comparison["speedup_vs_baseline"]
+    if ratio < 1.0 - tolerance:
+        failures.append(
+            f"fast-path speedup regressed to {ratio:.2f}x of the "
+            f"baseline (tolerance {1 - tolerance:.2f}x)")
+    return failures
+
+
+def write_report(report: Dict, output: Optional[str] = None) -> str:
+    """Write ``BENCH_<date>.json`` (or ``output``); returns the path."""
+    path = output or f"BENCH_{report['date']}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def format_report(report: Dict, comparison: Optional[Dict] = None) -> str:
+    """Human-readable bench table for the CLI."""
+    lines = [f"{'workload':<12} {'predictor':<12} {'sim KIPS':>10} "
+             f"{'slow KIPS':>10} {'speedup':>8}"]
+    for cell in report["cells"]:
+        slow = cell.get("slow_kips")
+        speed = cell.get("speedup")
+        lines.append(
+            f"{cell['workload']:<12} {cell['predictor']:<12} "
+            f"{cell['sim_kips']:>10.1f} "
+            f"{slow if slow is not None else '-':>10} "
+            f"{f'{speed:.2f}x' if speed is not None else '-':>8}")
+    lines.append(f"geomean sim throughput: {report['geomean_kips']:.1f} KIPS")
+    if "geomean_speedup" in report:
+        lines.append("geomean fast-path speedup: "
+                     f"{report['geomean_speedup']:.2f}x vs slow path")
+    if report.get("peak_rss_kb") is not None:
+        lines.append(f"peak RSS: {report['peak_rss_kb'] / 1024:.1f} MiB")
+    if comparison is not None:
+        lines.append(
+            f"vs baseline ({comparison['baseline_date']}): "
+            f"KIPS {comparison['kips_vs_baseline']:.2f}x, "
+            f"speedup ratio {comparison['speedup_vs_baseline']:.2f}x")
+        for mismatch in comparison["cycle_mismatches"]:
+            lines.append(f"  CYCLE DRIFT: {mismatch}")
+    return "\n".join(lines)

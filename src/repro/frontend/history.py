@@ -22,7 +22,8 @@ class FoldedHistory:
         Output width in bits (table index or tag width).
     """
 
-    __slots__ = ("history_length", "folded_width", "value", "_out_shift")
+    __slots__ = ("history_length", "folded_width", "value", "_out_shift",
+                 "_mask")
 
     def __init__(self, history_length: int, folded_width: int) -> None:
         if history_length <= 0 or folded_width <= 0:
@@ -32,6 +33,7 @@ class FoldedHistory:
         self.value = 0
         # Position at which the outgoing bit re-enters the fold.
         self._out_shift = history_length % folded_width
+        self._mask = (1 << folded_width) - 1
 
     def update(self, new_bit: int, old_bit: int) -> None:
         """Shift in ``new_bit``; ``old_bit`` is the bit that just fell
@@ -39,7 +41,7 @@ class FoldedHistory:
         value = (self.value << 1) | (new_bit & 1)
         value ^= (old_bit & 1) << self._out_shift
         value ^= value >> self.folded_width
-        self.value = value & ((1 << self.folded_width) - 1)
+        self.value = value & self._mask
 
 
 class GlobalHistory:
@@ -50,12 +52,18 @@ class GlobalHistory:
     0) plus any registered folded views.
     """
 
-    __slots__ = ("max_length", "bits", "_folds")
+    __slots__ = ("max_length", "bits", "_folds", "_fold_params",
+                 "_max_mask")
 
     def __init__(self, max_length: int = 256) -> None:
         self.max_length = max_length
         self.bits = 0
         self._folds = []
+        # Per-fold update constants, flattened out of the FoldedHistory
+        # objects so push() does one tuple unpack per fold instead of
+        # four attribute reads.
+        self._fold_params = []
+        self._max_mask = (1 << max_length) - 1
 
     def register_fold(self, history_length: int,
                       folded_width: int) -> FoldedHistory:
@@ -65,15 +73,25 @@ class GlobalHistory:
                 f"{self.max_length}")
         fold = FoldedHistory(history_length, folded_width)
         self._folds.append(fold)
+        self._fold_params.append(
+            (fold, history_length - 1, fold._out_shift, folded_width,
+             fold._mask))
         return fold
 
     def push(self, outcome: bool) -> None:
         """Record a branch outcome (True = taken)."""
         new_bit = 1 if outcome else 0
-        for fold in self._folds:
-            old_bit = (self.bits >> (fold.history_length - 1)) & 1
-            fold.update(new_bit, old_bit)
-        self.bits = ((self.bits << 1) | new_bit) & ((1 << self.max_length) - 1)
+        bits = self.bits
+        # Fold maintenance inlined (equivalent to FoldedHistory.update):
+        # push() runs once per control op and each of the ~20 registered
+        # folds would otherwise cost a method call.
+        for fold, out_bit_shift, out_shift, width, mask in \
+                self._fold_params:
+            value = (fold.value << 1) | new_bit
+            value ^= ((bits >> out_bit_shift) & 1) << out_shift
+            value ^= value >> width
+            fold.value = value & mask
+        self.bits = ((bits << 1) | new_bit) & self._max_mask
 
     def recent(self, n: int) -> int:
         """The most recent ``n`` outcomes as an integer (bit 0 = newest).

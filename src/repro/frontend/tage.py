@@ -29,7 +29,8 @@ class _TaggedTable:
     """One tagged TAGE component."""
 
     __slots__ = ("log_size", "tag_bits", "history_length",
-                 "index_fold", "tag_fold", "tag_fold2", "entries")
+                 "index_fold", "tag_fold", "tag_fold2", "entries",
+                 "index_mask", "tag_mask")
 
     def __init__(self, log_size: int, tag_bits: int, history_length: int,
                  history: GlobalHistory) -> None:
@@ -39,15 +40,17 @@ class _TaggedTable:
         self.index_fold = history.register_fold(history_length, log_size)
         self.tag_fold = history.register_fold(history_length, tag_bits)
         self.tag_fold2 = history.register_fold(history_length, tag_bits - 1)
+        self.index_mask = (1 << log_size) - 1
+        self.tag_mask = (1 << tag_bits) - 1
         self.entries = [_TaggedEntry() for _ in range(1 << log_size)]
 
     def index(self, pc: int) -> int:
-        mask = (1 << self.log_size) - 1
-        return (pc ^ (pc >> self.log_size) ^ self.index_fold.value) & mask
+        return (pc ^ (pc >> self.log_size) ^ self.index_fold.value) \
+            & self.index_mask
 
     def tag(self, pc: int) -> int:
-        mask = (1 << self.tag_bits) - 1
-        return (pc ^ self.tag_fold.value ^ (self.tag_fold2.value << 1)) & mask
+        return (pc ^ self.tag_fold.value ^ (self.tag_fold2.value << 1)) \
+            & self.tag_mask
 
 
 class TageConfig:
@@ -132,11 +135,16 @@ class Tage:
     def _lookup(self, pc: int):
         provider = None
         alt = None
-        for table_num in range(len(self.tables) - 1, -1, -1):
-            table = self.tables[table_num]
-            idx = table.index(pc)
+        tables = self.tables
+        # Inlined _TaggedTable.index()/tag(): two method calls per table
+        # per branch add up on this path.
+        for table_num in range(len(tables) - 1, -1, -1):
+            table = tables[table_num]
+            idx = (pc ^ (pc >> table.log_size)
+                   ^ table.index_fold.value) & table.index_mask
             entry = table.entries[idx]
-            if entry.tag == table.tag(pc):
+            if entry.tag == (pc ^ table.tag_fold.value
+                             ^ (table.tag_fold2.value << 1)) & table.tag_mask:
                 if provider is None:
                     provider = (table_num, idx, entry)
                 else:

@@ -38,7 +38,7 @@ class Cache:
     """
 
     __slots__ = ("name", "size_bytes", "assoc", "line_bytes", "num_sets",
-                 "_set_shift", "_set_mask", "_sets", "_stamp",
+                 "_set_shift", "_set_mask", "_tag_shift", "_sets", "_stamp",
                  "hits", "misses", "prefetch_fills", "prefetch_hits",
                  "_prefetched")
 
@@ -59,6 +59,7 @@ class Cache:
         self.num_sets = num_sets
         self._set_shift = line_bytes.bit_length() - 1
         self._set_mask = num_sets - 1
+        self._tag_shift = self._set_mask.bit_length()
         self._sets: List[dict] = [dict() for _ in range(num_sets)]
         self._prefetched: List[set] = [set() for _ in range(num_sets)]
         self._stamp = 0
@@ -70,12 +71,14 @@ class Cache:
     # ------------------------------------------------------------------
     def _index_tag(self, addr: int):
         line = addr >> self._set_shift
-        return line & self._set_mask, line >> (self._set_mask.bit_length())
+        return line & self._set_mask, line >> self._tag_shift
 
     def lookup(self, addr: int) -> bool:
         """Access the cache; returns True on hit.  Updates LRU state and
         fills the line on a miss (allocate-on-miss at every level)."""
-        index, tag = self._index_tag(addr)
+        line = addr >> self._set_shift
+        index = line & self._set_mask
+        tag = line >> self._tag_shift
         cache_set = self._sets[index]
         self._stamp += 1
         if tag in cache_set:
@@ -92,13 +95,15 @@ class Cache:
 
     def probe(self, addr: int) -> bool:
         """Non-destructive presence check (no LRU update, no fill)."""
-        index, tag = self._index_tag(addr)
-        return tag in self._sets[index]
+        line = addr >> self._set_shift
+        return (line >> self._tag_shift) in self._sets[line & self._set_mask]
 
     def fill(self, addr: int, prefetch: bool = False) -> None:
         """Install a line without counting a demand access (used for
         prefetches and for inclusive fills from lower levels)."""
-        index, tag = self._index_tag(addr)
+        line = addr >> self._set_shift
+        index = line & self._set_mask
+        tag = line >> self._tag_shift
         if tag in self._sets[index]:
             return
         self._fill(index, tag, prefetch=prefetch)

@@ -71,7 +71,8 @@ class MemoryHierarchy:
     """Functional cache/DRAM stack returning per-access latencies."""
 
     __slots__ = ("config", "l1", "l2", "llc", "dram",
-                 "stride_pf", "stream_pf", "level_counts")
+                 "stride_pf", "stream_pf", "level_counts",
+                 "_l1_result", "_l2_result", "_llc_result")
 
     def __init__(self, config: MemHierarchyConfig = None) -> None:
         cfg = config or MemHierarchyConfig()
@@ -84,6 +85,11 @@ class MemoryHierarchy:
         self.stride_pf = StridePrefetcher()
         self.stream_pf = StreamPrefetcher(line_bytes=cfg.line_bytes)
         self.level_counts = {level: 0 for level in LEVELS}
+        # Fixed-latency outcomes are immutable: share one instance per
+        # level instead of constructing a NamedTuple per access.
+        self._l1_result = AccessResult(cfg.l1_latency, L1)
+        self._l2_result = AccessResult(cfg.l2_latency, L2)
+        self._llc_result = AccessResult(cfg.llc_latency, LLC)
 
     # ------------------------------------------------------------------
     def access(self, pc: int, addr: int, cycle: int,
@@ -96,26 +102,28 @@ class MemoryHierarchy:
         prefetchers).
         """
         cfg = self.config
-        if cfg.enable_prefetch:
+        prefetch = cfg.enable_prefetch
+        if prefetch:
             for pf_addr in self.stride_pf.train(pc, addr):
                 self._prefetch_fill(pf_addr, into_l1=True)
 
+        counts = self.level_counts
         if self.l1.lookup(addr):
-            self.level_counts[L1] += 1
-            return AccessResult(cfg.l1_latency, L1)
+            counts[L1] += 1
+            return self._l1_result
 
         # L1 miss: train the stream prefetcher on the miss stream.
-        if cfg.enable_prefetch:
+        if prefetch:
             for pf_addr in self.stream_pf.train(addr):
                 self._prefetch_fill(pf_addr, into_l1=False)
 
         if self.l2.lookup(addr):
-            self.level_counts[L2] += 1
-            return AccessResult(cfg.l2_latency, L2)
+            counts[L2] += 1
+            return self._l2_result
         if self.llc.lookup(addr):
-            self.level_counts[LLC] += 1
-            return AccessResult(cfg.llc_latency, LLC)
-        self.level_counts[DRAM] += 1
+            counts[LLC] += 1
+            return self._llc_result
+        counts[DRAM] += 1
         latency = cfg.llc_latency + self.dram.access(addr, cycle)
         return AccessResult(latency, DRAM)
 

@@ -11,6 +11,10 @@ from __future__ import annotations
 
 from typing import List
 
+#: Shared "nothing to prefetch" result — the overwhelmingly common
+#: outcome; returning a fresh list per access shows up in profiles.
+_NO_PREFETCH: List[int] = []
+
 
 class StridePrefetcher:
     """PC-indexed stride prefetcher (L1).
@@ -36,19 +40,22 @@ class StridePrefetcher:
 
     def train(self, pc: int, addr: int) -> List[int]:
         """Observe a demand access; return prefetch addresses (bytes)."""
-        entry = self.entries.get(pc)
+        entries = self.entries
+        entry = entries.get(pc)
         if entry is None:
-            if len(self.entries) >= self.table_size:
+            if len(entries) >= self.table_size:
                 # FIFO-ish eviction: drop the oldest inserted entry.
-                self.entries.pop(next(iter(self.entries)))
-            self.entries[pc] = [addr, 0, 0]
-            return []
-        last_addr, stride, confidence = entry
-        new_stride = addr - last_addr
+                entries.pop(next(iter(entries)))
+            entries[pc] = [addr, 0, 0]
+            return _NO_PREFETCH
+        stride = entry[1]
+        new_stride = addr - entry[0]
         if new_stride == stride and stride != 0:
-            confidence = min(confidence + 1, 3)
+            confidence = entry[2] + 1
+            if confidence > 3:
+                confidence = 3
         else:
-            confidence = 0 if stride != new_stride else confidence
+            confidence = entry[2] if stride == new_stride else 0
             stride = new_stride
         entry[0] = addr
         entry[1] = stride
@@ -57,7 +64,7 @@ class StridePrefetcher:
             out = [addr + stride * i for i in range(1, self.degree + 1)]
             self.issued += len(out)
             return out
-        return []
+        return _NO_PREFETCH
 
 
 class StreamPrefetcher:
@@ -109,9 +116,9 @@ class StreamPrefetcher:
                     ]
                     self.issued += len(out)
                     return out
-                return []
+                return _NO_PREFETCH
         self._allocate(line)
-        return []
+        return _NO_PREFETCH
 
     def _allocate(self, line: int) -> None:
         if len(self.streams) >= self.num_streams:

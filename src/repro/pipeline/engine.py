@@ -20,11 +20,27 @@ allocation constraint (flush recovery, window/queue occupancy, fetch)
 held it back.  The per-bucket totals partition the run's cycles
 exactly, and every component publishes its statistics into one
 :class:`~repro.telemetry.stats.StatGroup` tree on the result.
+
+Two implementations of the per-op loop coexist (docs/PERF.md):
+
+* :meth:`Engine._time_trace` — the optimized hot path used by default.
+  It precomputes op-class dispatch tables, inlines the bandwidth
+  machines and the fetch-line check, keeps headline counters in
+  locals, and skips engine→predictor calls that resolve to the
+  no-op base-class implementations.
+* :meth:`Engine._time_trace_reference` — the readable reference
+  implementation, selected by setting ``REPRO_SLOW_PATH=1`` in the
+  environment.
+
+Both produce **bit-identical** :class:`~repro.pipeline.results.SimResult`
+objects for any (trace, config, predictor) — asserted across the
+workload catalogue by ``tests/test_perf_neutrality.py``.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from bisect import bisect_right
 from typing import Optional, Sequence
 
@@ -70,7 +86,22 @@ _GROUP_OF = {
     opcodes.NOP: opcodes.ALU,
 }
 
+_NUM_OP_CLASSES = max(_GROUP_OF) + 1
+
+#: Op class → port-group key, as a tuple for O(1) C-level indexing on
+#: the hot path (dict hashing avoided).
+_GROUP_TAB = tuple(_GROUP_OF[op] for op in range(_NUM_OP_CLASSES))
+
+#: Op class → is it a control-flow op (frozenset membership hoisted
+#: into an indexed table for the hot path).
+_IS_CONTROL_TAB = tuple(op in opcodes.CONTROL for op in range(_NUM_OP_CLASSES))
+
 _ADDR_ALIGN = ~0x7  # store→load forwarding tracked at 8-byte granularity
+
+
+def _slow_path_requested() -> bool:
+    """True when ``REPRO_SLOW_PATH`` selects the reference loop."""
+    return os.environ.get("REPRO_SLOW_PATH", "") not in ("", "0")
 
 
 class _WidthMachine:
@@ -85,6 +116,7 @@ class _WidthMachine:
         self.count = 0
 
     def schedule(self, earliest: int) -> int:
+        """Earliest cycle >= ``earliest`` with a free slot; claims it."""
         t = earliest if earliest > self.cycle else self.cycle
         if t == self.cycle:
             if self.count >= self.width:
@@ -99,17 +131,41 @@ class _WidthMachine:
 
 
 class Engine:
-    """Times one trace on one core configuration with one predictor."""
+    """Times one trace on one core configuration with one predictor.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.pipeline.config.CoreConfig` to model.
+    predictor:
+        The hosted :class:`~repro.pipeline.vp_interface.ValuePredictor`
+        (``None`` → the no-prediction baseline).
+    collect_timing:
+        Retain per-op alloc/ready/issue/complete/retire arrays on the
+        result (``SimResult.timing``).
+    collect_events:
+        Record the bounded pipeline event trace (``SimResult.events``).
+    event_capacity:
+        Ring capacity for the event trace (newest events win).
+    collect_stalls:
+        Run the per-gap stall-attribution pass (default).  Disabling it
+        leaves ``SimResult.stall_cycles`` zeroed and the stall-gap
+        histogram empty but does not change any timing outcome; the
+        ``repro bench`` harness uses this to measure the engine's pure
+        simulation throughput.
+    """
 
     def __init__(self, config: CoreConfig,
                  predictor: Optional[ValuePredictor] = None,
                  collect_timing: bool = False,
                  collect_events: bool = False,
-                 event_capacity: int = DEFAULT_CAPACITY) -> None:
+                 event_capacity: int = DEFAULT_CAPACITY,
+                 collect_stalls: bool = True) -> None:
         self.config = config
         self.predictor = predictor or NoPredictor()
         self.collect_timing = collect_timing
         self.collect_events = collect_events
+        self.collect_stalls = collect_stalls
         self.event_capacity = event_capacity
         self.frontend = FrontEnd(config.frontend)
         self.memory = MemoryHierarchy(config.memory)
@@ -122,6 +178,18 @@ class Engine:
             if key == op:
                 self._port_heaps[key] = [0] * group.count
         self._issue_bw = [0] * config.issue_width
+
+        # Per-op-class dispatch tables (precomputed once per config so
+        # the hot loop replaces two dict lookups and two attribute
+        # chains per op with tuple indexing).
+        ports = config.ports
+        self._push_tab = tuple(
+            (1 if ports[op].pipelined else ports[op].latency)
+            if op in ports else None
+            for op in range(_NUM_OP_CLASSES))
+        self._lat_tab = tuple(
+            ports[op].latency if op in ports else None
+            for op in range(_NUM_OP_CLASSES))
 
         # Context shared with the predictor.
         self._ctx = EngineContext()
@@ -167,23 +235,563 @@ class Engine:
     # ------------------------------------------------------------------
     def run(self, trace: Sequence[MicroOp], workload: str = "trace",
             warmup: int = 0) -> SimResult:
-        """Time ``trace``; statistics cover only ops after ``warmup``
-        (predictors and caches train throughout — warmup measures the
-        steady state the paper's long simulations report)."""
+        """Time ``trace`` and return its :class:`SimResult`.
+
+        Parameters
+        ----------
+        trace:
+            Program-order sequence of :class:`~repro.isa.instruction.MicroOp`
+            records (e.g. from :func:`repro.trace.build_trace`).
+        workload:
+            Label recorded on the result.
+        warmup:
+            Number of leading micro-ops excluded from statistics.
+            Predictors and caches train throughout — warmup measures
+            the steady state the paper's long simulations report.
+
+        Returns
+        -------
+        SimResult
+            Cycles, IPC, prediction/branch/memory counters, the exact
+            stall-cycle partition, and the per-component telemetry
+            tree.  Deterministic: the same inputs always produce a
+            bit-identical result, whichever loop implementation runs
+            (``REPRO_SLOW_PATH=1`` selects the reference loop).
+        """
+        result = SimResult(workload, self.config.name, self.predictor.name)
+        n = len(trace)
+        if warmup < 0 or warmup >= n and n > 0:
+            raise ValueError(f"warmup {warmup} must be in [0, {n})")
+        result.instructions = n - warmup
+        telemetry = StatGroup("sim")
+        if n:
+            pipeline_group = telemetry.group(
+                "pipeline", "cycle accounting and stall attribution")
+            gap_hist = pipeline_group.histogram(
+                "stall-gaps", "non-retiring gap lengths (post-warmup)")
+            if _slow_path_requested():
+                self._time_trace_reference(trace, warmup, result, gap_hist)
+            else:
+                self._time_trace(trace, warmup, result, gap_hist)
+        result.telemetry = self._publish(result, telemetry)
+        return result
+
+    # ------------------------------------------------------------------
+    def _time_trace(self, trace: Sequence[MicroOp], warmup: int,
+                    result: SimResult, gap_hist) -> None:
+        """Optimized per-op loop (the default hot path).
+
+        Semantically identical to :meth:`_time_trace_reference`; the
+        differences are mechanical: op-class dispatch tables instead of
+        dict lookups, the alloc/retire bandwidth machines inlined as
+        local integers, the fetch-line check inlined, headline counters
+        accumulated in locals and written back once, branch-history
+        context recomputed only after control ops, and calls into the
+        predictor skipped when they would hit the no-op base-class
+        implementation.
+        """
         cfg = self.config
         predictor = self.predictor
         frontend = self.frontend
         memory = self.memory
         ctx = self._ctx
-
-        result = SimResult(workload, cfg.name, predictor.name)
         n = len(trace)
-        if warmup < 0 or warmup >= n and n > 0:
-            raise ValueError(f"warmup {warmup} must be in [0, {n})")
-        result.instructions = n - warmup
-        if n == 0:
-            result.telemetry = self._publish(result, StatGroup("sim"))
-            return result
+
+        # Engine→predictor calls that resolve to the ValuePredictor
+        # base class are guaranteed no-ops: skip them (and, when no
+        # hook needs it, the whole EngineContext bookkeeping).
+        pcls = type(predictor)
+        predict = predictor.predict \
+            if pcls.predict is not ValuePredictor.predict else None
+        train = predictor.train_execute \
+            if pcls.train_execute is not ValuePredictor.train_execute else None
+        tick = predictor.epoch_tick \
+            if pcls.epoch_tick is not ValuePredictor.epoch_tick else None
+        on_fwd = predictor.on_forwarding \
+            if pcls.on_forwarding is not ValuePredictor.on_forwarding else None
+        need_ctx = (predict is not None or train is not None
+                    or on_fwd is not None)
+        # The per-op ROB-head bisect and L1-hit fields are only read by
+        # criticality-driven predictors (ValuePredictor.needs_criticality).
+        need_crit = train is not None and getattr(
+            predictor, "needs_criticality", True)
+
+        cycle_base = 0
+        level_base = {}
+
+        reg_ready = [0] * 16
+        reg_writer_load = [False] * 16
+        writer_pc = [0] * 16
+        writer_seq = [-1] * 16
+        self._reg_ready = reg_ready
+        ctx.writer_pc = writer_pc
+        ctx.writer_seq = writer_seq
+
+        retire_times: list = []
+        self._retire_times = retire_times
+        load_retires: list = []
+        store_retires: list = []
+        iq_heap: list = []
+
+        self._store_by_addr = {}
+        self._store_by_pc = {}
+        self._store_records = {}
+        store_by_addr = self._store_by_addr
+        store_by_pc = self._store_by_pc
+        store_records = self._store_records
+
+        # Inlined bandwidth machines (see _WidthMachine.schedule).
+        alloc_width = cfg.fetch_width
+        alloc_cycle = -1
+        alloc_count = 0
+        retire_bw = cfg.retire_width
+        retire_cycle = -1
+        retire_count = 0
+
+        port_heaps = {key: list(h) for key, h in self._port_heaps.items()}
+        for heap in port_heaps.values():
+            heapq.heapify(heap)
+        heap_tab = [port_heaps.get(group) for group in
+                    range(max(port_heaps, default=0) + 1)]
+        issue_bw = list(self._issue_bw)
+        heapq.heapify(issue_bw)
+
+        redirect_t = 0
+        redirect_cause = FRONTEND_STARVED  # placeholder until a flush
+        prev_retire = 0
+        num_loads = 0
+        num_stores = 0
+
+        # Cycle accounting (post-warmup and warmup partitions).
+        collect_stalls = self.collect_stalls
+        main_buckets = result.stall_cycles
+        warmup_buckets = result.warmup_stall_cycles
+        main_retiring = 0
+        warm_retiring = 0
+        observe_gap = gap_hist.observe
+
+        events = EventTrace(self.event_capacity) \
+            if self.collect_events else None
+        record_event = events.record if events is not None else None
+
+        timing = None
+        if self.collect_timing:
+            timing = {k: [0] * n for k in
+                      ("alloc", "ready", "issue", "complete", "retire")}
+            timing["mispredict"] = [False] * n
+            result.timing = timing
+
+        # Headline counters kept in locals, written back after the loop.
+        c_loads = 0
+        c_stores = 0
+        c_branches = 0
+        c_branch_miss = 0
+        c_mem_viol = 0
+        c_pred_loads = 0
+        c_pred_nonloads = 0
+        c_mr_pred = 0
+        c_reg_pred = 0
+        c_correct = 0
+        c_wrong = 0
+        c_vp_flush = 0
+        by_source = result.by_source
+
+        rob_size = cfg.rob_size
+        iq_size = cfg.iq_size
+        lq_size = cfg.lq_size
+        sq_size = cfg.sq_size
+        fwd_latency = cfg.forward_latency
+        vp_penalty = cfg.vp_penalty
+        mem_violation_penalty = cfg.mem_violation_penalty
+        mispredict_penalty = frontend.mispredict_penalty
+        retire_width = cfg.retire_width
+        store_prune_limit = 4 * sq_size
+
+        # Bound methods/constants hoisted out of the loop.
+        group_tab = _GROUP_TAB
+        is_control_tab = _IS_CONTROL_TAB
+        push_tab = self._push_tab
+        lat_tab = self._lat_tab
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        heapreplace = heapq.heapreplace
+        bisect = bisect_right
+        memory_access = memory.access
+        process_control = frontend.process_control
+        fetch_bubbles = frontend.fetch_bubbles
+        load_dependence = self.store_sets.load_dependence
+        record_violation = self.store_sets.record_violation
+        store_dispatched = self.store_sets.store_dispatched
+        history = frontend.history
+        icache_line = frontend.config.icache_line
+        last_fetch_line = frontend._last_fetch_line
+        LOAD_OP = opcodes.LOAD
+        STORE_OP = opcodes.STORE
+        ADDR_ALIGN = _ADDR_ALIGN
+        MASK32 = (1 << 32) - 1
+        MASK128 = (1 << 128) - 1
+
+        if need_ctx:
+            bits = history.bits
+            ctx.history32 = bits & MASK32
+            ctx.history = bits & MASK128
+
+        idx = -1
+        for uop in trace:
+            idx += 1
+            op = uop.op
+            pc = uop.pc
+            is_load = op == LOAD_OP
+            is_store = op == STORE_OP
+            collecting = idx >= warmup
+            if idx == warmup:
+                cycle_base = prev_retire
+                level_base = dict(memory.level_counts)
+
+            # ---------------- front end / allocate ----------------
+            earliest = redirect_t
+            alloc_cause = redirect_cause
+            line = pc // icache_line
+            if line != last_fetch_line:
+                last_fetch_line = line
+                bubbles = fetch_bubbles(pc)
+                if bubbles:
+                    base = earliest if earliest > alloc_cycle \
+                        else alloc_cycle
+                    earliest = base + bubbles
+                    alloc_cause = FRONTEND_STARVED
+            if idx >= rob_size:
+                t = retire_times[idx - rob_size]
+                if t > earliest:
+                    earliest = t
+                    alloc_cause = ROB_FULL
+            if len(iq_heap) >= iq_size and iq_heap[0] > earliest:
+                earliest = iq_heap[0]
+                alloc_cause = IQ_FULL
+            if is_load and num_loads >= lq_size:
+                t = load_retires[num_loads - lq_size]
+                if t > earliest:
+                    earliest = t
+                    alloc_cause = LQ_FULL
+            if is_store and num_stores >= sq_size:
+                t = store_retires[num_stores - sq_size]
+                if t > earliest:
+                    earliest = t
+                    alloc_cause = SQ_FULL
+            # Inlined alloc-width machine.
+            if earliest > alloc_cycle:
+                alloc_cycle = earliest
+                alloc_count = 1
+            elif alloc_count >= alloc_width:
+                alloc_cycle += 1
+                alloc_count = 1
+            else:
+                alloc_count += 1
+            alloc_t = alloc_cycle
+
+            # ---------------- context + front-end VP lookup ----------------
+            fwd = None
+            if is_load:
+                num_loads += 1
+                if collecting:
+                    c_loads += 1
+                entry = store_by_addr.get(uop.addr & ADDR_ALIGN)
+                if entry is not None and entry[3] >= alloc_t:
+                    fwd = entry  # (seq, pc, complete, retire, value)
+
+            if need_ctx:
+                self._now_alloc = alloc_t
+                ctx.seq = idx
+                ctx.forwarding_store = (
+                    None if fwd is None else (fwd[0], fwd[1], fwd[4]))
+
+            prediction = predict(uop, ctx) if predict is not None else None
+
+            # ---------------- dataflow readiness ----------------
+            ready = alloc_t + 1
+            dep_load = False
+            for src in uop.srcs:
+                t = reg_ready[src]
+                if t > ready:
+                    ready = t
+                    dep_load = reg_writer_load[src]
+
+            violation = False
+            if fwd is not None:
+                store_complete = fwd[2]
+                dep = load_dependence(pc)
+                if dep is not None:
+                    if store_complete > ready:
+                        ready = store_complete
+                        dep_load = False
+                elif store_complete > ready:
+                    violation = True
+
+            # ---------------- issue ----------------
+            heap = heap_tab[group_tab[op]]
+            port_free = heappop(heap)
+            bw_free = heappop(issue_bw)
+            issue_t = ready
+            if port_free > issue_t:
+                issue_t = port_free
+            if bw_free > issue_t:
+                issue_t = bw_free
+            heappush(heap, issue_t + push_tab[op])
+            heappush(issue_bw, issue_t + 1)
+
+            # ---------------- execute / complete ----------------
+            level = "L1"
+            if is_load:
+                if fwd is not None and not violation:
+                    store_complete = fwd[2]
+                    base = issue_t if issue_t > store_complete \
+                        else store_complete
+                    complete_t = base + fwd_latency
+                    if on_fwd is not None:
+                        on_fwd(fwd[1], pc, fwd[0])
+                else:
+                    latency, level = memory_access(pc, uop.addr, issue_t)
+                    complete_t = issue_t + latency
+                    if violation:
+                        if collecting:
+                            c_mem_viol += 1
+                        record_violation(pc, fwd[1])
+                        t = complete_t + mem_violation_penalty
+                        if t > redirect_t:
+                            redirect_t = t
+                            redirect_cause = MEM_FLUSH
+                            if record_event is not None:
+                                record_event(complete_t, "flush", idx,
+                                             pc, op, MEM_FLUSH)
+            elif is_store:
+                complete_t = issue_t + 1
+                memory_access(pc, uop.addr, complete_t, is_store=True)
+            else:
+                complete_t = issue_t + lat_tab[op]
+
+            # ---------------- retire (inlined width machine) ----------
+            earliest_r = complete_t + 1
+            if prev_retire > earliest_r:
+                earliest_r = prev_retire
+            if earliest_r > retire_cycle:
+                retire_cycle = earliest_r
+                retire_count = 1
+            elif retire_count >= retire_bw:
+                retire_cycle += 1
+                retire_count = 1
+            else:
+                retire_count += 1
+            retire_t = retire_cycle
+
+            # ---------------- cycle accounting ----------------
+            gap = retire_t - prev_retire
+            if gap > 0 and collect_stalls:
+                if collecting:
+                    main_retiring += 1
+                    buckets = main_buckets
+                else:
+                    warm_retiring += 1
+                    buckets = warmup_buckets
+                if gap > 1:
+                    hi = retire_t - 1
+                    pos = prev_retire
+                    while True:
+                        if earliest > pos:
+                            top = earliest if earliest < hi else hi
+                            buckets[alloc_cause] += top - pos
+                            pos = top
+                            if pos == hi:
+                                break
+                        if alloc_t > pos:
+                            top = alloc_t if alloc_t < hi else hi
+                            buckets[FRONTEND_STARVED] += top - pos
+                            pos = top
+                            if pos == hi:
+                                break
+                        if ready > pos:
+                            top = ready if ready < hi else hi
+                            buckets[HEAD_WAIT_LOAD if dep_load
+                                    else HEAD_WAIT_EXEC] += top - pos
+                            pos = top
+                            if pos == hi:
+                                break
+                        if issue_t > pos:
+                            top = issue_t if issue_t < hi else hi
+                            buckets[PORT_CONTENTION] += top - pos
+                            pos = top
+                            if pos == hi:
+                                break
+                        buckets[HEAD_WAIT_LOAD if is_load
+                                else HEAD_WAIT_EXEC] += hi - pos
+                        break
+                    if collecting:
+                        observe_gap(gap - 1)
+            prev_retire = retire_t
+
+            # ---------------- criticality signal ----------------
+            if need_crit:
+                head = bisect(retire_times, complete_t, 0, idx)
+                rob_distance = idx - head
+                ctx.rob_distance = rob_distance
+                ctx.stalls_retirement = (rob_distance < retire_width
+                                         and retire_t == complete_t + 1)
+                ctx.l1_hit = level == "L1"
+                ctx.hit_level = level
+
+            # ---------------- control flow ----------------
+            branch_misp = False
+            if is_control_tab[op]:
+                if collecting:
+                    c_branches += 1
+                correct_cf = process_control(pc, op, uop.taken, uop.target)
+                if need_ctx:
+                    bits = history.bits
+                    ctx.history32 = bits & MASK32
+                    ctx.history = bits & MASK128
+                if not correct_cf:
+                    if collecting:
+                        c_branch_miss += 1
+                    branch_misp = True
+                    t = complete_t + mispredict_penalty
+                    if t > redirect_t:
+                        redirect_t = t
+                        redirect_cause = BRANCH_FLUSH
+                        if record_event is not None:
+                            record_event(complete_t, "flush", idx,
+                                         pc, op, BRANCH_FLUSH)
+            if need_ctx:
+                ctx.branch_mispredicted = branch_misp
+
+            # ---------------- value-prediction outcome ----------------
+            vp_correct = True
+            if prediction is not None:
+                vp_correct = prediction.value == uop.value
+                if collecting:
+                    if is_load:
+                        c_pred_loads += 1
+                    else:
+                        c_pred_nonloads += 1
+                    if prediction.store_seq is not None:
+                        c_mr_pred += 1
+                    else:
+                        c_reg_pred += 1
+                    attribution = by_source.setdefault(
+                        prediction.source, [0, 0])
+                    attribution[0] += 1
+                    if vp_correct:
+                        attribution[1] += 1
+                        c_correct += 1
+                    else:
+                        c_wrong += 1
+                        c_vp_flush += 1
+                if not vp_correct:
+                    t = complete_t + vp_penalty
+                    if t > redirect_t:
+                        redirect_t = t
+                        redirect_cause = VP_FLUSH
+                        if record_event is not None:
+                            record_event(complete_t, "flush", idx,
+                                         pc, op, VP_FLUSH)
+
+            # ---------------- architectural updates ----------------
+            dest = uop.dest
+            if dest is not None:
+                if prediction is not None and vp_correct:
+                    avail = alloc_t + 1
+                    if prediction.store_seq is not None:
+                        rec = store_records.get(prediction.store_seq)
+                        if rec is not None and rec[2] > avail:
+                            avail = rec[2]
+                    reg_ready[dest] = avail
+                    reg_writer_load[dest] = False
+                else:
+                    reg_ready[dest] = complete_t
+                    reg_writer_load[dest] = is_load
+                if need_ctx:
+                    writer_pc[dest] = pc
+                    writer_seq[dest] = idx
+
+            if is_store:
+                num_stores += 1
+                if collecting:
+                    c_stores += 1
+                store_dispatched(pc, idx)
+                addr8 = uop.addr & ADDR_ALIGN
+                value = uop.value
+                store_by_addr[addr8] = (idx, pc, complete_t, retire_t, value)
+                store_by_pc[pc] = idx
+                store_records[idx] = (pc, addr8, complete_t, retire_t, value)
+                store_retires.append(retire_t)
+                if len(store_records) > store_prune_limit:
+                    self._prune_stores(retire_t)
+            if is_load:
+                load_retires.append(retire_t)
+
+            retire_times.append(retire_t)
+            if len(iq_heap) < iq_size:
+                heappush(iq_heap, issue_t)
+            elif issue_t > iq_heap[0]:
+                heapreplace(iq_heap, issue_t)
+
+            # ---------------- training ----------------
+            if train is not None:
+                train(uop, ctx, prediction, vp_correct)
+            if tick is not None:
+                tick(idx + 1)
+
+            if timing is not None:
+                timing["alloc"][idx] = alloc_t
+                timing["ready"][idx] = ready
+                timing["issue"][idx] = issue_t
+                timing["complete"][idx] = complete_t
+                timing["retire"][idx] = retire_t
+                timing["mispredict"][idx] = branch_misp
+
+            if record_event is not None:
+                record_event(alloc_t, "alloc", idx, pc, op)
+                record_event(issue_t, "issue", idx, pc, op)
+                record_event(complete_t, "complete", idx, pc, op)
+                record_event(retire_t, "retire", idx, pc, op)
+
+        # Write the local accumulators back to the result.
+        main_buckets[RETIRING] += main_retiring
+        warmup_buckets[RETIRING] += warm_retiring
+        result.loads = c_loads
+        result.stores = c_stores
+        result.branches = c_branches
+        result.branch_mispredicts = c_branch_miss
+        result.mem_violations = c_mem_viol
+        result.predicted_loads = c_pred_loads
+        result.predicted_nonloads = c_pred_nonloads
+        result.mr_predictions = c_mr_pred
+        result.register_predictions = c_reg_pred
+        result.correct_predictions = c_correct
+        result.wrong_predictions = c_wrong
+        result.vp_flushes = c_vp_flush
+
+        result.cycles = prev_retire - cycle_base
+        result.level_counts = {
+            level: count - level_base.get(level, 0)
+            for level, count in memory.level_counts.items()}
+        result.events = events
+
+    # ------------------------------------------------------------------
+    def _time_trace_reference(self, trace: Sequence[MicroOp], warmup: int,
+                              result: SimResult, gap_hist) -> None:
+        """Readable reference implementation of the per-op loop.
+
+        Selected by ``REPRO_SLOW_PATH=1``.  This is the behavioural
+        specification :meth:`_time_trace` is validated against; keep
+        the two in lockstep when changing the timing model.
+        """
+        cfg = self.config
+        predictor = self.predictor
+        frontend = self.frontend
+        memory = self.memory
+        ctx = self._ctx
+        n = len(trace)
+        collect_stalls = self.collect_stalls
+
         cycle_base = 0
         level_base = {}
 
@@ -236,11 +844,6 @@ class Engine:
         # breakdown), plus a histogram of retirement-gap lengths.
         main_buckets = result.stall_cycles
         warmup_buckets = result.warmup_stall_cycles
-        telemetry = StatGroup("sim")
-        pipeline_group = telemetry.group(
-            "pipeline", "cycle accounting and stall attribution")
-        gap_hist = pipeline_group.histogram(
-            "stall-gaps", "non-retiring gap lengths (post-warmup)")
 
         events = EventTrace(self.event_capacity) \
             if self.collect_events else None
@@ -394,7 +997,7 @@ class Engine:
             # constraint chain that bound this op (retirement times are
             # monotone, so the partition is exact by construction).
             gap = retire_t - prev_retire
-            if gap > 0:
+            if gap > 0 and collect_stalls:
                 buckets = main_buckets if collecting else warmup_buckets
                 buckets[RETIRING] += 1
                 if gap > 1:
@@ -548,8 +1151,6 @@ class Engine:
             level: count - level_base.get(level, 0)
             for level, count in memory.level_counts.items()}
         result.events = events
-        result.telemetry = self._publish(result, telemetry)
-        return result
 
     # ------------------------------------------------------------------
     def _publish(self, result: SimResult, telemetry: StatGroup) -> StatGroup:
@@ -596,8 +1197,24 @@ def simulate(trace: Sequence[MicroOp], config: CoreConfig = None,
              predictor: Optional[ValuePredictor] = None,
              workload: str = "trace", warmup: int = 0,
              collect_timing: bool = False,
-             collect_events: bool = False) -> SimResult:
+             collect_events: bool = False,
+             collect_stalls: bool = True) -> SimResult:
     """One-call convenience wrapper: build an engine and run a trace.
+
+    Parameters
+    ----------
+    trace:
+        Program-order :class:`~repro.isa.instruction.MicroOp` sequence.
+    config:
+        Core configuration (default :meth:`CoreConfig.skylake`).
+    predictor:
+        Hosted value predictor (``None`` → no-prediction baseline).
+    workload:
+        Label recorded on the result.
+    warmup:
+        Leading micro-ops excluded from statistics.
+    collect_timing, collect_events, collect_stalls:
+        Optional telemetry switches — see :class:`Engine`.
 
     >>> from repro.isa import alu
     >>> r = simulate([alu(0x400000 + 4 * i, dest=0, value=i)
@@ -607,5 +1224,6 @@ def simulate(trace: Sequence[MicroOp], config: CoreConfig = None,
     """
     engine = Engine(config or CoreConfig.skylake(), predictor,
                     collect_timing=collect_timing,
-                    collect_events=collect_events)
+                    collect_events=collect_events,
+                    collect_stalls=collect_stalls)
     return engine.run(trace, workload=workload, warmup=warmup)

@@ -144,6 +144,16 @@ class ValuePredictor:
     #: Short identifier used in result tables.
     name = "none"
 
+    #: Declare False when the predictor never reads the per-op
+    #: criticality context (``ctx.rob_distance``,
+    #: ``ctx.stalls_retirement``, ``ctx.l1_hit``, ``ctx.hit_level``).
+    #: The engine's fast path then skips computing them — the ROB-head
+    #: bisect in particular is measurable per-op work.  The default is
+    #: conservative: unless a predictor opts out, the fields are always
+    #: valid in :meth:`train_execute`.  Wrappers that delegate to
+    #: component predictors must OR their components' flags.
+    needs_criticality = True
+
     #: Set by the campaign engine when a job consumes this instance.
     _claimed_by_job = False
 
@@ -161,6 +171,7 @@ class ValuePredictor:
 
         @functools.wraps(init)
         def recording_init(self, *args, **kw):
+            """Record ctor args (for worker-process rebuilds), then init."""
             init(self, *args, **kw)
             self._ctor_args = (args, kw)
 

@@ -29,6 +29,8 @@ class MrCompositePredictor(ValuePredictor):
                  composite: CompositePredictor = None) -> None:
         self.mr = mr or MemoryRenaming.at_budget(4)
         self.composite = composite or CompositePredictor.at_budget(4)
+        self.needs_criticality = (self.mr.needs_criticality
+                                  or self.composite.needs_criticality)
 
     @classmethod
     def at_budget(cls, kilobytes: int) -> "MrCompositePredictor":

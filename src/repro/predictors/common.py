@@ -60,7 +60,7 @@ class TaggedTable:
     contention, like the paper's utility scheme).
     """
 
-    __slots__ = ("sets", "ways", "tag_bits", "rows")
+    __slots__ = ("sets", "ways", "tag_bits", "rows", "_tag_mask")
 
     def __init__(self, entries: int, ways: int = 2,
                  tag_bits: int = 11) -> None:
@@ -71,6 +71,7 @@ class TaggedTable:
         self.sets = entries // ways
         self.ways = ways
         self.tag_bits = tag_bits
+        self._tag_mask = (1 << tag_bits) - 1
         self.rows: List[List[ValueEntry]] = [
             [ValueEntry() for _ in range(ways)] for _ in range(self.sets)]
 
@@ -79,12 +80,13 @@ class TaggedTable:
 
     def _tag_of(self, key: int) -> int:
         mixed = (key * 0x9E3779B1) & 0xFFFFFFFF
-        return (mixed >> 12) & ((1 << self.tag_bits) - 1)
+        return (mixed >> 12) & self._tag_mask
 
     def lookup(self, key: int) -> Optional[ValueEntry]:
         """Matching entry or None; no allocation, no state change."""
-        tag = self._tag_of(key)
-        for entry in self.rows[self._set_of(key)]:
+        mixed = (key * 0x9E3779B1) & 0xFFFFFFFF
+        tag = (mixed >> 12) & self._tag_mask
+        for entry in self.rows[mixed % self.sets]:
             if entry.tag == tag:
                 return entry
         return None
@@ -93,8 +95,9 @@ class TaggedTable:
         """Install ``key``; returns the entry, or None when every way in
         the set still has utility (contention decays their utility —
         the caller retries on a later event)."""
-        row = self.rows[self._set_of(key)]
-        tag = self._tag_of(key)
+        mixed = (key * 0x9E3779B1) & 0xFFFFFFFF
+        row = self.rows[mixed % self.sets]
+        tag = (mixed >> 12) & self._tag_mask
         for entry in row:
             if entry.tag == tag:
                 return entry
@@ -104,7 +107,10 @@ class TaggedTable:
                 victim = entry
                 break
         if victim is None:
-            lowest = min(row, key=lambda e: e.useful)
+            lowest = row[0]
+            for entry in row:
+                if entry.useful < lowest.useful:
+                    lowest = entry
             if lowest.useful > 0:
                 for entry in row:
                     if entry.useful > 0:

@@ -33,6 +33,8 @@ class CompositePredictor(ValuePredictor):
                  dlvp: DlvpPredictor = None) -> None:
         self.eves = eves or EvesPredictor()
         self.dlvp = dlvp or DlvpPredictor(conflict_filter=True)
+        self.needs_criticality = (self.eves.needs_criticality
+                                  or self.dlvp.needs_criticality)
         # Per-PC blacklists: a path that mispredicts a PC twice stops
         # predicting it (the HPCA'19 filter tables).
         self._value_filter = {}

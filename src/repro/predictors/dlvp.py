@@ -115,6 +115,7 @@ class DlvpPredictor(ValuePredictor):
     """
 
     name = "dlvp"
+    needs_criticality = False  # never reads the ROB/L1 ctx fields
 
     def __init__(self, sap_entries: int = 128, cap_entries: int = 128,
                  conflict_filter: bool = False) -> None:

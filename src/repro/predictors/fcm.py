@@ -39,6 +39,7 @@ class FcmPredictor(ValuePredictor):
     """Order-``order`` FCM with hashed value histories."""
 
     name = "fcm"
+    needs_criticality = False  # never reads the ROB/L1 ctx fields
 
     def __init__(self, l1_entries: int = 256, l2_entries: int = 512,
                  conf_threshold: int = 5, loads_only: bool = True) -> None:

@@ -35,6 +35,7 @@ class LastValuePredictor(ValuePredictor):
     """
 
     name = "lvp"
+    needs_criticality = False  # never reads the ROB/L1 ctx fields
 
     def __init__(self, entries: int = 256, conf_threshold: int = 7,
                  conf_prob: int = 1, loads_only: bool = True) -> None:

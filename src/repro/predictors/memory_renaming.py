@@ -44,6 +44,7 @@ class MemoryRenaming(ValuePredictor):
     """
 
     name = "mr"
+    needs_criticality = False  # never reads the ROB/L1 ctx fields
 
     def __init__(self, sl_entries: int = 136, vf_entries: int = 40,
                  conf_threshold: int = 4) -> None:

@@ -27,6 +27,7 @@ class StridePredictor(ValuePredictor):
     """Classic per-PC stride value prediction."""
 
     name = "stride"
+    needs_criticality = False  # never reads the ROB/L1 ctx fields
 
     def __init__(self, entries: int = 256, conf_threshold: int = 6,
                  loads_only: bool = True) -> None:

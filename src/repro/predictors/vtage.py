@@ -16,7 +16,7 @@ from typing import List, Optional
 from repro.isa import opcodes
 from repro.isa.instruction import MicroOp
 from repro.pipeline.vp_interface import EngineContext, Prediction, ValuePredictor
-from repro.predictors.common import TaggedTable, XorShift, mix_pc_history
+from repro.predictors.common import TaggedTable, XorShift, fold
 
 VALUE_MASK = (1 << 64) - 1
 
@@ -40,6 +40,7 @@ class VtagePredictor(ValuePredictor):
     """
 
     name = "vtage"
+    needs_criticality = False  # never reads the ROB/L1 ctx fields
 
     def __init__(self, base_entries: int = 128, tagged_entries: int = 64,
                  history_lengths=(2, 4, 8, 16, 32, 64),
@@ -54,6 +55,12 @@ class VtagePredictor(ValuePredictor):
         self.with_stride = with_stride
         self.loads_only = loads_only
         self._rng = XorShift(0xBEEF)
+        # Memo caches for _keys(): predict and train_execute of the same
+        # uop pass identical (pc, history), and the folded history only
+        # changes on branches, so both layers hit constantly.
+        self._hist_masks = tuple((1 << n) - 1 for n in history_lengths)
+        self._fold_cache = (-1, ())
+        self._key_cache = (-1, -1, [])
         if with_stride:
             self.name = "dvtage"
 
@@ -63,8 +70,21 @@ class VtagePredictor(ValuePredictor):
         return not (self.loads_only and uop.op != opcodes.LOAD)
 
     def _keys(self, pc: int, history: int) -> List[int]:
-        return [mix_pc_history(pc, history, length)
-                for length in self.history_lengths]
+        # Equivalent to [mix_pc_history(pc, history, n) for n in
+        # self.history_lengths], with the folds and the full key list
+        # memoized (see __init__).
+        pc_c, hist_c, keys = self._key_cache
+        if pc_c == pc and hist_c == history:
+            return keys
+        hist_f, folds = self._fold_cache
+        if hist_f != history:
+            folds = tuple(fold(history & mask, 30) * 2654435761
+                          for mask in self._hist_masks)
+            self._fold_cache = (history, folds)
+        pcx = pc ^ (pc >> 13)
+        keys = [(pcx ^ h) & 0x3FFFFFFF for h in folds]
+        self._key_cache = (pc, history, keys)
+        return keys
 
     # ------------------------------------------------------------------
     def predict(self, uop: MicroOp, ctx: EngineContext) -> Optional[Prediction]:

@@ -9,6 +9,8 @@ requested length is reached.
 
 from __future__ import annotations
 
+import bisect
+import itertools
 import random
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
@@ -112,8 +114,27 @@ def build_trace(profile: WorkloadProfile, length: int,
                 mem: Optional[MemImage] = None) -> List[MicroOp]:
     """Assemble ``length`` (±one iteration) micro-ops for a profile.
 
-    Deterministic: the same (profile, length) always yields the same
-    trace.
+    Kernels from ``profile.specs`` are instantiated against a backing
+    functional memory image and interleaved by weighted random
+    selection, one whole kernel iteration at a time, until at least
+    ``length`` micro-ops exist.
+
+    Deterministic: the same ``(profile, length)`` always yields the
+    same trace, bit for bit, across processes and machines — the RNG
+    is seeded from ``profile.seed`` and the memory image is salted
+    with it.  The campaign cache and every figure driver rely on this.
+
+    Parameters
+    ----------
+    profile:
+        A :class:`WorkloadProfile` (see ``repro.trace.workloads`` for
+        the 60-entry catalogue, or compose your own).
+    length:
+        Target micro-op count; the trace may overshoot by up to one
+        kernel iteration.  Must be positive.
+    mem:
+        Optional pre-built :class:`MemImage` to share between traces;
+        by default a fresh image salted with ``profile.seed``.
     """
     if length <= 0:
         raise ValueError("trace length must be positive")
@@ -122,10 +143,23 @@ def build_trace(profile: WorkloadProfile, length: int,
     kernels = _instantiate(profile, image, rng)
     weights = [spec.weight for spec in profile.specs]
 
+    # Weighted kernel selection, inlined from random.choices(k=1): the
+    # cumulative weights are computed once instead of per pick, and the
+    # single random() draw per pick keeps the RNG stream — and therefore
+    # every existing trace — byte-identical.
+    cum_weights = list(itertools.accumulate(weights))
+    total = cum_weights[-1] + 0.0
+    hi = len(kernels) - 1
+    draw = rng.random
+    pick = bisect.bisect
+
     trace: List[MicroOp] = []
-    while len(trace) < length:
-        kernel = rng.choices(kernels, weights=weights, k=1)[0]
-        trace.extend(kernel.iteration())
+    extend = trace.extend
+    size = 0
+    while size < length:
+        ops = kernels[pick(cum_weights, draw() * total, 0, hi)].iteration()
+        extend(ops)
+        size += len(ops)
     return trace
 
 

@@ -78,6 +78,7 @@ class Kernel:
         self.mem = mem
         self.rng = rng
         self.iterations = 0
+        self._loop_branch_cache = {}
 
     def _pc(self, slot: int) -> int:
         return self.pc_base + 4 * slot
@@ -87,9 +88,16 @@ class Kernel:
         raise NotImplementedError
 
     # Loop-control helper: the canonical backward branch ending a body.
+    # The op is fully determined by (slot, taken), and traces never
+    # mutate micro-ops, so one shared instance per variant is emitted
+    # instead of a fresh allocation every iteration.
     def _loop_branch(self, slot: int, taken: bool = True) -> MicroOp:
-        return MicroOp(self._pc(slot), opcodes.BRANCH, taken=taken,
-                       target=self.pc_base)
+        uop = self._loop_branch_cache.get((slot, taken))
+        if uop is None:
+            uop = MicroOp(self._pc(slot), opcodes.BRANCH, taken=taken,
+                          target=self.pc_base)
+            self._loop_branch_cache[(slot, taken)] = uop
+        return uop
 
 
 class IndexedMissKernel(Kernel):

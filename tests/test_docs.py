@@ -1,0 +1,60 @@
+"""Documentation integrity: link checker + drift tripwires."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_check_links():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO_ROOT / "tools" / "check_links.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_no_dead_relative_links():
+    """Every relative link in README.md + *.md + docs/*.md resolves."""
+    checker = _load_check_links()
+    failures = []
+    for path in checker.default_files():
+        failures.extend(checker.check_file(path))
+    assert not failures, "\n".join(failures)
+
+
+def test_checker_flags_dead_links(tmp_path):
+    checker = _load_check_links()
+    doc = tmp_path / "doc.md"
+    doc.write_text("[dead](nowhere.md) [web](https://example.com) "
+                   "[anchor](#sec) `[code](fake.md)`\n")
+    failures = checker.check_file(doc)
+    assert len(failures) == 1
+    assert "nowhere.md" in failures[0]
+
+
+def test_readme_indexes_every_docs_file():
+    """Each docs/*.md is reachable from the README (no orphan docs)."""
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for doc in sorted((REPO_ROOT / "docs").glob("*.md")):
+        assert f"docs/{doc.name}" in readme, (
+            f"docs/{doc.name} is not mentioned in README.md")
+
+
+def test_readme_cli_list_matches_parser():
+    """The README's CLI command enumeration covers the real parser."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.cli import build_parser
+    finally:
+        sys.path.pop(0)
+    subparsers = next(
+        a for a in build_parser()._actions
+        if a.__class__.__name__ == "_SubParsersAction")
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for command in subparsers.choices:
+        assert command in readme, (
+            f"CLI command '{command}' is missing from README.md")

@@ -1,0 +1,119 @@
+"""Result-neutrality of the optimized engine hot path.
+
+The engine keeps two per-op loop implementations (docs/PERF.md):
+
+* ``_time_trace`` — the optimized default,
+* ``_time_trace_reference`` — the readable reference, selected with
+  ``REPRO_SLOW_PATH=1``.
+
+Every optimization must be invisible in results: the same trace under
+the same predictor must produce bit-identical ``SimResult.to_dict()``
+output on both paths, with telemetry collection on or off.  This test
+is the contract the perf work is held to — see also ``repro bench
+--check``, which enforces cycle-equality continuously in CI.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.campaign import build_predictor
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.engine import Engine
+from repro.trace import build_trace
+from repro.trace.workloads import get_profile
+
+LENGTH = 6000
+WARMUP = 2000
+
+# One memory-bound and one control-bound workload; the baseline, the
+# paper's predictor (which exercises the criticality context), and a
+# history-keyed prior-art predictor.
+MATRIX = [
+    ("mcf", "baseline"),
+    ("mcf", "fvp"),
+    ("gcc", "vtage"),
+    ("gcc", "mr-8kb"),
+]
+
+
+def _simulate(workload: str, predictor_spec: str, slow: bool,
+              collect_stalls: bool = True, collect_events: bool = False,
+              collect_timing: bool = False) -> dict:
+    saved = os.environ.get("REPRO_SLOW_PATH")
+    os.environ["REPRO_SLOW_PATH"] = "1" if slow else "0"
+    try:
+        trace = build_trace(get_profile(workload), LENGTH)
+        config = CoreConfig.skylake()
+        predictor = build_predictor(predictor_spec, trace, config)
+        engine = Engine(config, predictor, collect_stalls=collect_stalls,
+                        collect_events=collect_events,
+                        collect_timing=collect_timing)
+        result = engine.run(trace, workload=workload, warmup=WARMUP)
+        out = result.to_dict()
+        if collect_timing:
+            out["_timing"] = result.timing
+        if collect_events:
+            out["_events"] = result.events.to_dict()
+        return out
+    finally:
+        if saved is None:
+            del os.environ["REPRO_SLOW_PATH"]
+        else:
+            os.environ["REPRO_SLOW_PATH"] = saved
+
+
+@pytest.mark.parametrize("workload,predictor", MATRIX)
+def test_fast_path_matches_slow_path(workload, predictor):
+    """Optimized and reference loops produce identical SimResults."""
+    fast = _simulate(workload, predictor, slow=False)
+    slow = _simulate(workload, predictor, slow=True)
+    assert fast == slow
+
+
+@pytest.mark.parametrize("slow", [False, True])
+def test_stall_collection_does_not_change_results(slow):
+    """Telemetry stall attribution off vs on: identical timing results.
+
+    The stall buckets themselves are zeroed when collection is off, so
+    they are excluded; everything else — cycles, instruction counts,
+    predictor outcomes — must match exactly.
+    """
+    on = _simulate("mcf", "fvp", slow=slow, collect_stalls=True)
+    off = _simulate("mcf", "fvp", slow=slow, collect_stalls=False)
+    for skip in ("stall_cycles", "warmup_stall_cycles", "telemetry"):
+        on.pop(skip, None)
+        off.pop(skip, None)
+    assert on == off
+
+
+def test_fast_path_timing_and_events_match_slow_path():
+    """Per-op timing arrays and the event trace are also identical."""
+    fast = _simulate("mcf", "fvp", slow=False,
+                     collect_events=True, collect_timing=True)
+    slow = _simulate("mcf", "fvp", slow=True,
+                     collect_events=True, collect_timing=True)
+    assert fast["_timing"] == slow["_timing"]
+    assert fast["_events"] == slow["_events"]
+    assert fast == slow
+
+
+def test_slow_path_env_gate():
+    """REPRO_SLOW_PATH selects the path: "", "0" = fast, else slow."""
+    from repro.pipeline.engine import _slow_path_requested
+
+    saved = os.environ.get("REPRO_SLOW_PATH")
+    try:
+        for value, expect in (("", False), ("0", False), ("1", True),
+                              ("yes", True)):
+            os.environ["REPRO_SLOW_PATH"] = value
+            assert _slow_path_requested() is expect
+        os.environ.pop("REPRO_SLOW_PATH")
+        assert _slow_path_requested() is False
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SLOW_PATH", None)
+        else:
+            os.environ["REPRO_SLOW_PATH"] = saved

@@ -1,0 +1,86 @@
+"""The `repro bench` harness (src/repro/experiments/perfbench.py)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import perfbench
+
+
+def _tiny_report(**kwargs):
+    return perfbench.run_bench(
+        workloads=("mcf",), predictors=("baseline",),
+        length=2000, warmup=500, repeats=1, **kwargs)
+
+
+def test_run_bench_reports_kips_and_speedup():
+    report = _tiny_report()
+    assert report["matrix"]["workloads"] == ["mcf"]
+    (cell,) = report["cells"]
+    assert cell["workload"] == "mcf"
+    assert cell["predictor"] == "baseline"
+    assert cell["sim_kips"] > 0
+    assert cell["slow_kips"] > 0
+    assert cell["speedup"] > 0
+    assert cell["cycles"] > 0
+    assert report["geomean_kips"] == cell["sim_kips"]
+    assert "geomean_speedup" in report
+    assert report["peak_rss_kb"] is None or report["peak_rss_kb"] > 0
+
+
+def test_run_bench_without_slow_measurement():
+    report = _tiny_report(measure_slow=False)
+    (cell,) = report["cells"]
+    assert "slow_kips" not in cell
+    assert "speedup" not in cell
+    assert "geomean_speedup" not in report
+
+
+def test_write_report_and_baseline_round_trip(tmp_path):
+    report = _tiny_report()
+    path = perfbench.write_report(report, str(tmp_path / "bench.json"))
+    loaded = json.load(open(path))
+    assert loaded["cells"] == report["cells"]
+    assert perfbench.load_baseline(str(tmp_path / "missing.json")) is None
+    assert perfbench.load_baseline(path)["cells"] == report["cells"]
+
+
+def test_compare_and_check_regression():
+    report = _tiny_report()
+    comparison = perfbench.compare_to_baseline(report, report)
+    assert comparison["kips_vs_baseline"] == 1.0
+    assert comparison["speedup_vs_baseline"] == 1.0
+    assert comparison["cycle_mismatches"] == []
+    assert perfbench.check_regression(comparison) == []
+
+    # A 30% speedup regression trips the default 20% gate.
+    slower = json.loads(json.dumps(report))
+    for cell in slower["cells"]:
+        cell["speedup"] = round(cell["speedup"] * 0.7, 3)
+    comparison = perfbench.compare_to_baseline(slower, report)
+    failures = perfbench.check_regression(comparison)
+    assert any("regressed" in f for f in failures)
+
+    # Cycle drift is always a failure, whatever the timing says.
+    drifted = json.loads(json.dumps(report))
+    drifted["cells"][0]["cycles"] += 1
+    comparison = perfbench.compare_to_baseline(drifted, report)
+    failures = perfbench.check_regression(comparison)
+    assert any("drifted" in f for f in failures)
+
+
+def test_geomean():
+    assert perfbench.geomean([]) == 1.0
+    assert abs(perfbench.geomean([2.0, 8.0]) - 4.0) < 1e-12
+
+
+def test_committed_baseline_matches_default_matrix():
+    """The committed baseline covers exactly the default bench matrix."""
+    baseline = perfbench.load_baseline()
+    assert baseline is not None, "benchmarks/perf_baseline.json missing"
+    cells = {(c["workload"], c["predictor"]) for c in baseline["cells"]}
+    expected = {(w, p) for w in perfbench.DEFAULT_WORKLOADS
+                for p in perfbench.DEFAULT_PREDICTORS}
+    assert cells == expected
+    for cell in baseline["cells"]:
+        assert cell["speedup"] > 1.0

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Docs link checker: fail on dead relative links in the markdown set.
+
+Scans README.md, the other root-level ``*.md`` files, and ``docs/*.md``
+for markdown links/images ``[text](target)`` and bare reference
+definitions, and verifies that every *relative* target exists in the
+repository.  External links (``http(s)://``, ``mailto:``) and pure
+in-page anchors (``#section``) are not checked — the gate is about
+repo-internal drift (a renamed doc or module breaking cross-links),
+not network reachability.
+
+Usage::
+
+    python tools/check_links.py            # check the default set
+    python tools/check_links.py FILE...    # check specific files
+
+Exit status 0 when every relative link resolves, 1 otherwise (one
+``file:line: broken link`` line per failure).  Run by the docs CI job
+and by ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline links/images: [text](target) / ![alt](target), target up to
+#: the first unescaped ')' or whitespace (titles are split off below).
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Reference definitions: [label]: target
+_REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def default_files() -> List[Path]:
+    """README.md + every root-level and docs/ markdown file."""
+    files = sorted(REPO_ROOT.glob("*.md")) + sorted(
+        (REPO_ROOT / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def iter_links(text: str) -> Iterable[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for each link outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if _CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        # Strip inline code spans so `[x](y)` examples are not links.
+        stripped = re.sub(r"`[^`]*`", "", line)
+        for match in _INLINE_LINK.finditer(stripped):
+            yield lineno, match.group(1)
+        for match in _REF_DEF.finditer(stripped):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path) -> List[str]:
+    """Broken-link messages for one markdown file (empty = clean)."""
+    failures: List[str] = []
+    text = path.read_text(encoding="utf-8")
+    for lineno, target in iter_links(text):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            try:
+                shown = path.relative_to(REPO_ROOT)
+            except ValueError:
+                shown = path
+            failures.append(f"{shown}:{lineno}: broken link -> {target}")
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    """Check the given files (default set when empty); 0 = all clean."""
+    files = [Path(a).resolve() for a in argv] if argv else default_files()
+    failures: List[str] = []
+    for path in files:
+        failures.extend(check_file(path))
+    for line in failures:
+        print(line)
+    if failures:
+        print(f"{len(failures)} broken link(s) in {len(files)} file(s)")
+        return 1
+    print(f"ok: {len(files)} markdown file(s), all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
