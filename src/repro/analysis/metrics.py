@@ -65,12 +65,24 @@ class SuiteResult(SequenceABC):
     per-run code keeps working, and centralises the aggregations the
     figure drivers and reports repeat: geomean speedup, mean coverage,
     category grouping, and flat rows for tabulation.
+
+    ``gaps`` lists workloads a non-strict campaign quarantined instead
+    of completing (docs/ROBUSTNESS.md): their runs are absent from the
+    aggregates, and reports annotate the gap explicitly rather than
+    silently presenting a partial suite as complete.
     """
 
-    __slots__ = ("runs",)
+    __slots__ = ("runs", "gaps")
 
-    def __init__(self, runs: Iterable[WorkloadRun]) -> None:
+    def __init__(self, runs: Iterable[WorkloadRun],
+                 gaps: Iterable[str] = ()) -> None:
         self.runs: List[WorkloadRun] = list(runs)
+        self.gaps: List[str] = list(gaps)
+
+    @property
+    def complete(self) -> bool:
+        """True when no workload was quarantined out of the suite."""
+        return not self.gaps
 
     # -- sequence protocol ---------------------------------------------
     def __len__(self) -> int:
@@ -78,11 +90,12 @@ class SuiteResult(SequenceABC):
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return SuiteResult(self.runs[index])
+            return SuiteResult(self.runs[index], gaps=self.gaps)
         return self.runs[index]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<SuiteResult {len(self.runs)} runs>"
+        gaps = f" ({len(self.gaps)} gaps)" if self.gaps else ""
+        return f"<SuiteResult {len(self.runs)} runs{gaps}>"
 
     # -- aggregation ---------------------------------------------------
     def geomean_speedup(self) -> float:

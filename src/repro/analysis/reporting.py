@@ -74,6 +74,13 @@ def format_suite(title: str, suite) -> str:
                  format_percent(suite.gain), f"{suite.coverage:.1%}"))
     table = format_table(
         ("workload", "category", "speedup", "gain", "coverage"), rows)
+    gaps = getattr(suite, "gaps", None)
+    if gaps:
+        # A partial (non-strict) campaign: annotate the missing
+        # workloads explicitly so the table is never mistaken for a
+        # complete suite.
+        table += (f"\n! incomplete: {len(gaps)} workload(s) failed and "
+                  f"were excluded: {', '.join(gaps)}")
     return f"{title}\n{table}"
 
 

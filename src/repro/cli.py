@@ -13,6 +13,8 @@ Commands
 ``storage``   — print Table I
 ``report``    — write a full reproduction report
 ``cache``     — inspect, clear, or prune the persistent result cache
+``doctor``    — environment self-check (exit 1 when the host cannot
+                run campaigns reliably)
 ``bench``     — simulator performance benchmark: sim-KIPS over a fixed
                 (workload × predictor) matrix, fast-vs-slow-path
                 speedup, baseline comparison and the CI regression
@@ -23,11 +25,17 @@ Every simulating command runs through the campaign engine
 over N worker processes (default: all cores), and results persist
 under ``.repro-cache/`` so an identical rerun never simulates
 (``--no-cache`` opts out; ``repro cache stats`` shows the counters).
+Campaigns are fault-tolerant (docs/ROBUSTNESS.md): ``--timeout`` kills
+hung jobs, ``--retries`` bounds retry attempts, sweeps checkpoint
+under the cache so ``repro sweep --resume <campaign-id>`` replays only
+the jobs an interrupted run never finished, and failed jobs surface as
+an explicit summary (exit status 1) instead of aborting the sweep.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -63,6 +71,13 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="result-cache directory (default: "
                              "$REPRO_CACHE_DIR or .repro-cache)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock timeout; hung worker "
+                             "jobs are killed and retried")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="retry budget for transient job failures "
+                             "(timeouts, worker crashes; default: 2)")
 
 
 def _warmup(args) -> int:
@@ -75,6 +90,15 @@ def _progress(event: JobEvent) -> None:
     """Per-job progress line on stderr — campaigns stay observable."""
     if event.status == "start":
         return
+    if event.status == "retry":
+        print(f"  [{event.index}/{event.total}] {event.job.label}: "
+              f"{event.error} after {event.elapsed:.2f}s, retrying",
+              file=sys.stderr)
+        return
+    if event.status == "fail":
+        print(f"  [{event.index}/{event.total}] {event.job.label}: "
+              f"FAILED ({event.error})", file=sys.stderr)
+        return
     timing = "cache hit" if event.status == "hit" \
         else f"{event.elapsed:.2f}s"
     print(f"  [{event.index}/{event.total}] {event.job.label}: {timing}",
@@ -85,7 +109,8 @@ def _runner(args, workloads: Optional[List[str]] = None) -> Runner:
     return Runner(length=args.length, warmup=_warmup(args),
                   workloads=workloads, jobs=args.jobs,
                   use_cache=not args.no_cache, cache_dir=args.cache_dir,
-                  progress=_progress)
+                  progress=_progress, timeout=args.timeout,
+                  retries=args.retries)
 
 
 def _figure_number(text: str) -> int:
@@ -200,7 +225,11 @@ def _export_event_trace(args, runner) -> None:
 
 
 def cmd_figure(args) -> int:
-    """Regenerate one paper figure via its experiment driver."""
+    """Regenerate one paper figure via its experiment driver.
+
+    Runs the campaign non-strictly: jobs lost to crashes or timeouts
+    become explicit gap annotations in the rendered figure (and a
+    failure summary on stderr, exit status 1) rather than aborting."""
     from repro.experiments import figures
 
     driver = getattr(figures, f"figure{args.number}", None)
@@ -214,39 +243,112 @@ def cmd_figure(args) -> int:
                                     jobs=args.jobs,
                                     use_cache=not args.no_cache,
                                     cache_dir=args.cache_dir,
-                                    progress=_progress)
+                                    progress=_progress,
+                                    timeout=args.timeout,
+                                    retries=args.retries,
+                                    strict=False)
     print(renderer(driver(runner)))
-    return 0
+    return _report_failures(runner)
+
+
+def _report_failures(runner: Runner) -> int:
+    """Print the campaign's quarantined-failure summary; exit status 1
+    when any job failed, 0 on a complete campaign."""
+    failures = runner.engine.failures
+    if not failures:
+        return 0
+    print(f"{len(failures)} job(s) failed and were quarantined "
+          "(docs/ROBUSTNESS.md):", file=sys.stderr)
+    for failure in failures.values():
+        print(f"  {failure.summary()}", file=sys.stderr)
+    return 1
 
 
 def cmd_sweep(args) -> int:
     """Full design-space sweep: every predictor × every core over the
-    workload suite, as one deduplicated campaign."""
-    from repro.analysis.reporting import format_suite, format_table
+    workload suite, as one deduplicated campaign.
 
-    runner = _default_runner_for(args)
+    With the cache enabled the sweep checkpoints itself under
+    ``<cache>/campaigns/``; ``--resume <campaign-id>`` replays an
+    interrupted sweep, re-running only the jobs the cache has no
+    result for.  Failed jobs are quarantined (not fatal): the sweep
+    prints a failure summary and exits with status 1."""
+    from repro.analysis.reporting import format_suite, format_table
+    from repro.experiments.campaign import (
+        DEFAULT_CACHE_DIR,
+        append_journal,
+        finish_campaign,
+        load_campaign,
+        save_campaign,
+    )
+
+    cache_root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR",
+                                                  DEFAULT_CACHE_DIR)
+    if not args.resume and not args.predictors:
+        print("sweep needs predictor names (or --resume CAMPAIGN_ID)",
+              file=sys.stderr)
+        return 2
+    if args.resume:
+        try:
+            manifest = load_campaign(cache_root, args.resume)
+        except (FileNotFoundError, ValueError):
+            print(f"no campaign {args.resume!r} under {cache_root} "
+                  "(see `repro sweep` output for checkpoint ids)",
+                  file=sys.stderr)
+            return 2
+        meta = manifest["meta"]
+        args.predictors = meta["predictors"]
+        args.cores = meta["cores"]
+        args.length = meta["length"]
+        args.warmup = meta["warmup"]
+        args.per_category = meta["per_category"]
+        args.no_cache = False
+
+    runner = _default_runner_for(args, strict=False)
+    cid = None
+    if not args.no_cache:
+        meta = {"command": "sweep", "predictors": list(args.predictors),
+                "cores": list(args.cores), "length": args.length,
+                "warmup": _warmup(args),
+                "per_category": args.per_category}
+        cid = save_campaign(cache_root, meta)
+        print(f"campaign {cid} (resume with: repro sweep --resume {cid})",
+              file=sys.stderr)
+
     rows = []
     for core in args.cores:
         for predictor in args.predictors:
             suite = runner.suite(predictor, core=core)
-            rows.append((core, predictor, f"{suite.gain:+.2%}",
-                         f"{suite.coverage:.1%}", len(suite)))
-            if args.per_workload:
+            if suite.runs:
+                rows.append((core, predictor, f"{suite.gain:+.2%}",
+                             f"{suite.coverage:.1%}", len(suite)))
+            else:  # every workload quarantined — aggregates undefined
+                rows.append((core, predictor, "-", "-", 0))
+            if cid is not None:
+                append_journal(cache_root, cid, {
+                    "core": core, "predictor": predictor,
+                    "runs": len(suite), "gaps": list(suite.gaps)})
+            if args.per_workload and suite.runs:
                 print(format_suite(f"{predictor} on {core}", suite))
                 print()
     print(format_table(
         ("core", "predictor", "geomean gain", "coverage", "workloads"),
         rows))
-    return 0
+    status = _report_failures(runner)
+    if cid is not None and status == 0:
+        finish_campaign(cache_root, cid)
+    return status
 
 
-def _default_runner_for(args) -> Runner:
+def _default_runner_for(args, strict: bool = True) -> Runner:
     from repro.experiments.figures import default_runner
 
     return default_runner(length=args.length, warmup=_warmup(args),
                           per_category=args.per_category,
                           jobs=args.jobs, use_cache=not args.no_cache,
-                          cache_dir=args.cache_dir, progress=_progress)
+                          cache_dir=args.cache_dir, progress=_progress,
+                          timeout=args.timeout, retries=args.retries,
+                          strict=strict)
 
 
 def cmd_storage(_args) -> int:
@@ -293,7 +395,112 @@ def cmd_cache(args) -> int:
           f"{stats['simulated']} simulations executed")
     print(f"last run: {last['hits']} hits, {last['misses']} misses, "
           f"{last['simulated']} simulations executed")
+    bad = cache.quarantined_entries()
+    if bad or stats.get("quarantined"):
+        print(f"quarantined: {len(bad)} corrupt entr(y/ies) on disk "
+              f"({stats.get('quarantined', 0)} lifetime; see *.bad files)")
     return 0
+
+
+def cmd_doctor(args) -> int:
+    """Environment self-check: verify this host can run campaigns
+    reliably (worker processes, advisory locking, atomic cache writes,
+    deterministic simulation).  Exit status 1 when any check fails."""
+    import multiprocessing
+    import platform
+    import tempfile
+
+    failures = 0
+
+    def check(label: str, fn) -> None:
+        """Run one probe, printing ok/FAIL and counting failures."""
+        nonlocal failures
+        try:
+            detail = fn()
+        except Exception as exc:  # noqa: BLE001 - diagnostic surface
+            failures += 1
+            print(f"FAIL  {label}: {type(exc).__name__}: {exc}")
+        else:
+            print(f"  ok  {label}" + (f" ({detail})" if detail else ""))
+
+    def check_python():
+        """Require python >= 3.9 (oldest version the suite supports)."""
+        if sys.version_info < (3, 9):
+            raise RuntimeError(f"python {platform.python_version()} < 3.9")
+        return platform.python_version()
+
+    def check_pool():
+        """Round-trip a value through a real worker process."""
+        ctx = multiprocessing.get_context()
+        parent, child = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_doctor_worker, args=(child,),
+                           daemon=True)
+        proc.start()
+        child.close()
+        if not parent.poll(30):
+            proc.terminate()
+            raise RuntimeError("worker did not respond within 30s")
+        reply = parent.recv()
+        proc.join()
+        if reply != 42:
+            raise RuntimeError(f"worker replied {reply!r}")
+        return f"start method {ctx.get_start_method()}"
+
+    def check_locking():
+        """Probe for the advisory file locking the cache lock uses."""
+        import fcntl  # noqa: F401 - availability probe
+
+        return "fcntl advisory locks available"
+
+    def check_cache():
+        """Verify the cache directory parent is writable with atomic rename."""
+        root = args.cache_dir or os.environ.get(
+            "REPRO_CACHE_DIR", ".repro-cache")
+        parent = os.path.dirname(os.path.abspath(root)) or "."
+        with tempfile.TemporaryDirectory(dir=parent) as tmp:
+            probe = os.path.join(tmp, "probe")
+            with open(probe + ".tmp", "w", encoding="utf-8") as handle:
+                handle.write("x")
+            os.replace(probe + ".tmp", probe)
+        return f"{root} writable, atomic rename works"
+
+    def check_determinism():
+        """Simulate the same workload twice and demand bit-identical cycles."""
+        from repro.pipeline.engine import simulate
+        from repro.trace.builder import build_trace
+        from repro.trace.workloads import get_profile
+
+        trace = build_trace(get_profile("astar"), 2000)
+        first = simulate(trace, warmup=500)
+        second = simulate(build_trace(get_profile("astar"), 2000),
+                          warmup=500)
+        if first.cycles != second.cycles:
+            raise RuntimeError(
+                f"non-deterministic: {first.cycles} != {second.cycles}")
+        return f"{first.cycles} cycles, bit-stable"
+
+    check("python version", check_python)
+    check("worker processes", check_pool)
+    check("advisory file locking", check_locking)
+    check("cache directory", check_cache)
+    check("deterministic simulation", check_determinism)
+    env = {name: value for name, value in sorted(os.environ.items())
+           if name.startswith("REPRO_")}
+    if env:
+        print("environment overrides: "
+              + ", ".join(f"{k}={v}" for k, v in env.items()))
+    if failures:
+        print(f"{failures} check(s) failed", file=sys.stderr)
+        return 1
+    print("all checks passed")
+    return 0
+
+
+def _doctor_worker(conn) -> None:
+    """Child-process probe for ``repro doctor``: prove a worker can
+    start and report back over a pipe."""
+    conn.send(42)
+    conn.close()
 
 
 def cmd_bench(args) -> int:
@@ -385,13 +592,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser(
         "sweep", help="sweep predictors × cores over the suite")
-    p_sweep.add_argument("predictors", nargs="+",
-                         help="predictor registry names")
+    p_sweep.add_argument("predictors", nargs="*",
+                         help="predictor registry names (omit when "
+                              "resuming a checkpointed campaign)")
     p_sweep.add_argument("--cores", nargs="+", default=["skylake"],
                          choices=("skylake", "skylake-2x"))
     p_sweep.add_argument("--per-category", type=int, default=None)
     p_sweep.add_argument("--per-workload", action="store_true",
                          help="also print per-workload tables")
+    p_sweep.add_argument("--resume", default=None, metavar="CAMPAIGN_ID",
+                         help="resume a checkpointed sweep: re-run only "
+                              "the jobs the cache has no result for")
     _add_scale_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -457,6 +668,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "(e.g. 3600, 30m, 12h, 7d)")
     p_cache.add_argument("--cache-dir", default=None, metavar="DIR")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_doctor = sub.add_parser(
+        "doctor", help="environment self-check for reliable campaigns")
+    p_doctor.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_doctor.set_defaults(func=cmd_doctor)
     return parser
 
 

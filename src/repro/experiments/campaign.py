@@ -1,50 +1,63 @@
-"""Parallel experiment campaigns with a persistent result cache.
+"""Parallel experiment campaigns: fan-out, persistent cache, fault
+tolerance.
 
 A paper-scale evaluation is a *campaign*: hundreds of independent
 ``(workload, core, predictor, length, warmup)`` simulations whose
-results feed the figure drivers.  This module gives campaigns three
+results feed the figure drivers.  This module gives campaigns four
 things the plain :class:`~repro.experiments.runner.Runner` loop lacks:
 
 * **Jobs** — :class:`Job` is the unit of work.  Jobs are value objects,
   so a campaign can be deduplicated before anything runs (Figures 6, 8
   and 9 all need FVP-on-Skylake; the engine simulates it once).
-* **Fan-out** — :class:`CampaignEngine` runs jobs over a
-  :class:`concurrent.futures.ProcessPoolExecutor` (``jobs=N``, default
-  ``os.cpu_count()``).  Traces are deterministic, so workers rebuild
-  them locally instead of shipping micro-ops across the pipe.  Jobs
-  whose predictor spec is a Python callable cannot be pickled and run
-  in-process; if the pool itself fails (sandboxes without ``fork``,
-  broken workers), the engine degrades to serial execution rather than
-  aborting the campaign.
+* **Fan-out** — :class:`CampaignEngine` runs jobs over a watchdog-
+  supervised worker pool (``jobs=N``, default ``os.cpu_count()``).
+  Traces are deterministic, so workers rebuild them locally instead of
+  shipping micro-ops across the pipe.  Jobs whose predictor spec is a
+  Python callable cannot be pickled and run in-process; if the pool
+  itself cannot start (sandboxes without ``fork``), the engine degrades
+  to serial execution rather than aborting the campaign.
+* **Fault tolerance** (docs/ROBUSTNESS.md) — every job gets a per-job
+  wall-clock ``timeout`` enforced by a watchdog that kills and requeues
+  hung workers, bounded ``retries`` with exponential ``backoff`` for
+  transient failures (:data:`repro.errors.RETRYABLE`), and a failure
+  quarantine: a job that keeps failing becomes a structured
+  :class:`JobFailure` in the campaign's :class:`CampaignLedger` instead
+  of an exception mid-flight, so a campaign always accounts for every
+  job.  ``strict=True`` (the default) re-raises after the whole
+  campaign has drained; ``strict=False`` returns the partial results
+  and leaves the failures on ``engine.failures``.
 * **A persistent cache** — :class:`ResultCache` stores every
   :class:`~repro.pipeline.results.SimResult` under ``.repro-cache/``
   (as ``SimResult.to_dict()`` JSON) keyed by a content hash of
-  everything that determines the result: the workload profile (kernel
-  classes, weights, parameters, seed), trace length and warmup, every
-  :class:`CoreConfig` field, the predictor spec, ``repro.__version__``
-  and the telemetry schema version (results carry their stall
-  attribution and statistic tree, so a taxonomy change invalidates the
-  cache too).  Re-running an unchanged figure is a pure cache hit;
-  changing any input — or bumping either version — invalidates exactly
-  the affected jobs.  :meth:`ResultCache.prune` (CLI: ``repro cache
-  prune --older-than 7d``) ages out stale entries so the directory
-  cannot grow unbounded.
+  everything that determines the result.  Writes are atomic
+  (temp-file + ``os.replace``), corrupted entries are quarantined to
+  ``*.bad`` and recomputed, and an advisory file lock serialises
+  concurrent campaigns sharing one cache directory — a campaign that
+  loses the lock race falls back to read-only caching rather than
+  racing the writer.  :meth:`ResultCache.prune` (CLI: ``repro cache
+  prune --older-than 7d``) ages out stale entries.
+
+Campaign checkpointing: :func:`save_campaign` records a campaign's
+defining arguments under ``<cache>/campaigns/<id>.json`` and
+:func:`append_journal` keeps a crash-safe per-job journal next to it,
+so ``repro sweep --resume <id>`` can replay an interrupted campaign —
+finished jobs are served from the cache, only missing or failed jobs
+simulate again.
 
 Observability: the engine emits a :class:`JobEvent` per job (cache hit,
-start, completion with wall-clock seconds) through a ``progress``
-callback, and persists hit/miss/simulation counters to
-``stats.json`` inside the cache directory (``python -m repro cache
-stats`` prints them).
+start, retry, completion, quarantine) through a ``progress`` callback,
+and persists hit/miss/simulation/quarantine counters to ``stats.json``
+inside the cache directory (``python -m repro cache stats``).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
@@ -57,12 +70,23 @@ from typing import (
 )
 
 import repro
+from repro.errors import (
+    RETRYABLE,
+    CampaignError,
+    taxonomy_name,
+)
 from repro.isa.instruction import MicroOp
 from repro.pipeline.engine import Engine
 from repro.pipeline.results import TELEMETRY_SCHEMA_VERSION, SimResult
 from repro.pipeline.vp_interface import ValuePredictor
+from repro.testing.faults import FAULTS_ENV
 from repro.trace.builder import build_trace
 from repro.trace.workloads import get_profile
+
+try:  # advisory locking is POSIX-only; degrade to no-op elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
 
 #: A predictor specification: a registry name, a zero-argument factory,
 #: or a ``callable(trace, config) -> predictor`` (see
@@ -70,6 +94,11 @@ from repro.trace.workloads import get_profile
 PredictorSpec = Union[str, Callable, None]
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Taxonomy labels the engine retries (mirrors
+#: :data:`repro.errors.RETRYABLE` for failures crossing a process
+#: boundary, where only the label survives).
+RETRYABLE_ERRORS = frozenset(cls.__name__ for cls in RETRYABLE)
 
 
 # ----------------------------------------------------------------------
@@ -108,7 +137,9 @@ class JobEvent:
     """Progress report for one job.
 
     ``status`` is ``"hit"`` (served from cache), ``"start"`` (about to
-    simulate) or ``"done"`` (simulated in ``elapsed`` seconds).
+    simulate), ``"done"`` (simulated in ``elapsed`` seconds),
+    ``"retry"`` (attempt failed with taxonomy label ``error``; the job
+    was requeued) or ``"fail"`` (quarantined after its final attempt).
     ``index``/``total`` count completed jobs in the campaign.
     """
 
@@ -117,6 +148,47 @@ class JobEvent:
     index: int
     total: int
     elapsed: Optional[float] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class JobFailure:
+    """Ledger record for a job that was quarantined after exhausting
+    its attempts.  ``error`` is the taxonomy label
+    (:func:`repro.errors.taxonomy_name`); ``exc`` keeps the original
+    exception when the failure happened in-process."""
+
+    job: Job
+    error: str
+    message: str
+    attempts: int
+    elapsed: float = 0.0
+    exc: Optional[BaseException] = field(default=None, repr=False,
+                                         compare=False)
+
+    def summary(self) -> str:
+        """One-line ``label: error (attempts)`` description."""
+        return (f"{self.job.label}: {self.error} after "
+                f"{self.attempts} attempt(s) — {self.message}")
+
+
+@dataclass
+class CampaignLedger:
+    """Complete per-job accounting for one campaign: every distinct
+    job lands in exactly one of ``results`` or ``failures``."""
+
+    results: Dict[Job, SimResult] = field(default_factory=dict)
+    failures: Dict[Job, JobFailure] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """True when no job was quarantined."""
+        return not self.failures
+
+    @property
+    def total(self) -> int:
+        """Jobs accounted for (results + failures)."""
+        return len(self.results) + len(self.failures)
 
 
 # ----------------------------------------------------------------------
@@ -210,10 +282,19 @@ def _claim_predictor(predictor: Optional[ValuePredictor]) -> None:
         pass
 
 
-def execute_job(job: Job, trace: Optional[List[MicroOp]] = None) -> SimResult:
-    """Run one job to completion in this process."""
+def execute_job(job: Job, trace: Optional[List[MicroOp]] = None,
+                attempt: int = 1) -> SimResult:
+    """Run one job to completion in this process.
+
+    ``attempt`` is the campaign retry counter (1-based); the
+    fault-injection harness (docs/ROBUSTNESS.md) uses it to fire
+    deterministically on specific attempts when ``REPRO_FAULTS`` is
+    installed."""
     from repro.experiments.runner import core_config
 
+    if FAULTS_ENV in os.environ:
+        from repro.testing import faults
+        faults.inject_job_faults(job.label, attempt)
     if trace is None:
         trace = build_trace(get_profile(job.workload), job.length)
     config = core_config(job.core)
@@ -223,14 +304,31 @@ def execute_job(job: Job, trace: Optional[List[MicroOp]] = None) -> SimResult:
     return engine.run(trace, workload=job.workload, warmup=job.warmup)
 
 
-def _worker(payload: Tuple[str, str, Optional[str], int, int]
-            ) -> Tuple[SimResult, float]:
-    """Pool entry point: rebuild everything locally, return the result
-    and its wall-clock seconds."""
-    workload, core, spec, length, warmup = payload
-    start = time.perf_counter()
-    result = execute_job(Job(workload, core, spec, length, warmup))
-    return result, time.perf_counter() - start
+class _PoolUnavailable(Exception):
+    """The worker pool could not start at all (no fork, resource
+    limits); the campaign falls back to serial execution."""
+
+
+def _pool_worker(payload: Tuple[str, str, Optional[str], int, int],
+                 attempt: int, conn) -> None:
+    """Worker-process entry point: rebuild everything locally and send
+    ``("ok", result, elapsed)`` or ``("err", taxonomy, message)`` back
+    over the pipe.  A crash (or injected ``os._exit``) sends nothing —
+    the parent watchdog classifies that as a ``WorkerCrash``."""
+    try:
+        workload, core, spec, length, warmup = payload
+        start = time.perf_counter()
+        result = execute_job(Job(workload, core, spec, length, warmup),
+                             attempt=attempt)
+        conn.send(("ok", result, time.perf_counter() - start))
+    except BaseException as exc:  # noqa: BLE001 - ships taxonomy to parent
+        try:
+            conn.send(("err", taxonomy_name(exc),
+                       f"{type(exc).__name__}: {exc}"))
+        except (OSError, ValueError):  # pragma: no cover - parent gone
+            pass
+    finally:
+        conn.close()
 
 
 # ----------------------------------------------------------------------
@@ -242,13 +340,24 @@ class ResultCache:
     Layout: ``<root>/<key>.json`` per result (the
     :meth:`SimResult.to_dict` round-trip format) plus
     ``<root>/stats.json`` with cumulative and last-run
-    hit/miss/simulation counters.  Corrupted entries — including
-    entries written by an older telemetry schema — are deleted and
-    treated as misses.
+    hit/miss/simulation counters.  Every write is atomic (temp file +
+    ``os.replace``), so concurrent readers never observe a torn entry.
+    Corrupted entries — torn by a crashed legacy writer, bit-rotted, or
+    written by an older telemetry schema — are *quarantined* (renamed
+    to ``<key>.json.bad`` for post-mortem inspection) and treated as
+    misses, so the campaign recomputes and heals them.
+
+    Concurrent campaigns sharing one cache directory coordinate through
+    an advisory file lock (``<root>/.lock``): the first campaign takes
+    it, later ones fall back to read-only caching (``read_only=True``)
+    — they still *read* hits but leave all writing to the lock holder.
     """
 
     STATS_FILE = "stats.json"
+    LOCK_FILE = ".lock"
     SUFFIX = ".json"
+    #: Suffix quarantined (corrupt) entries are renamed to.
+    BAD_SUFFIX = ".bad"
     #: Suffix of pre-telemetry pickle entries; never read, but still
     #: swept by :meth:`clear` and :meth:`prune`.
     LEGACY_SUFFIX = ".pkl"
@@ -259,8 +368,16 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Corrupt entries renamed to ``*.bad`` by this instance.
+        self.quarantined = 0
+        #: Writes skipped because the cache is in read-only fallback.
+        self.skipped_writes = 0
+        #: Whether this instance lost the advisory-lock race and runs
+        #: in read-only fallback (set by :meth:`try_lock` callers).
+        self.read_only = False
+        self._lock_handle = None
         self._flushed: Dict[str, int] = {"hits": 0, "misses": 0,
-                                         "simulated": 0}
+                                         "simulated": 0, "quarantined": 0}
 
     # -- storage -------------------------------------------------------
     def path(self, key: str) -> str:
@@ -270,8 +387,9 @@ class ResultCache:
     def get(self, key: str) -> Optional[SimResult]:
         """Cached :class:`SimResult` for ``key``, or ``None`` on a miss.
 
-        Corrupted or stale-schema entries are deleted and count as
-        misses, so a schema bump self-heals the cache directory.
+        Corrupted or stale-schema entries are quarantined (renamed to
+        ``*.bad``) and count as misses, so a schema bump or torn write
+        self-heals: the campaign recomputes and overwrites the entry.
         """
         try:
             with open(self.path(key), "r", encoding="utf-8") as handle:
@@ -279,27 +397,85 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except Exception:
-            # Corrupted or stale-schema entry: drop it and recompute.
-            try:
-                os.remove(self.path(key))
-            except OSError:
-                pass
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            # CacheCorruption: quarantine the entry for post-mortem
+            # inspection and recompute (counted in stats.json).
+            self._quarantine(key)
             self.misses += 1
             return None
         self.hits += 1
         return result
 
-    def put(self, key: str, result: SimResult) -> None:
-        """Persist a result under ``key`` (atomic write-then-rename)."""
+    def _quarantine(self, key: str) -> None:
+        try:
+            os.replace(self.path(key), self.path(key) + self.BAD_SUFFIX)
+            self.quarantined += 1
+        except OSError:  # pragma: no cover - deleted underneath us
+            pass
+
+    def put(self, key: str, result: SimResult, label: str = "") -> None:
+        """Persist a result under ``key`` (atomic write-then-rename).
+
+        A no-op (counted in ``skipped_writes``) when the cache is in
+        read-only fallback.  ``label`` is the job label, used only by
+        the fault-injection harness to target torn-write faults."""
+        if self.read_only:
+            self.skipped_writes += 1
+            return
         os.makedirs(self.root, exist_ok=True)
         final = self.path(key)
+        payload = json.dumps(result.to_dict(), separators=(",", ":"))
+        if FAULTS_ENV in os.environ:
+            from repro.testing import faults
+            if faults.tear_write(label or key):
+                # Injected torn write: model a legacy non-atomic writer
+                # dying mid-write — truncated JSON straight to the
+                # final path, bypassing the temp-file dance.
+                with open(final, "w", encoding="utf-8") as handle:
+                    handle.write(payload[:max(1, len(payload) // 2)])
+                self.stores += 1
+                return
         tmp = final + f".tmp.{os.getpid()}"
         with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(result.to_dict(), handle,
-                      separators=(",", ":"))
+            handle.write(payload)
         os.replace(tmp, final)  # atomic: concurrent campaigns never
         self.stores += 1        # observe a half-written entry
+
+    # -- advisory locking ----------------------------------------------
+    def _lock_path(self) -> str:
+        return os.path.join(self.root, self.LOCK_FILE)
+
+    def try_lock(self) -> bool:
+        """Attempt to take the advisory campaign lock (non-blocking).
+
+        Returns True when acquired (or when the platform has no
+        ``fcntl`` — locking degrades to a no-op).  Callers that get
+        False should set ``read_only = True`` and carry on."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            return True
+        if self._lock_handle is not None:
+            return True
+        os.makedirs(self.root, exist_ok=True)
+        handle = open(self._lock_path(), "a+")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            return False
+        self._lock_handle = handle
+        return True
+
+    def unlock(self) -> None:
+        """Release the advisory lock if this instance holds it."""
+        if self._lock_handle is None:
+            return
+        if fcntl is not None:
+            try:
+                fcntl.flock(self._lock_handle.fileno(), fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover - fd already dead
+                pass
+        self._lock_handle.close()
+        self._lock_handle = None
 
     # -- inventory -----------------------------------------------------
     def entries(self) -> List[str]:
@@ -313,14 +489,25 @@ class ResultCache:
         except FileNotFoundError:
             return []
 
+    def quarantined_entries(self) -> List[str]:
+        """Job keys of quarantined (``*.bad``) entries on disk."""
+        suffix = self.SUFFIX + self.BAD_SUFFIX
+        try:
+            return sorted(name[:-len(suffix)]
+                          for name in os.listdir(self.root)
+                          if name.endswith(suffix))
+        except FileNotFoundError:
+            return []
+
     def _entry_files(self) -> List[str]:
-        """Every result file on disk, current and legacy format."""
+        """Every result file on disk: current, quarantined and legacy."""
         try:
             names = os.listdir(self.root)
         except FileNotFoundError:
             return []
         return [os.path.join(self.root, name) for name in sorted(names)
                 if (name.endswith(self.SUFFIX)
+                    or name.endswith(self.SUFFIX + self.BAD_SUFFIX)
                     or name.endswith(self.LEGACY_SUFFIX))
                 and name != self.STATS_FILE]
 
@@ -384,6 +571,7 @@ class ResultCache:
         stats.setdefault("hits", 0)
         stats.setdefault("misses", 0)
         stats.setdefault("simulated", 0)
+        stats.setdefault("quarantined", 0)
         stats.setdefault("last_run", {"hits": 0, "misses": 0,
                                       "simulated": 0})
         return stats
@@ -393,20 +581,128 @@ class ResultCache:
 
         Cumulative totals grow by the delta since the previous flush;
         ``last_run`` reflects this instance's whole lifetime (one CLI
-        command = one instance)."""
+        command = one instance).  Skipped in read-only fallback."""
         current = {"hits": self.hits, "misses": self.misses,
-                   "simulated": self._flushed["simulated"] + simulated}
+                   "simulated": self._flushed["simulated"] + simulated,
+                   "quarantined": self.quarantined}
+        if self.read_only:
+            return
         stats = self.load_stats()
-        for field_name in ("hits", "misses", "simulated"):
+        for field_name in ("hits", "misses", "simulated", "quarantined"):
             stats[field_name] += current[field_name] - \
                 self._flushed[field_name]
-        stats["last_run"] = current
+        stats["last_run"] = {key: current[key]
+                             for key in ("hits", "misses", "simulated")}
         self._flushed = current
         os.makedirs(self.root, exist_ok=True)
         tmp = self._stats_path() + f".tmp.{os.getpid()}"
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(stats, handle, indent=1)
         os.replace(tmp, self._stats_path())
+
+
+# ----------------------------------------------------------------------
+# Campaign checkpoints (resume support).
+# ----------------------------------------------------------------------
+CAMPAIGN_DIR = "campaigns"
+
+
+def campaign_id(meta: Dict[str, Any]) -> str:
+    """Deterministic short id for a campaign's defining arguments."""
+    blob = json.dumps(meta, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+
+def _campaign_path(cache_root: str, cid: str) -> str:
+    return os.path.join(cache_root, CAMPAIGN_DIR, cid + ".json")
+
+
+def save_campaign(cache_root: str, meta: Dict[str, Any]) -> str:
+    """Checkpoint a campaign's defining arguments under
+    ``<cache_root>/campaigns/<id>.json`` (atomic) and return its id.
+    Re-saving an identical campaign keeps the existing manifest."""
+    cid = campaign_id(meta)
+    path = _campaign_path(cache_root, cid)
+    if not os.path.exists(path):
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        manifest = {"id": cid, "meta": meta, "completed": False}
+        tmp = path + f".tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1)
+        os.replace(tmp, path)
+    return cid
+
+
+def load_campaign(cache_root: str, cid: str) -> Dict[str, Any]:
+    """Load a checkpointed campaign manifest; raises
+    :class:`FileNotFoundError` for unknown ids and
+    :class:`ValueError` for corrupt manifests."""
+    with open(_campaign_path(cache_root, cid), "r",
+              encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if not isinstance(manifest, dict) or "meta" not in manifest:
+        raise ValueError(f"corrupt campaign manifest for {cid!r}")
+    return manifest
+
+
+def finish_campaign(cache_root: str, cid: str) -> None:
+    """Mark a checkpointed campaign complete (atomic rewrite)."""
+    try:
+        manifest = load_campaign(cache_root, cid)
+    except (FileNotFoundError, ValueError):
+        return
+    manifest["completed"] = True
+    path = _campaign_path(cache_root, cid)
+    tmp = path + f".tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=1)
+    os.replace(tmp, path)
+
+
+def list_campaigns(cache_root: str) -> List[Dict[str, Any]]:
+    """Every checkpointed campaign manifest under ``cache_root``
+    (unreadable manifests are skipped)."""
+    directory = os.path.join(cache_root, CAMPAIGN_DIR)
+    manifests = []
+    try:
+        names = sorted(os.listdir(directory))
+    except FileNotFoundError:
+        return []
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        try:
+            manifests.append(load_campaign(cache_root, name[:-5]))
+        except (OSError, ValueError):
+            continue
+    return manifests
+
+
+def append_journal(cache_root: str, cid: str,
+                   record: Dict[str, Any]) -> None:
+    """Append one JSON line to the campaign's crash-safe journal
+    (``<cache_root>/campaigns/<id>.journal``)."""
+    path = os.path.join(cache_root, CAMPAIGN_DIR, cid + ".journal")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+
+def read_journal(cache_root: str, cid: str) -> List[Dict[str, Any]]:
+    """Parse the campaign journal; torn trailing lines (a crash mid-
+    append) are skipped, earlier records always survive."""
+    path = os.path.join(cache_root, CAMPAIGN_DIR, cid + ".journal")
+    records = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    continue
+    except FileNotFoundError:
+        pass
+    return records
 
 
 # ----------------------------------------------------------------------
@@ -420,6 +716,11 @@ class CampaignStats:
     simulated: int = 0
     elapsed: float = 0.0
     fallbacks: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    failures: int = 0
+    lock_conflicts: int = 0
 
     def merge_event(self, event: JobEvent) -> None:
         """Fold one :class:`JobEvent` into the campaign totals."""
@@ -428,10 +729,15 @@ class CampaignStats:
         elif event.status == "done":
             self.simulated += 1
             self.elapsed += event.elapsed or 0.0
+        elif event.status == "retry":
+            self.retries += 1
+        elif event.status == "fail":
+            self.failures += 1
 
 
 class CampaignEngine:
-    """Deduplicates, caches, and fans out simulation jobs.
+    """Deduplicates, caches, fans out, and fault-isolates simulation
+    jobs.
 
     Parameters
     ----------
@@ -442,16 +748,54 @@ class CampaignEngine:
         A :class:`ResultCache`, or ``None`` to disable caching.
     progress:
         Optional callback receiving a :class:`JobEvent` per job.
+    timeout:
+        Per-job wall-clock budget in seconds.  Pool jobs exceeding it
+        are killed by the watchdog and retried (``None`` disables).
+        In-process jobs cannot be preempted; the timeout applies only
+        to distributable jobs.
+    retries:
+        Extra attempts granted to retryable failures
+        (:data:`repro.errors.RETRYABLE`) before quarantine.
+    backoff:
+        Base of the exponential retry delay: attempt *k* waits
+        ``backoff * 2**(k-1)`` seconds before requeueing.
+    strict:
+        When True (default), a campaign that quarantined failures
+        re-raises after *every* job has been accounted for — the
+        original exception when one is available, else a
+        :class:`~repro.errors.CampaignError` carrying the ledger.
+        When False, :meth:`run_jobs` returns the partial results and
+        leaves the ledger on ``self.ledger`` / ``self.failures``.
     """
+
+    #: Watchdog poll period (seconds) while pool jobs are in flight.
+    POLL_INTERVAL = 0.02
 
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
-                 progress: Optional[Callable[[JobEvent], None]] = None
-                 ) -> None:
+                 progress: Optional[Callable[[JobEvent], None]] = None,
+                 timeout: Optional[float] = None,
+                 retries: int = 2,
+                 backoff: float = 0.25,
+                 strict: bool = True) -> None:
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         self.cache = cache
         self.progress = progress
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.strict = strict
         self.stats = CampaignStats()
+        #: Quarantined failures accumulated across campaigns run on
+        #: this engine (one Runner = one engine = many run_jobs calls).
+        self.failures: Dict[Job, JobFailure] = {}
+        #: The most recent campaign's ledger.
+        self.ledger: Optional[CampaignLedger] = None
+        self._sleep = time.sleep
 
     # ------------------------------------------------------------------
     def _emit(self, event: JobEvent) -> None:
@@ -464,13 +808,39 @@ class CampaignEngine:
                  = None) -> Dict[Job, SimResult]:
         """Run every distinct job once; returns ``{job: SimResult}``.
 
+        A façade over :meth:`run_campaign` preserving the original
+        contract: in strict mode a failure raises — but only after the
+        whole campaign has drained, so sibling jobs still complete and
+        land in the cache.  In non-strict mode failed jobs are simply
+        absent from the mapping (see ``self.ledger`` for the full
+        accounting).
+        """
+        ledger = self.run_campaign(jobs, trace_provider)
+        if ledger.failures and self.strict:
+            for failure in ledger.failures.values():
+                if failure.exc is not None:
+                    raise failure.exc
+            raise CampaignError(
+                f"{len(ledger.failures)} of {ledger.total} job(s) failed: "
+                + "; ".join(f.summary() for f in ledger.failures.values()),
+                ledger)
+        return ledger.results
+
+    def run_campaign(self, jobs: Sequence[Job],
+                     trace_provider: Optional[Callable[[str], List[MicroOp]]]
+                     = None) -> CampaignLedger:
+        """Run a campaign to full accounting; never raises mid-flight.
+
         The campaign pipeline, in order: duplicate jobs collapse to
         one execution; cached results are restored without simulating
         (when a :class:`ResultCache` is attached); the remainder fan
-        out over ``self.jobs`` worker processes (in-process when 1).
-        Results are bit-identical however a job is executed — serial,
-        parallel, or restored — because traces rebuild
-        deterministically from their seeds inside each worker.
+        out over ``self.jobs`` watchdog-supervised worker processes
+        (in-process when 1).  Hung workers are killed at ``timeout``
+        and requeued, retryable failures back off exponentially, and a
+        job that exhausts its attempts is quarantined as a
+        :class:`JobFailure`.  Results are bit-identical however a job
+        is executed — serial, parallel, retried, or restored — because
+        traces rebuild deterministically from their seeds.
 
         Parameters
         ----------
@@ -481,8 +851,12 @@ class CampaignEngine:
             traces for the in-process path (the Runner's trace cache);
             worker processes always rebuild deterministically.
 
-        Every executed or restored job emits a :class:`JobEvent` to the
-        ``progress`` callback and updates ``self.stats``.
+        Returns
+        -------
+        CampaignLedger
+            Every distinct job accounted for in ``results`` or
+            ``failures``.  Also stored on ``self.ledger``; failures
+            additionally accumulate on ``self.failures``.
         """
         unique: List[Job] = []
         seen = set()
@@ -491,90 +865,268 @@ class CampaignEngine:
                 seen.add(job)
                 unique.append(job)
 
-        results: Dict[Job, SimResult] = {}
+        ledger = CampaignLedger()
+        self.ledger = ledger
         total = len(unique)
-        done = 0
+        state = {"done": 0}
+        lock_acquired = False
+        simulated = [0]
 
-        # 1. Serve cache hits.
-        pending: List[Job] = []
-        keys: Dict[Job, Optional[str]] = {}
-        for job in unique:
-            key = job_key(job) if self.cache is not None else None
-            keys[job] = key
-            cached = self.cache.get(key) if key is not None else None
-            if cached is not None:
-                results[job] = cached
-                done += 1
-                self._emit(JobEvent(job, "hit", done, total))
-            else:
-                pending.append(job)
+        def on_success(job: Job, result: SimResult, elapsed: float) -> None:
+            """Record a finished job: ledger, cache write, progress event."""
+            ledger.results[job] = result
+            simulated[0] += 1
+            state["done"] += 1
+            self._store(job, keys[job], result)
+            self._emit(JobEvent(job, "done", state["done"], total, elapsed))
 
-        # 2. Fan the picklable remainder out to worker processes.
-        parallel = [job for job in pending if job.distributable]
-        serial = [job for job in pending if not job.distributable]
-        simulated = 0
-        if self.jobs > 1 and len(parallel) > 1:
-            try:
-                executed = self._run_pool(parallel)
-            except Exception:
-                # Pool infrastructure failed (no fork, dead workers,
-                # pickling) — degrade to serial rather than abort.
-                self.stats.fallbacks += 1
-                executed = None
-            if executed is not None:
-                for job, (result, elapsed) in executed.items():
-                    results[job] = result
-                    simulated += 1
-                    done += 1
-                    self._store(keys[job], result)
-                    self._emit(JobEvent(job, "done", done, total, elapsed))
-                parallel = []
-        serial = parallel + serial
+        def on_failure(failure: JobFailure) -> None:
+            """Quarantine an exhausted job into the ledger."""
+            ledger.failures[failure.job] = failure
+            self.failures[failure.job] = failure
+            state["done"] += 1
+            self._emit(JobEvent(failure.job, "fail", state["done"], total,
+                                failure.elapsed, failure.error))
 
-        # 3. Whatever is left runs here, with the shared trace cache.
-        for job in serial:
-            self._emit(JobEvent(job, "start", done, total))
-            trace = trace_provider(job.workload) if trace_provider else None
-            start = time.perf_counter()
-            result = execute_job(job, trace)
-            elapsed = time.perf_counter() - start
-            results[job] = result
-            simulated += 1
-            done += 1
-            self._store(keys[job], result)
-            self._emit(JobEvent(job, "done", done, total, elapsed))
+        def on_retry(job: Job, error: str, elapsed: float) -> None:
+            """Emit a retry progress event (the job stays in flight)."""
+            self._emit(JobEvent(job, "retry", state["done"], total,
+                                elapsed, error))
 
         if self.cache is not None:
-            self.cache.flush_stats(simulated)
-        return results
+            lock_acquired = self.cache.try_lock()
+            self.cache.read_only = not lock_acquired
+            if not lock_acquired:
+                self.stats.lock_conflicts += 1
+
+        try:
+            # 1. Serve cache hits.
+            pending: List[Job] = []
+            keys: Dict[Job, Optional[str]] = {}
+            for job in unique:
+                key = job_key(job) if self.cache is not None else None
+                keys[job] = key
+                cached = self.cache.get(key) if key is not None else None
+                if cached is not None:
+                    ledger.results[job] = cached
+                    state["done"] += 1
+                    self._emit(JobEvent(job, "hit", state["done"], total))
+                else:
+                    pending.append(job)
+
+            # 2. Fan the picklable remainder out to worker processes.
+            parallel = [job for job in pending if job.distributable]
+            serial = [job for job in pending if not job.distributable]
+            if self.jobs > 1 and len(parallel) > 1:
+                try:
+                    self._run_pool(parallel, on_success, on_failure,
+                                   on_retry)
+                    parallel = []
+                except _PoolUnavailable:
+                    # Pool infrastructure failed (no fork, resource
+                    # limits) — degrade to serial rather than abort.
+                    self.stats.fallbacks += 1
+                    parallel = [job for job in parallel
+                                if job not in ledger.results
+                                and job not in ledger.failures]
+            serial = parallel + serial
+
+            # 3. Whatever is left runs here, with the shared trace
+            #    cache and the same retry/quarantine policy.
+            for job in serial:
+                self._emit(JobEvent(job, "start", state["done"], total))
+                self._run_serial(job, trace_provider, on_success,
+                                 on_failure, on_retry)
+        finally:
+            if self.cache is not None:
+                self.cache.flush_stats(simulated[0])
+                if lock_acquired:
+                    self.cache.unlock()
+        return ledger
 
     # ------------------------------------------------------------------
-    def _store(self, key: Optional[str], result: SimResult) -> None:
-        if self.cache is not None and key is not None:
-            self.cache.put(key, result)
+    def _run_serial(self, job: Job, trace_provider, on_success,
+                    on_failure, on_retry) -> None:
+        """In-process execution with the retry/quarantine policy (no
+        preemption: hangs cannot be killed on this path)."""
+        attempt = 1
+        while True:
+            trace = trace_provider(job.workload) if trace_provider else None
+            start = time.perf_counter()
+            try:
+                result = execute_job(job, trace, attempt=attempt)
+            except RETRYABLE as exc:
+                elapsed = time.perf_counter() - start
+                if attempt <= self.retries:
+                    on_retry(job, taxonomy_name(exc), elapsed)
+                    self._sleep(self.backoff * (2 ** (attempt - 1)))
+                    attempt += 1
+                    continue
+                on_failure(JobFailure(job, taxonomy_name(exc), str(exc),
+                                      attempt, elapsed, exc=exc))
+                return
+            except Exception as exc:  # deterministic → quarantine, no retry
+                elapsed = time.perf_counter() - start
+                on_failure(JobFailure(
+                    job, taxonomy_name(exc),
+                    f"{type(exc).__name__}: {exc}", attempt, elapsed,
+                    exc=exc))
+                return
+            on_success(job, result, time.perf_counter() - start)
+            return
 
-    def _run_pool(self, jobs: Sequence[Job]
-                  ) -> Dict[Job, Tuple[SimResult, float]]:
-        payloads = [(job.workload, job.core, job.spec, job.length,
-                     job.warmup) for job in jobs]
+    # ------------------------------------------------------------------
+    def _store(self, job: Job, key: Optional[str],
+               result: SimResult) -> None:
+        if self.cache is not None and key is not None:
+            self.cache.put(key, result, label=job.label)
+
+    # ------------------------------------------------------------------
+    # Watchdog-supervised worker pool.
+    # ------------------------------------------------------------------
+    def _run_pool(self, jobs: Sequence[Job], on_success, on_failure,
+                  on_retry) -> None:
+        """Fan ``jobs`` out over worker processes under a watchdog.
+
+        Each in-flight job is a dedicated process with a result pipe;
+        the watchdog loop launches ready work up to the worker budget,
+        collects results, kills processes that blow their deadline
+        (``JobTimeout``), classifies silent deaths (``WorkerCrash``),
+        and requeues retryable failures with exponential backoff.
+        Raises :class:`_PoolUnavailable` if a worker process cannot be
+        started at all.
+        """
+        ctx = multiprocessing.get_context()
         workers = min(self.jobs, len(jobs))
-        executed: Dict[Job, Tuple[SimResult, float]] = {}
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for job, outcome in zip(jobs, pool.map(_worker, payloads)):
-                executed[job] = outcome
-        return executed
+        #: (job, attempt, not_before) — ready once monotonic() >= not_before.
+        queue: List[Tuple[Job, int, float]] = [(job, 1, 0.0)
+                                               for job in jobs]
+        #: job -> [proc, conn, attempt, deadline, started]
+        running: Dict[Job, list] = {}
+
+        def settle(job: Job, attempt: int, error: str, message: str,
+                   elapsed: float, exc=None) -> None:
+            """Retry a retryable failure or quarantine the job."""
+            if error in RETRYABLE_ERRORS and attempt <= self.retries:
+                on_retry(job, error, elapsed)
+                not_before = time.monotonic() + \
+                    self.backoff * (2 ** (attempt - 1))
+                queue.append((job, attempt + 1, not_before))
+            else:
+                on_failure(JobFailure(job, error, message, attempt,
+                                      elapsed, exc=exc))
+
+        try:
+            while queue or running:
+                now = time.monotonic()
+
+                # Launch ready work up to the worker budget.
+                while len(running) < workers and queue:
+                    ready = next((i for i, (_, _, nb) in enumerate(queue)
+                                  if nb <= now), None)
+                    if ready is None:
+                        break
+                    job, attempt, _ = queue.pop(ready)
+                    payload = (job.workload, job.core, job.spec,
+                               job.length, job.warmup)
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(target=_pool_worker,
+                                       args=(payload, attempt, child_conn),
+                                       daemon=True)
+                    try:
+                        proc.start()
+                    except (OSError, ValueError) as exc:
+                        parent_conn.close()
+                        child_conn.close()
+                        raise _PoolUnavailable(str(exc)) from exc
+                    child_conn.close()
+                    deadline = None if self.timeout is None \
+                        else now + self.timeout
+                    running[job] = [proc, parent_conn, attempt, deadline,
+                                    time.perf_counter()]
+
+                progressed = False
+                for job in list(running):
+                    proc, conn, attempt, deadline, started = running[job]
+                    if conn.poll():
+                        try:
+                            message = conn.recv()
+                        except (EOFError, OSError):
+                            message = None
+                        proc.join()
+                        conn.close()
+                        del running[job]
+                        progressed = True
+                        elapsed = time.perf_counter() - started
+                        if message is not None and message[0] == "ok":
+                            on_success(job, message[1], message[2])
+                        elif message is not None:
+                            settle(job, attempt, message[1], message[2],
+                                   elapsed)
+                        else:
+                            self.stats.crashes += 1
+                            settle(job, attempt, "WorkerCrash",
+                                   f"worker died with exit code "
+                                   f"{proc.exitcode}", elapsed)
+                        continue
+                    if not proc.is_alive():
+                        if conn.poll():
+                            continue  # result landed late; next sweep
+                        proc.join()
+                        conn.close()
+                        del running[job]
+                        progressed = True
+                        self.stats.crashes += 1
+                        settle(job, attempt, "WorkerCrash",
+                               f"worker died with exit code "
+                               f"{proc.exitcode}",
+                               time.perf_counter() - started)
+                        continue
+                    if deadline is not None and now >= deadline:
+                        proc.terminate()
+                        proc.join(5.0)
+                        if proc.is_alive():  # pragma: no cover
+                            proc.kill()
+                            proc.join()
+                        conn.close()
+                        del running[job]
+                        progressed = True
+                        self.stats.timeouts += 1
+                        settle(job, attempt, "JobTimeout",
+                               f"exceeded the {self.timeout:g}s per-job "
+                               f"timeout and was killed",
+                               time.perf_counter() - started)
+                if not progressed and (running or queue):
+                    self._sleep(self.POLL_INTERVAL)
+        finally:
+            for proc, conn, *_ in running.values():
+                if proc.is_alive():
+                    proc.terminate()
+                proc.join()
+                conn.close()
 
 
 __all__ = [
+    "CAMPAIGN_DIR",
     "CampaignEngine",
+    "CampaignLedger",
     "CampaignStats",
     "DEFAULT_CACHE_DIR",
     "Job",
     "JobEvent",
+    "JobFailure",
     "PredictorSpec",
+    "RETRYABLE_ERRORS",
     "ResultCache",
+    "append_journal",
     "build_predictor",
+    "campaign_id",
     "execute_job",
     "fingerprint",
+    "finish_campaign",
     "job_key",
+    "list_campaigns",
+    "load_campaign",
+    "read_journal",
+    "save_campaign",
 ]

@@ -233,12 +233,16 @@ def default_runner(length: int = None, warmup: int = None,
                    per_category: Optional[int] = None,
                    jobs: int = 1, use_cache: bool = False,
                    cache_dir: Optional[str] = None,
-                   progress: Optional[Callable[[JobEvent], None]] = None
-                   ) -> Runner:
+                   progress: Optional[Callable[[JobEvent], None]] = None,
+                   timeout: Optional[float] = None, retries: int = 2,
+                   strict: bool = True) -> Runner:
     """Runner over the full 60-workload suite, optionally subsampled to
     ``per_category`` workloads per category (benchmark scaling).
-    ``jobs``/``use_cache`` configure the campaign engine (see
-    :class:`repro.experiments.Runner`)."""
+    ``jobs``/``use_cache`` configure the campaign engine and
+    ``timeout``/``retries``/``strict`` its fault tolerance (see
+    :class:`repro.experiments.Runner`); with ``strict=False`` a figure
+    rendered from a partial campaign carries explicit gap
+    annotations instead of aborting."""
     workloads: Optional[List[str]] = None
     if per_category is not None:
         seen: Dict[str, int] = {}
@@ -249,7 +253,8 @@ def default_runner(length: int = None, warmup: int = None,
                 seen[profile.category] = seen.get(profile.category, 0) + 1
     return Runner(length=length, warmup=warmup, workloads=workloads,
                   jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
-                  progress=progress)
+                  progress=progress, timeout=timeout, retries=retries,
+                  strict=strict)
 
 
 __all__ = [

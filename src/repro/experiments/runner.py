@@ -98,14 +98,22 @@ class Runner:
         or ``$REPRO_CACHE_DIR``) and serve identical reruns from disk.
     progress:
         Optional ``callable(JobEvent)`` observing every job.
+    timeout, retries, strict:
+        Fault-tolerance knobs forwarded to the campaign engine (see
+        docs/ROBUSTNESS.md): per-job wall-clock timeout in seconds,
+        retry budget for transient failures, and whether a quarantined
+        failure re-raises after the campaign drains (``strict=True``,
+        the default) or is tolerated as a gap in the suite
+        (``strict=False``).
     """
 
     def __init__(self, length: int = None, warmup: int = None,
                  workloads: Optional[Sequence[str]] = None,
                  jobs: int = 1, use_cache: bool = False,
                  cache_dir: Optional[str] = None,
-                 progress: Optional[Callable[[JobEvent], None]] = None
-                 ) -> None:
+                 progress: Optional[Callable[[JobEvent], None]] = None,
+                 timeout: Optional[float] = None, retries: int = 2,
+                 strict: bool = True) -> None:
         self.length = length if length is not None else DEFAULT_LENGTH
         self.warmup = warmup if warmup is not None \
             else default_warmup(self.length)
@@ -117,7 +125,8 @@ class Runner:
         self.engine = CampaignEngine(
             jobs=jobs,
             cache=ResultCache(cache_dir) if use_cache else None,
-            progress=progress)
+            progress=progress,
+            timeout=timeout, retries=retries, strict=strict)
         self._traces: Dict[str, List[MicroOp]] = {}
         self._baselines: Dict[Tuple[str, str], SimResult] = {}
         self._suites: Dict[Tuple[str, str], SuiteResult] = {}
@@ -188,14 +197,21 @@ class Runner:
         predictor_jobs = [job for job in jobs if job.spec is not None]
         results = self._run_jobs(baseline_missing + predictor_jobs)
         runs = []
+        gaps = []
         for workload in self.workloads:
             if progress is not None:
                 progress(workload)
+            baseline = self._baselines.get((workload, core))
+            result = results.get(self.job(workload, core, predictor))
+            if baseline is None or result is None:
+                # Non-strict campaign quarantined this workload; report
+                # it as an explicit gap instead of a KeyError.
+                gaps.append(workload)
+                continue
             runs.append(WorkloadRun(
                 workload, get_profile(workload).category,
-                baseline=self._baselines[(workload, core)],
-                result=results[self.job(workload, core, predictor)]))
-        suite = SuiteResult(runs)
-        if cache_key is not None:
+                baseline=baseline, result=result))
+        suite = SuiteResult(runs, gaps=gaps)
+        if cache_key is not None and not gaps:
             self._suites[cache_key] = suite
         return suite

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from repro.errors import ConfigError
 from repro.frontend.fetch import FrontEndConfig
 from repro.isa import opcodes
 from repro.memory.hierarchy import MemHierarchyConfig
@@ -31,7 +32,7 @@ class PortGroup:
 
     def __init__(self, count: int, latency: int, pipelined: bool = True) -> None:
         if count <= 0 or latency <= 0:
-            raise ValueError("count and latency must be positive")
+            raise ConfigError("count and latency must be positive")
         self.count = count
         self.latency = latency
         self.pipelined = pipelined
@@ -72,13 +73,6 @@ class CoreConfig:
                  mem_violation_penalty: int = 20,
                  frontend: FrontEndConfig = None,
                  memory: MemHierarchyConfig = None) -> None:
-        for label, val in (("fetch_width", fetch_width),
-                           ("retire_width", retire_width),
-                           ("issue_width", issue_width),
-                           ("rob_size", rob_size), ("lq_size", lq_size),
-                           ("sq_size", sq_size), ("iq_size", iq_size)):
-            if val <= 0:
-                raise ValueError(f"{label} must be positive")
         self.name = name
         self.fetch_width = fetch_width
         self.retire_width = retire_width
@@ -93,6 +87,48 @@ class CoreConfig:
         self.mem_violation_penalty = mem_violation_penalty
         self.frontend = frontend or FrontEndConfig()
         self.memory = memory or MemHierarchyConfig()
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject inconsistent or degenerate configurations.
+
+        Called from ``__init__``, so an invalid core never reaches the
+        engine; raises :class:`~repro.errors.ConfigError` (a
+        :class:`ValueError` subclass) naming the offending field.
+        Checks: all widths and queue sizes positive, penalties and
+        forwarding latency non-negative, the load/store/ALU/branch port
+        classes present, and the LQ/SQ/IQ no larger than the ROB — an
+        op occupies its queue entry until retirement, so a side queue
+        deeper than the ROB could never fill and indicates a mis-scaled
+        configuration."""
+        for label, val in (("fetch_width", self.fetch_width),
+                           ("retire_width", self.retire_width),
+                           ("issue_width", self.issue_width),
+                           ("rob_size", self.rob_size),
+                           ("lq_size", self.lq_size),
+                           ("sq_size", self.sq_size),
+                           ("iq_size", self.iq_size)):
+            if val <= 0:
+                raise ConfigError(f"{label} must be positive")
+        for label, val in (("vp_penalty", self.vp_penalty),
+                           ("forward_latency", self.forward_latency),
+                           ("mem_violation_penalty",
+                            self.mem_violation_penalty)):
+            if val < 0:
+                raise ConfigError(f"{label} must be >= 0, got {val}")
+        for label, val in (("lq_size", self.lq_size),
+                           ("sq_size", self.sq_size),
+                           ("iq_size", self.iq_size)):
+            if val > self.rob_size:
+                raise ConfigError(
+                    f"{label} ({val}) exceeds rob_size ({self.rob_size}); "
+                    "queue entries live until retirement")
+        for op in (opcodes.ALU, opcodes.LOAD, opcodes.STORE,
+                   opcodes.BRANCH):
+            if op not in self.ports:
+                raise ConfigError(
+                    f"ports missing required op class "
+                    f"{opcodes.op_name(op)}")
 
     # ------------------------------------------------------------------
     @classmethod

@@ -44,6 +44,7 @@ import os
 from bisect import bisect_right
 from typing import Optional, Sequence
 
+from repro.errors import InvariantViolation, NonTerminatingSimulation
 from repro.frontend.fetch import FrontEnd
 from repro.isa import opcodes
 from repro.isa.instruction import MicroOp
@@ -99,9 +100,31 @@ _IS_CONTROL_TAB = tuple(op in opcodes.CONTROL for op in range(_NUM_OP_CLASSES))
 _ADDR_ALIGN = ~0x7  # store→load forwarding tracked at 8-byte granularity
 
 
+#: Sentinel cycle limit when no ``max_cycles`` watchdog is armed: one
+#: integer comparison per op against a bound no real simulation reaches,
+#: so the guardrail is zero-cost when disabled.
+_NO_CYCLE_LIMIT = 1 << 62
+
+
 def _slow_path_requested() -> bool:
     """True when ``REPRO_SLOW_PATH`` selects the reference loop."""
     return os.environ.get("REPRO_SLOW_PATH", "") not in ("", "0")
+
+
+def _invariants_requested() -> bool:
+    """True when ``REPRO_CHECK_INVARIANTS`` arms the post-run audit."""
+    return os.environ.get("REPRO_CHECK_INVARIANTS", "") not in ("", "0")
+
+
+def _default_max_cycles() -> Optional[int]:
+    """The ``REPRO_MAX_CYCLES`` environment default (None when unset)."""
+    text = os.environ.get("REPRO_MAX_CYCLES", "")
+    if not text or text == "0":
+        return None
+    limit = int(text)
+    if limit < 0:
+        raise ValueError(f"REPRO_MAX_CYCLES must be >= 0, got {limit}")
+    return limit
 
 
 class _WidthMachine:
@@ -153,6 +176,15 @@ class Engine:
         histogram empty but does not change any timing outcome; the
         ``repro bench`` harness uses this to measure the engine's pure
         simulation throughput.
+    max_cycles:
+        Watchdog budget for the whole run, in simulated cycles
+        (including warmup).  A run that exceeds it aborts with
+        :class:`~repro.errors.NonTerminatingSimulation` carrying a
+        diagnostic snapshot of where the simulation was stuck.
+        ``None`` (the default) reads the ``REPRO_MAX_CYCLES``
+        environment variable; unset/0 disarms the watchdog, which then
+        costs one integer comparison per op against an unreachable
+        sentinel.  See docs/ROBUSTNESS.md.
     """
 
     def __init__(self, config: CoreConfig,
@@ -160,7 +192,13 @@ class Engine:
                  collect_timing: bool = False,
                  collect_events: bool = False,
                  event_capacity: int = DEFAULT_CAPACITY,
-                 collect_stalls: bool = True) -> None:
+                 collect_stalls: bool = True,
+                 max_cycles: Optional[int] = None) -> None:
+        if max_cycles is None:
+            max_cycles = _default_max_cycles()
+        elif max_cycles <= 0:
+            raise ValueError(f"max_cycles must be positive, got {max_cycles}")
+        self.max_cycles = max_cycles
         self.config = config
         self.predictor = predictor or NoPredictor()
         self.collect_timing = collect_timing
@@ -264,15 +302,27 @@ class Engine:
             raise ValueError(f"warmup {warmup} must be in [0, {n})")
         result.instructions = n - warmup
         telemetry = StatGroup("sim")
-        if n:
-            pipeline_group = telemetry.group(
-                "pipeline", "cycle accounting and stall attribution")
-            gap_hist = pipeline_group.histogram(
-                "stall-gaps", "non-retiring gap lengths (post-warmup)")
-            if _slow_path_requested():
-                self._time_trace_reference(trace, warmup, result, gap_hist)
-            else:
-                self._time_trace(trace, warmup, result, gap_hist)
+        audit = _invariants_requested()
+        forced_timing = audit and not self.collect_timing
+        if forced_timing:
+            self.collect_timing = True
+        try:
+            if n:
+                pipeline_group = telemetry.group(
+                    "pipeline", "cycle accounting and stall attribution")
+                gap_hist = pipeline_group.histogram(
+                    "stall-gaps", "non-retiring gap lengths (post-warmup)")
+                if _slow_path_requested():
+                    self._time_trace_reference(trace, warmup, result,
+                                               gap_hist)
+                else:
+                    self._time_trace(trace, warmup, result, gap_hist)
+                if audit:
+                    self._check_invariants(trace, warmup, result)
+        finally:
+            if forced_timing:
+                self.collect_timing = False
+                result.timing = None
         result.telemetry = self._publish(result, telemetry)
         return result
 
@@ -347,6 +397,8 @@ class Engine:
         retire_bw = cfg.retire_width
         retire_cycle = -1
         retire_count = 0
+        cycle_limit = self.max_cycles if self.max_cycles is not None \
+            else _NO_CYCLE_LIMIT
 
         port_heaps = {key: list(h) for key, h in self._port_heaps.items()}
         for heap in port_heaps.values():
@@ -582,6 +634,8 @@ class Engine:
             else:
                 retire_count += 1
             retire_t = retire_cycle
+            if retire_t > cycle_limit:
+                self._abort_nonterminating(idx, n, pc, retire_t)
 
             # ---------------- cycle accounting ----------------
             gap = retire_t - prev_retire
@@ -826,6 +880,8 @@ class Engine:
 
         alloc_machine = _WidthMachine(cfg.fetch_width)
         retire_machine = _WidthMachine(cfg.retire_width)
+        cycle_limit = self.max_cycles if self.max_cycles is not None \
+            else _NO_CYCLE_LIMIT
 
         port_heaps = {key: list(h) for key, h in self._port_heaps.items()}
         for heap in port_heaps.values():
@@ -990,6 +1046,8 @@ class Engine:
             # ---------------- retire ----------------
             retire_t = retire_machine.schedule(
                 max(complete_t + 1, prev_retire))
+            if retire_t > cycle_limit:
+                self._abort_nonterminating(idx, n, uop.pc, retire_t)
 
             # ---------------- cycle accounting ----------------
             # Gap cycles back to the previous retirement are exactly
@@ -1153,6 +1211,89 @@ class Engine:
         result.events = events
 
     # ------------------------------------------------------------------
+    # Guardrails (docs/ROBUSTNESS.md).
+    # ------------------------------------------------------------------
+    def _abort_nonterminating(self, idx: int, n: int, pc: int,
+                              cycle: int) -> None:
+        """Raise the ``max_cycles`` watchdog with a diagnostic snapshot
+        of where the simulation was when it blew its cycle budget."""
+        snapshot = {
+            "op_index": idx,
+            "trace_length": n,
+            "pc": pc,
+            "cycle": cycle,
+            "max_cycles": self.max_cycles,
+            "config": self.config.name,
+            "predictor": self.predictor.name,
+        }
+        raise NonTerminatingSimulation(
+            f"simulation exceeded max_cycles={self.max_cycles} at cycle "
+            f"{cycle} (op {idx}/{n}, pc {pc:#x}); "
+            "runaway configuration or model bug", snapshot)
+
+    def _check_invariants(self, trace: Sequence[MicroOp], warmup: int,
+                          result: SimResult) -> None:
+        """Opt-in post-run audit (``REPRO_CHECK_INVARIANTS=1``).
+
+        Asserts the structural invariants of the timing model on the
+        run that just finished: per-op event ordering (alloc ≤ issue,
+        ready ≤ issue, issue < complete < retire), monotone in-order
+        retirement, ROB/LQ/SQ occupancy never exceeding capacity, and
+        the stall-cycle partition summing exactly to the cycle count.
+        Raises :class:`~repro.errors.InvariantViolation` on the first
+        violated property."""
+        timing = result.timing
+
+        def fail(message: str) -> None:
+            """Raise :class:`InvariantViolation` tagged with the run identity."""
+            raise InvariantViolation(
+                f"invariant violated ({result.workload}/"
+                f"{self.config.name}/{self.predictor.name}): {message}")
+
+        if timing is not None:
+            alloc = timing["alloc"]
+            ready = timing["ready"]
+            issue = timing["issue"]
+            complete = timing["complete"]
+            retire = timing["retire"]
+            cfg = self.config
+            loads: list = []
+            stores: list = []
+            prev = 0
+            for idx, uop in enumerate(trace):
+                if not (alloc[idx] <= issue[idx] and ready[idx] <= issue[idx]
+                        and issue[idx] < complete[idx]
+                        and complete[idx] < retire[idx]):
+                    fail(f"op {idx}: event order alloc={alloc[idx]} "
+                         f"ready={ready[idx]} issue={issue[idx]} "
+                         f"complete={complete[idx]} retire={retire[idx]}")
+                if retire[idx] < prev:
+                    fail(f"op {idx}: retirement went backwards "
+                         f"({retire[idx]} < {prev})")
+                prev = retire[idx]
+                if idx >= cfg.rob_size \
+                        and alloc[idx] < retire[idx - cfg.rob_size]:
+                    fail(f"op {idx}: ROB occupancy exceeds "
+                         f"{cfg.rob_size}")
+                if uop.op == opcodes.LOAD:
+                    loads.append(idx)
+                    if len(loads) > cfg.lq_size and alloc[idx] < \
+                            retire[loads[-1 - cfg.lq_size]]:
+                        fail(f"op {idx}: LQ occupancy exceeds "
+                             f"{cfg.lq_size}")
+                elif uop.op == opcodes.STORE:
+                    stores.append(idx)
+                    if len(stores) > cfg.sq_size and alloc[idx] < \
+                            retire[stores[-1 - cfg.sq_size]]:
+                        fail(f"op {idx}: SQ occupancy exceeds "
+                             f"{cfg.sq_size}")
+        if self.collect_stalls:
+            stalled = sum(result.stall_cycles.values())
+            if stalled != result.cycles:
+                fail(f"stall partition sums to {stalled}, "
+                     f"cycles = {result.cycles}")
+
+    # ------------------------------------------------------------------
     def _publish(self, result: SimResult, telemetry: StatGroup) -> StatGroup:
         """Assemble the per-run statistic tree: the engine's cycle
         accounting plus every component's published group."""
@@ -1198,7 +1339,8 @@ def simulate(trace: Sequence[MicroOp], config: CoreConfig = None,
              workload: str = "trace", warmup: int = 0,
              collect_timing: bool = False,
              collect_events: bool = False,
-             collect_stalls: bool = True) -> SimResult:
+             collect_stalls: bool = True,
+             max_cycles: Optional[int] = None) -> SimResult:
     """One-call convenience wrapper: build an engine and run a trace.
 
     Parameters
@@ -1215,6 +1357,8 @@ def simulate(trace: Sequence[MicroOp], config: CoreConfig = None,
         Leading micro-ops excluded from statistics.
     collect_timing, collect_events, collect_stalls:
         Optional telemetry switches — see :class:`Engine`.
+    max_cycles:
+        Optional non-termination watchdog budget — see :class:`Engine`.
 
     >>> from repro.isa import alu
     >>> r = simulate([alu(0x400000 + 4 * i, dest=0, value=i)
@@ -1225,5 +1369,6 @@ def simulate(trace: Sequence[MicroOp], config: CoreConfig = None,
     engine = Engine(config or CoreConfig.skylake(), predictor,
                     collect_timing=collect_timing,
                     collect_events=collect_events,
-                    collect_stalls=collect_stalls)
+                    collect_stalls=collect_stalls,
+                    max_cycles=max_cycles)
     return engine.run(trace, workload=workload, warmup=warmup)

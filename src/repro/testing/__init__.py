@@ -1,0 +1,1 @@
+"""Test support: deterministic fault injection (:mod:`repro.testing.faults`)."""

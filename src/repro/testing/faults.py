@@ -1,0 +1,170 @@
+"""Deterministic fault injection for the campaign fault-tolerance layer.
+
+The harness makes worker crashes, hangs, transient exceptions, and torn
+cache writes *reproducible*, so the watchdog/retry/quarantine machinery
+is testable in CI without races or real flakiness.
+
+A fault plan is a list of :class:`FaultSpec` records serialised as JSON
+into the ``REPRO_FAULTS`` environment variable — the environment is the
+only channel that reaches worker processes, whichever start method the
+pool uses.  Each spec matches jobs by a substring of their
+``workload/core/predictor`` label and fires on the first ``times``
+*attempts* of every matching job:
+
+* ``crash`` — the worker exits hard (``os._exit``) without reporting,
+  modelling an OOM kill or segfault (→ :class:`~repro.errors.WorkerCrash`).
+* ``hang``  — the worker sleeps ``seconds``, modelling a livelock
+  (→ :class:`~repro.errors.JobTimeout` once the watchdog fires).
+* ``raise`` — the worker raises :class:`~repro.errors.TransientError`,
+  modelling a flaky dependency (retried by policy).
+* ``torn-write`` — the *cache* writes a truncated JSON payload,
+  modelling a write torn by a crash or a non-atomic legacy writer
+  (→ :class:`~repro.errors.CacheCorruption` quarantine on next read).
+
+Injection decisions for crash/hang/raise are pure functions of
+``(label, attempt)`` — the engine passes the attempt number into the
+worker, so no cross-process shared state is needed and every retry
+sequence is deterministic.  Torn writes count down in-process (cache
+writes always happen in the campaign's own process).
+
+Example::
+
+    from repro.testing import faults
+    plan = [faults.FaultSpec(kind="hang", match="astar/", times=1,
+                             seconds=30.0)]
+    with faults.installed(plan):
+        engine.run_jobs(jobs)   # first attempt at astar hangs
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import TransientError
+
+#: Environment variable carrying the serialised fault plan.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Process exit status used by injected worker crashes.
+CRASH_EXIT_CODE = 23
+
+KINDS = ("crash", "hang", "raise", "torn-write")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: ``kind`` fired on the first ``times``
+    attempts of every job whose label contains ``match``."""
+
+    kind: str
+    match: str = ""
+    times: int = 1
+    seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"choose from {KINDS}")
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+
+
+def encode(specs: Sequence[FaultSpec]) -> str:
+    """Serialise a fault plan for the ``REPRO_FAULTS`` environment."""
+    return json.dumps([asdict(spec) for spec in specs])
+
+
+def decode(text: str) -> List[FaultSpec]:
+    """Inverse of :func:`encode`; raises :class:`ValueError` on junk."""
+    payload = json.loads(text)
+    if not isinstance(payload, list):
+        raise ValueError(f"fault plan must be a JSON list, got {payload!r}")
+    return [FaultSpec(**entry) for entry in payload]
+
+
+def active_plan(environ: Optional[Dict[str, str]] = None) -> List[FaultSpec]:
+    """The currently installed fault plan ([] when none)."""
+    env = os.environ if environ is None else environ
+    text = env.get(FAULTS_ENV)
+    if not text:
+        return []
+    return decode(text)
+
+
+@contextlib.contextmanager
+def installed(specs: Sequence[FaultSpec]) -> Iterator[None]:
+    """Install a fault plan into ``os.environ`` for the duration of the
+    block (and reset torn-write countdowns on entry and exit)."""
+    previous = os.environ.get(FAULTS_ENV)
+    os.environ[FAULTS_ENV] = encode(specs)
+    reset()
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(FAULTS_ENV, None)
+        else:
+            os.environ[FAULTS_ENV] = previous
+        reset()
+
+
+# ----------------------------------------------------------------------
+# Injection points.
+# ----------------------------------------------------------------------
+def inject_job_faults(label: str, attempt: int) -> None:
+    """Fire any crash/hang/raise fault matching ``label`` on this
+    ``attempt`` (1-based).  Called at the top of job execution; a no-op
+    without an installed plan."""
+    for spec in active_plan():
+        if spec.match not in label or attempt > spec.times:
+            continue
+        if spec.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if spec.kind == "hang":
+            time.sleep(spec.seconds)
+        if spec.kind == "raise":
+            raise TransientError(
+                f"injected transient fault for {label} "
+                f"(attempt {attempt}/{spec.times})")
+
+
+#: In-process torn-write countdowns, keyed by spec identity.
+_torn_remaining: Dict[FaultSpec, int] = {}
+
+
+def tear_write(label: str) -> bool:
+    """Whether the next cache write for ``label`` should be torn
+    (truncated mid-payload).  Counts down ``times`` per spec."""
+    for spec in active_plan():
+        if spec.kind != "torn-write" or spec.match not in label:
+            continue
+        left = _torn_remaining.setdefault(spec, spec.times)
+        if left > 0:
+            _torn_remaining[spec] = left - 1
+            return True
+    return False
+
+
+def reset() -> None:
+    """Clear in-process fault state (torn-write countdowns)."""
+    _torn_remaining.clear()
+
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FAULTS_ENV",
+    "FaultSpec",
+    "KINDS",
+    "active_plan",
+    "decode",
+    "encode",
+    "inject_job_faults",
+    "installed",
+    "reset",
+    "tear_write",
+]
