@@ -39,6 +39,7 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.errors import ReproError
 from repro.experiments.campaign import JobEvent, ResultCache
 from repro.experiments.runner import (
     DEFAULT_LENGTH,
@@ -417,6 +418,8 @@ def cmd_doctor(args) -> int:
         nonlocal failures
         try:
             detail = fn()
+        # Diagnostic surface: a probe must never crash the report, so
+        # everything is caught and rendered.  # reprolint: disable=RL004
         except Exception as exc:  # noqa: BLE001 - diagnostic surface
             failures += 1
             print(f"FAIL  {label}: {type(exc).__name__}: {exc}")
@@ -426,7 +429,7 @@ def cmd_doctor(args) -> int:
     def check_python():
         """Require python >= 3.9 (oldest version the suite supports)."""
         if sys.version_info < (3, 9):
-            raise RuntimeError(f"python {platform.python_version()} < 3.9")
+            raise ReproError(f"python {platform.python_version()} < 3.9")
         return platform.python_version()
 
     def check_pool():
@@ -439,11 +442,11 @@ def cmd_doctor(args) -> int:
         child.close()
         if not parent.poll(30):
             proc.terminate()
-            raise RuntimeError("worker did not respond within 30s")
+            raise ReproError("worker did not respond within 30s")
         reply = parent.recv()
         proc.join()
         if reply != 42:
-            raise RuntimeError(f"worker replied {reply!r}")
+            raise ReproError(f"worker replied {reply!r}")
         return f"start method {ctx.get_start_method()}"
 
     def check_locking():
@@ -475,7 +478,7 @@ def cmd_doctor(args) -> int:
         second = simulate(build_trace(get_profile("astar"), 2000),
                           warmup=500)
         if first.cycles != second.cycles:
-            raise RuntimeError(
+            raise ReproError(
                 f"non-deterministic: {first.cycles} != {second.cycles}")
         return f"{first.cycles} cycles, bit-stable"
 
@@ -484,11 +487,20 @@ def cmd_doctor(args) -> int:
     check("advisory file locking", check_locking)
     check("cache directory", check_cache)
     check("deterministic simulation", check_determinism)
-    env = {name: value for name, value in sorted(os.environ.items())
-           if name.startswith("REPRO_")}
-    if env:
-        print("environment overrides: "
-              + ", ".join(f"{k}={v}" for k, v in env.items()))
+
+    from repro import envreg, typing_ratchet
+
+    print("environment registry (src/repro/envreg.py; RL006):")
+    print(envreg.format_registry(os.environ))
+    unknown = envreg.undeclared(os.environ)
+    if unknown:
+        failures += len(unknown)
+        print(f"FAIL  {len(unknown)} unregistered REPRO_* override(s): "
+              + ", ".join(unknown), file=sys.stderr)
+    strict, total = typing_ratchet.coverage()
+    print(f"mypy --strict ratchet: {strict}/{total} modules "
+          f"({typing_ratchet.coverage_percent():.0f}% of src/repro; "
+          "see mypy.ini)")
     if failures:
         print(f"{failures} check(s) failed", file=sys.stderr)
         return 1
@@ -501,6 +513,20 @@ def _doctor_worker(conn) -> None:
     start and report back over a pipe."""
     conn.send(42)
     conn.close()
+
+
+def cmd_lint(args) -> int:
+    """Run reprolint (see repro.lint.cli / docs/LINTING.md)."""
+    from repro.lint.cli import main as lint_main
+
+    argv: List[str] = list(args.paths)
+    if args.select is not None:
+        argv += ["--select", args.select]
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
 
 
 def cmd_bench(args) -> int:
@@ -673,6 +699,20 @@ def build_parser() -> argparse.ArgumentParser:
         "doctor", help="environment self-check for reliable campaigns")
     p_doctor.add_argument("--cache-dir", default=None, metavar="DIR")
     p_doctor.set_defaults(func=cmd_doctor)
+
+    p_lint = sub.add_parser(
+        "lint", help="simulator-aware static analysis "
+                     "(RL001-RL006; docs/LINTING.md)")
+    p_lint.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files/directories to lint "
+                             "(default: src/repro tools)")
+    p_lint.add_argument("--select", metavar="RLxxx[,RLyyy]", default=None,
+                        help="comma-separated rule codes to run")
+    p_lint.add_argument("--format", choices=("text", "codes"),
+                        default="text", help="finding render style")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    p_lint.set_defaults(func=cmd_lint)
     return parser
 
 

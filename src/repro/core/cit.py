@@ -13,6 +13,8 @@ to track phase changes.
 
 from __future__ import annotations
 
+from repro.errors import ConfigError
+
 DEFAULT_EPOCH = 400_000
 
 #: Table I: Tag (11b) + Confidence (2b) + Utility (2b) per entry.
@@ -28,7 +30,7 @@ class CriticalInstructionTable:
     def __init__(self, size: int = 32, conf_max: int = 3, util_max: int = 3,
                  epoch: int = DEFAULT_EPOCH) -> None:
         if size <= 0:
-            raise ValueError("CIT size must be positive")
+            raise ConfigError("CIT size must be positive")
         self.size = size
         self.conf_max = conf_max
         self.util_max = util_max

@@ -36,6 +36,7 @@ from typing import Iterable, Optional, Set
 from repro.core.cit import DEFAULT_EPOCH, CriticalInstructionTable
 from repro.core.learning_table import LearningTable
 from repro.core.value_table import CONF_MAX, CV_FAIL_MAX, ValueTable
+from repro.errors import ConfigError
 from repro.isa import opcodes
 from repro.isa.instruction import MicroOp
 from repro.pipeline.vp_interface import (EngineContext, Prediction,
@@ -95,9 +96,9 @@ class FVP(ValuePredictor):
                  accelerate_store_chains: bool = False,
                  epoch: int = DEFAULT_EPOCH) -> None:
         if criticality not in _MODES:
-            raise ValueError(f"criticality must be one of {_MODES}")
+            raise ConfigError(f"criticality must be one of {_MODES}")
         if criticality == ORACLE and oracle_pcs is None:
-            raise ValueError("oracle mode needs oracle_pcs")
+            raise ConfigError("oracle mode needs oracle_pcs")
         self.vt = ValueTable(vt_entries)
         self.cit = CriticalInstructionTable(cit_size, epoch=epoch)
         self.lt = LearningTable(lt_size)

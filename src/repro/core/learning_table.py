@@ -12,6 +12,8 @@ to execution instead of happening at the RAT read).
 
 from __future__ import annotations
 
+from repro.errors import ConfigError
+
 
 class LearningTable:
     """FIFO buffer of PCs pending Value Table allocation."""
@@ -20,7 +22,7 @@ class LearningTable:
 
     def __init__(self, size: int = 2) -> None:
         if size <= 0:
-            raise ValueError("Learning Table size must be positive")
+            raise ConfigError("Learning Table size must be positive")
         self.size = size
         self._slots = []
         self.inserted = 0

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.errors import ConfigError
 from repro.predictors.common import XorShift, fold
 
 VALUE_MASK = (1 << 64) - 1
@@ -84,7 +85,7 @@ class ValueTable:
     def __init__(self, entries: int = 48, ways: int = 2,
                  conf_prob: int = 1, seed: int = 0xFADE) -> None:
         if entries <= 0 or entries % ways:
-            raise ValueError("entries must be a positive multiple of ways")
+            raise ConfigError("entries must be a positive multiple of ways")
         self.sets = entries // ways
         self.ways = ways
         self.rows: List[List[VTEntry]] = [

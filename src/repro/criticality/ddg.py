@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.errors import ConfigError
 from repro.isa import opcodes
 from repro.isa.instruction import MicroOp
 
@@ -64,7 +65,7 @@ class WindowGraph:
                  rob_size: int = 224,
                  mispredict_penalty: int = 20) -> None:
         if not 0 <= start < end <= len(trace):
-            raise ValueError(f"bad window [{start}, {end})")
+            raise ConfigError(f"bad window [{start}, {end})")
         self.trace = trace
         self.start = start
         self.end = end

@@ -73,6 +73,7 @@ import repro
 from repro.errors import (
     RETRYABLE,
     CampaignError,
+    ConfigError,
     taxonomy_name,
 )
 from repro.isa.instruction import MicroOp
@@ -273,6 +274,8 @@ def _claim_predictor(predictor: Optional[ValuePredictor]) -> None:
     if predictor is None:
         return
     if getattr(predictor, "_claimed_by_job", False):
+        # RuntimeError is this guard's published contract (tests and
+        # user code match on it).  # reprolint: disable=RL004
         raise RuntimeError(
             f"predictor {predictor.name!r} reused across jobs; specs must "
             "return a fresh instance (or call reset() between runs)")
@@ -321,6 +324,8 @@ def _pool_worker(payload: Tuple[str, str, Optional[str], int, int],
         result = execute_job(Job(workload, core, spec, length, warmup),
                              attempt=attempt)
         conn.send(("ok", result, time.perf_counter() - start))
+    # Crash-isolation boundary: the worker must classify *anything* and
+    # ship it to the parent.  # reprolint: disable=RL004
     except BaseException as exc:  # noqa: BLE001 - ships taxonomy to parent
         try:
             conn.send(("err", taxonomy_name(exc),
@@ -779,9 +784,9 @@ class CampaignEngine:
                  backoff: float = 0.25,
                  strict: bool = True) -> None:
         if timeout is not None and timeout <= 0:
-            raise ValueError(f"timeout must be positive, got {timeout}")
+            raise ConfigError(f"timeout must be positive, got {timeout}")
         if retries < 0:
-            raise ValueError(f"retries must be >= 0, got {retries}")
+            raise ConfigError(f"retries must be >= 0, got {retries}")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         self.cache = cache
         self.progress = progress
@@ -965,6 +970,8 @@ class CampaignEngine:
                 on_failure(JobFailure(job, taxonomy_name(exc), str(exc),
                                       attempt, elapsed, exc=exc))
                 return
+            # Quarantine boundary: any non-retryable failure is recorded
+            # against the job, never re-raised.  # reprolint: disable=RL004
             except Exception as exc:  # deterministic → quarantine, no retry
                 elapsed = time.perf_counter() - start
                 on_failure(JobFailure(

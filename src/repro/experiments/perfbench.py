@@ -31,6 +31,8 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import SimulationError
+
 #: Default bench matrix: one memory-bound, one control-bound, and one
 #: mixed workload, against no prediction, the paper's predictor, and a
 #: prior-art budget point.  Small enough for CI, varied enough that an
@@ -117,7 +119,7 @@ def _time_cell(trace, config, predictor_spec: str, workload: str,
                 trace, config, predictor_spec, workload, warmup, slow=True)
             best_slow = min(best_slow, slow_s)
             if slow_cycles != fast_cycles:
-                raise RuntimeError(
+                raise SimulationError(
                     f"result divergence on {workload}/{predictor_spec}: "
                     f"fast path {fast_cycles} cycles vs slow path "
                     f"{slow_cycles} — the engine paths are no longer "

@@ -37,6 +37,7 @@ import os
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.metrics import SuiteResult, WorkloadRun
+from repro.errors import ConfigError
 from repro.experiments.campaign import (
     CampaignEngine,
     Job,
@@ -118,7 +119,7 @@ class Runner:
         self.warmup = warmup if warmup is not None \
             else default_warmup(self.length)
         if not 0 <= self.warmup < self.length:
-            raise ValueError(
+            raise ConfigError(
                 f"warmup {self.warmup} must be < length {self.length}")
         self.workloads = list(workloads) if workloads is not None \
             else list(CATALOGUE)

@@ -10,6 +10,8 @@ with the bit entering and the bit leaving the history.
 
 from __future__ import annotations
 
+from repro.errors import ConfigError
+
 
 class FoldedHistory:
     """One incrementally maintained XOR-fold of the global history.
@@ -27,7 +29,7 @@ class FoldedHistory:
 
     def __init__(self, history_length: int, folded_width: int) -> None:
         if history_length <= 0 or folded_width <= 0:
-            raise ValueError("lengths must be positive")
+            raise ConfigError("lengths must be positive")
         self.history_length = history_length
         self.folded_width = folded_width
         self.value = 0

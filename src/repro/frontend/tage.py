@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.errors import ConfigError
 from repro.frontend.history import GlobalHistory
 
 
@@ -66,7 +67,7 @@ class TageConfig:
                  counter_bits: int = 3,
                  useful_reset_period: int = 1 << 17) -> None:
         if num_tables < 2:
-            raise ValueError("TAGE needs at least two tagged tables")
+            raise ConfigError("TAGE needs at least two tagged tables")
         self.num_tables = num_tables
         self.min_history = min_history
         self.max_history = max_history

@@ -1,0 +1,24 @@
+"""reprolint: simulator-aware static analysis (``repro lint``).
+
+Six AST-based rules enforce the contracts the test suite can only
+spot-check — determinism of simulated components (RL001), hot-path
+purity (RL002), fast/reference loop lockstep (RL003), the
+``repro.errors`` taxonomy (RL004), telemetry-schema consistency
+(RL005), and the ``REPRO_*`` env-var registry (RL006).  See
+docs/LINTING.md for the catalogue and suppression syntax.
+"""
+
+from repro.lint.core import (Finding, LintError, Rule, lint_files,
+                             lint_paths, lint_source)
+from repro.lint.rules import default_rules, find_dual_dispatch
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "Rule",
+    "default_rules",
+    "find_dual_dispatch",
+    "lint_files",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,78 @@
+"""Command-line front end for reprolint.
+
+Invoked as ``repro lint`` (the subcommand) or directly via
+``tools/reprolint.py``; both call :func:`main`.  Exit status: 0 clean,
+1 findings, 2 usage/parse error — the contract the CI ``lint-strict``
+job depends on.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.lint.core import Finding, LintError, lint_paths
+from repro.lint.rules import default_rules
+
+#: Paths linted when none are given: the package itself plus the
+#: maintained tooling (tests/fixtures deliberately violate the rules).
+DEFAULT_PATHS = ("src/repro", "tools")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="simulator-aware static analysis (rules RL001-RL006; "
+                    "see docs/LINTING.md)")
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help="files or directories to lint "
+             f"(default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument(
+        "--select", metavar="RLxxx[,RLyyy]", default=None,
+        help="comma-separated rule codes to run (default: all)")
+    parser.add_argument(
+        "--format", choices=("text", "codes"), default="text",
+        help="finding render: full text or bare 'path:line CODE' lines")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    return parser
+
+
+def _render(finding: Finding, fmt: str) -> str:
+    if fmt == "codes":
+        return f"{finding.path}:{finding.line} {finding.code}"
+    return finding.format()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the linter; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.code} {rule.name:<18} {rule.description}")
+        return 0
+    select: Optional[List[str]] = None
+    if args.select is not None:
+        select = [code.strip() for code in args.select.split(",")
+                  if code.strip()]
+    try:
+        findings = lint_paths(args.paths, select=select)
+    except LintError as exc:
+        print(f"reprolint: error: {exc}")
+        return 2
+    for finding in findings:
+        print(_render(finding, args.format))
+    if findings:
+        print(f"reprolint: {len(findings)} finding"
+              f"{'s' if len(findings) != 1 else ''} "
+              "(suppress with '# reprolint: disable=RLxxx' "
+              "where the rule is wrong)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tools/
+    raise SystemExit(main())

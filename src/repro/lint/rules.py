@@ -1,0 +1,789 @@
+"""The six reprolint rules (RL001–RL006).
+
+Each rule enforces one simulator-specific contract that a generic
+linter cannot see; docs/LINTING.md is the user-facing catalogue with
+rationale and examples.  Rules are deliberately heuristic where full
+type inference would be needed — every heuristic is written down next
+to the code that implements it, and every finding can be silenced
+with ``# reprolint: disable=RLxxx`` where the rule is wrong.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.core import (Finding, Rule, dotted_name, import_map,
+                             iter_parents, module_constants, resolve_dotted)
+
+#: Subpackages whose code feeds simulated outcomes and therefore must
+#: be bit-reproducible (RL001's enforcement scope).
+DETERMINISM_SCOPE: Tuple[Tuple[str, ...], ...] = (
+    ("repro", "pipeline"),
+    ("repro", "core"),
+    ("repro", "predictors"),
+    ("repro", "frontend"),
+    ("repro", "memory"),
+    ("repro", "trace"),
+    ("repro", "criticality"),
+)
+
+
+# ----------------------------------------------------------------------
+# RL001 — determinism
+# ----------------------------------------------------------------------
+class DeterminismRule(Rule):
+    """No ambient nondeterminism inside the simulated machine.
+
+    Bans module-level RNG calls (seeded ``random.Random`` instances
+    are fine), wall-clock reads, OS entropy, and iteration over
+    ``set`` displays/constructors (unordered) inside the packages
+    listed in :data:`DETERMINISM_SCOPE`.
+    """
+
+    code = "RL001"
+    name = "determinism"
+    description = ("no module-level RNG, wall-clock, OS entropy, or "
+                   "unordered-set iteration in simulated components")
+    scope = DETERMINISM_SCOPE
+
+    #: Canonical dotted names whose *call* is nondeterministic.
+    BANNED_CALLS: Dict[str, str] = {
+        "os.urandom": "thread RNG state through a seeded random.Random",
+        "uuid.uuid4": "derive IDs from seeds/config, not entropy",
+        "time.time": "derive timestamps outside the simulated machine",
+        "time.time_ns": "derive timestamps outside the simulated machine",
+        "time.monotonic": "wall-clock must not influence simulation",
+        "time.monotonic_ns": "wall-clock must not influence simulation",
+        "time.perf_counter": "wall-clock must not influence simulation",
+        "time.perf_counter_ns": "wall-clock must not influence simulation",
+        "time.process_time": "wall-clock must not influence simulation",
+        "datetime.datetime.now": "wall-clock must not influence simulation",
+        "datetime.datetime.utcnow": "wall-clock must not influence simulation",
+        "datetime.datetime.today": "wall-clock must not influence simulation",
+        "datetime.date.today": "wall-clock must not influence simulation",
+    }
+    #: Dotted prefixes that are wholesale nondeterministic.
+    BANNED_PREFIXES: Tuple[Tuple[str, str], ...] = (
+        ("random.", "use a seeded random.Random instance instead of "
+                    "the shared module-level RNG"),
+        ("secrets.", "simulators have no business with secrets"),
+    )
+    #: ``random.*`` attributes that are safe: the class itself (callers
+    #: seed their own instance) and seed-free helpers.
+    RANDOM_ALLOWED: Tuple[str, ...] = ("random.Random",
+                                       "random.SystemRandom")
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        imports = import_map(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                name = resolve_dotted(node.func, imports)
+                if name is None:
+                    continue
+                hint = self.BANNED_CALLS.get(name)
+                if hint is None:
+                    for prefix, prefix_hint in self.BANNED_PREFIXES:
+                        if name.startswith(prefix) \
+                                and name not in self.RANDOM_ALLOWED:
+                            hint = prefix_hint
+                            break
+                if hint is not None:
+                    findings.append(Finding(
+                        self.code, path, node.lineno, node.col_offset,
+                        f"nondeterministic call {name}()", hint))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._is_unordered(node.iter, imports):
+                    findings.append(Finding(
+                        self.code, path, node.iter.lineno,
+                        node.iter.col_offset,
+                        "iteration over an unordered set",
+                        "iterate sorted(...) or use an ordered "
+                        "container — set order is hash-seed dependent"))
+        return findings
+
+    @staticmethod
+    def _is_unordered(node: ast.AST, imports: Dict[str, str]) -> bool:
+        # Heuristic: only syntactically obvious sets are caught — a
+        # set display/comprehension or a direct set()/frozenset()
+        # constructor call in the iterable position.
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = resolve_dotted(node.func, imports)
+            return name in ("set", "frozenset")
+        return False
+
+
+# ----------------------------------------------------------------------
+# Structural locator shared by RL002/RL003.
+# ----------------------------------------------------------------------
+def _sole_self_call(stmts: Sequence[ast.stmt]) -> Optional[ast.Call]:
+    """The single ``self.<method>(...)`` call a branch consists of."""
+    if len(stmts) != 1 or not isinstance(stmts[0], ast.Expr):
+        return None
+    call = stmts[0].value
+    if isinstance(call, ast.Call) \
+            and isinstance(call.func, ast.Attribute) \
+            and isinstance(call.func.value, ast.Name) \
+            and call.func.value.id == "self":
+        return call
+    return None
+
+
+def _call_signature(call: ast.Call) -> str:
+    return ast.unparse(ast.Tuple(
+        elts=list(call.args)
+        + [kw.value for kw in sorted(call.keywords,
+                                     key=lambda k: k.arg or "")],
+        ctx=ast.Load()))
+
+
+def find_dual_dispatch(tree: ast.Module
+                       ) -> Optional[Tuple[str, str, ast.ClassDef]]:
+    """Locate the fast/slow dual dispatch *structurally*.
+
+    The engine's ``run()`` selects between the optimized and the
+    reference timing loop with::
+
+        if _slow_path_requested():
+            self._time_trace_reference(trace, warmup, result, gap_hist)
+        else:
+            self._time_trace(trace, warmup, result, gap_hist)
+
+    so the shape we look for — independent of any method naming — is
+    an ``if`` whose test involves a call and whose two branches each
+    consist of exactly one ``self.<method>(...)`` call with identical
+    arguments.  The ``if`` branch is the opt-in slow/reference loop,
+    the ``else`` branch the default hot path.  Returns ``(hot method
+    name, reference method name, enclosing class)`` or ``None``.
+    """
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.If):
+                continue
+            if not any(isinstance(sub, ast.Call)
+                       for sub in ast.walk(node.test)):
+                continue
+            ref_call = _sole_self_call(node.body)
+            hot_call = _sole_self_call(node.orelse)
+            if ref_call is None or hot_call is None:
+                continue
+            assert isinstance(ref_call.func, ast.Attribute)
+            assert isinstance(hot_call.func, ast.Attribute)
+            ref_name = ref_call.func.attr
+            hot_name = hot_call.func.attr
+            if ref_name == hot_name:
+                continue
+            if _call_signature(ref_call) != _call_signature(hot_call):
+                continue
+            return hot_name, ref_name, cls
+    return None
+
+
+def _method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _aliases_of(func: ast.FunctionDef, owner: str,
+                attr: str) -> Set[str]:
+    """Local names bound directly from ``<owner>.<attr>`` in ``func``
+    (e.g. ``cfg = self.config``)."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) \
+                and isinstance(node.value, ast.Attribute) \
+                and node.value.attr == attr \
+                and isinstance(node.value.value, ast.Name) \
+                and node.value.value.id == owner:
+            names.update(target.id for target in node.targets
+                         if isinstance(target, ast.Name))
+    return names
+
+
+def _attr_reads_on(func: ast.FunctionDef, owner: str,
+                   attr: Optional[str], aliases: Set[str]) -> Set[str]:
+    """Attribute names read off ``<owner>.<attr>`` or any alias of it
+    inside ``func`` (plain ``ast.Attribute`` loads only — ``getattr``
+    string forms are deliberately excluded, they are dynamic
+    capability probes, not model parameters)."""
+    reads: Set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Attribute) \
+                or not isinstance(node.ctx, ast.Load):
+            continue
+        base = node.value
+        if isinstance(base, ast.Name) and base.id in aliases:
+            reads.add(node.attr)
+        elif attr is not None and isinstance(base, ast.Attribute) \
+                and base.attr == attr \
+                and isinstance(base.value, ast.Name) \
+                and base.value.id == owner:
+            reads.add(node.attr)
+    return reads
+
+
+# ----------------------------------------------------------------------
+# RL002 — hot-path purity
+# ----------------------------------------------------------------------
+class HotPathPurityRule(Rule):
+    """The optimized timing loop stays allocation- and lookup-lean.
+
+    Inside the per-op loop of the *hot* method (located via
+    :func:`find_dual_dispatch`, never by name): no container
+    allocations, no repeated ``self.`` attribute lookups, and no
+    telemetry calls outside a capability-flag gate.
+    """
+
+    code = "RL002"
+    name = "hot-path-purity"
+    description = ("no allocations, self-attribute lookups, or "
+                   "ungated telemetry in the optimized timing loop")
+    scope = (("repro", "pipeline"),)
+
+    #: Method attributes that publish telemetry when called.
+    TELEMETRY_ATTRS: Tuple[str, ...] = ("observe", "record", "counter",
+                                        "histogram", "counters_from")
+    #: Builtins whose call allocates a container.
+    ALLOCATING_BUILTINS: Tuple[str, ...] = ("list", "dict", "set",
+                                            "frozenset", "bytearray")
+    #: Substrings that mark an ``if`` test as a capability gate.
+    GATE_TOKENS: Tuple[str, ...] = ("collect", "need", "is not None")
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Finding]:
+        dispatch = find_dual_dispatch(tree)
+        if dispatch is None:
+            return []
+        hot_name, _, cls = dispatch
+        hot = _method(cls, hot_name)
+        if hot is None:
+            return []
+        loop = self._main_loop(hot)
+        if loop is None:
+            return []
+        findings: List[Finding] = []
+        parents = iter_parents(hot)
+        telemetry_names = self._telemetry_aliases(hot)
+        for node in ast.walk(loop):
+            if node is loop:
+                continue
+            findings.extend(self._check_alloc(node, path, hot_name))
+            findings.extend(self._check_self_load(node, path, hot_name))
+            findings.extend(self._check_telemetry(
+                node, path, loop, parents, telemetry_names))
+        return findings
+
+    @staticmethod
+    def _main_loop(func: ast.FunctionDef) -> Optional[ast.For]:
+        # The per-op loop is the biggest For in the method body.
+        best: Optional[ast.For] = None
+        best_size = 0
+        for node in ast.walk(func):
+            if isinstance(node, ast.For):
+                size = sum(1 for _ in ast.walk(node))
+                if size > best_size:
+                    best, best_size = node, size
+        return best
+
+    def _telemetry_aliases(self, func: ast.FunctionDef) -> Set[str]:
+        """Locals bound from a telemetry method (``observe_gap =
+        gap_hist.observe``) — calls through them count as telemetry."""
+        names: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and any(
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr in self.TELEMETRY_ATTRS
+                    for sub in ast.walk(node.value)):
+                names.update(target.id for target in node.targets
+                             if isinstance(target, ast.Name))
+        return names
+
+    def _check_alloc(self, node: ast.AST, path: str,
+                     hot_name: str) -> List[Finding]:
+        message = hint = None
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            kind = type(node).__name__.lower()
+            message = f"{kind} allocation inside the {hot_name} per-op loop"
+            hint = "hoist the container out of the loop or reuse one"
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            message = ("comprehension allocates inside the "
+                       f"{hot_name} per-op loop")
+            hint = "hoist or rewrite as an in-place update"
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Name) \
+                and node.func.id in self.ALLOCATING_BUILTINS:
+            message = (f"{node.func.id}() allocation inside the "
+                       f"{hot_name} per-op loop")
+            hint = "hoist the container out of the loop or reuse one"
+        if message is None:
+            return []
+        return [Finding(self.code, path, node.lineno,
+                        node.col_offset, message, hint or "")]
+
+    def _check_self_load(self, node: ast.AST, path: str,
+                         hot_name: str) -> List[Finding]:
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.ctx, ast.Load) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            return [Finding(
+                self.code, path, node.lineno, node.col_offset,
+                f"self.{node.attr} lookup inside the {hot_name} "
+                "per-op loop",
+                f"bind `{node.attr} = self.{node.attr}` to a local "
+                "before the loop")]
+        return []
+
+    def _check_telemetry(self, node: ast.AST, path: str, loop: ast.For,
+                         parents: Dict[ast.AST, ast.AST],
+                         aliases: Set[str]) -> List[Finding]:
+        if not isinstance(node, ast.Call):
+            return []
+        func = node.func
+        if isinstance(func, ast.Attribute) \
+                and func.attr in self.TELEMETRY_ATTRS:
+            label = func.attr
+        elif isinstance(func, ast.Name) and func.id in aliases:
+            label = func.id
+        else:
+            return []
+        if self._gated(node, loop, parents, label):
+            return []
+        return [Finding(
+            self.code, path, node.lineno, node.col_offset,
+            f"telemetry call {label}(...) not gated behind a "
+            "capability flag in the per-op loop",
+            "wrap in `if collect_...:` / `if ... is not None:` so "
+            "disabled telemetry costs one branch")]
+
+    def _gated(self, call: ast.Call, loop: ast.For,
+               parents: Dict[ast.AST, ast.AST], label: str) -> bool:
+        # Heuristic: some enclosing `if` between the call and the loop
+        # must read a capability flag — its test mentions the callee,
+        # a collect_*/need_* name, or an `is not None` check.
+        node: ast.AST = call
+        while node is not loop:
+            parent = parents.get(node)
+            if parent is None:
+                return False
+            if isinstance(parent, ast.If):
+                test_src = ast.unparse(parent.test)
+                if label in test_src or any(
+                        token in test_src
+                        for token in self.GATE_TOKENS):
+                    return True
+            node = parent
+        return False
+
+
+# ----------------------------------------------------------------------
+# RL003 — dual-loop drift
+# ----------------------------------------------------------------------
+class DualLoopDriftRule(Rule):
+    """The optimized and reference timing loops read the same model.
+
+    For the pair of methods selected by :func:`find_dual_dispatch`,
+    the *effective* set of core-config attributes and the set of
+    predictor hooks must match.  "Effective" folds in ``__init__``:
+    the hot path may precompute a config attribute into a dispatch
+    table at construction time (e.g. ``ports``), so each loop's set is
+    its own direct reads unioned with the constructor's — drift is a
+    config attribute one path can see and the other cannot.
+    """
+
+    code = "RL003"
+    name = "dual-loop-drift"
+    description = ("optimized and reference timing loops must read the "
+                   "same config attributes and predictor hooks")
+    scope = (("repro", "pipeline"),)
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Finding]:
+        dispatch = find_dual_dispatch(tree)
+        if dispatch is None:
+            return []
+        hot_name, ref_name, cls = dispatch
+        hot = _method(cls, hot_name)
+        ref = _method(cls, ref_name)
+        if hot is None or ref is None:
+            missing = hot_name if hot is None else ref_name
+            return [Finding(
+                self.code, path, cls.lineno, cls.col_offset,
+                f"dual dispatch targets missing method {missing}",
+                "keep both timing-loop methods defined in the class")]
+        init_reads = self._init_config_reads(cls)
+        findings: List[Finding] = []
+
+        hot_cfg = self._config_reads(hot) | init_reads
+        ref_cfg = self._config_reads(ref) | init_reads
+        findings.extend(self._drift(
+            path, hot, "config attribute", hot_name, ref_name,
+            hot_cfg, ref_cfg,
+            "read the attribute in both loops, or precompute it in "
+            "__init__ so both effective sets include it"))
+
+        hot_hooks = self._predictor_hooks(hot)
+        ref_hooks = self._predictor_hooks(ref)
+        findings.extend(self._drift(
+            path, hot, "predictor hook", hot_name, ref_name,
+            hot_hooks, ref_hooks,
+            "call the same predictor hooks from both loops (a hook "
+            "one loop skips changes training behaviour)"))
+        return findings
+
+    def _drift(self, path: str, anchor: ast.FunctionDef, what: str,
+               hot_name: str, ref_name: str, hot_set: Set[str],
+               ref_set: Set[str], hint: str) -> List[Finding]:
+        findings: List[Finding] = []
+        only_hot = sorted(hot_set - ref_set)
+        only_ref = sorted(ref_set - hot_set)
+        if only_hot:
+            findings.append(Finding(
+                self.code, path, anchor.lineno, anchor.col_offset,
+                f"{what} drift: {', '.join(only_hot)} read by "
+                f"{hot_name} but not {ref_name}", hint))
+        if only_ref:
+            findings.append(Finding(
+                self.code, path, anchor.lineno, anchor.col_offset,
+                f"{what} drift: {', '.join(only_ref)} read by "
+                f"{ref_name} but not {hot_name}", hint))
+        return findings
+
+    @staticmethod
+    def _config_reads(func: ast.FunctionDef) -> Set[str]:
+        aliases = _aliases_of(func, "self", "config")
+        return _attr_reads_on(func, "self", "config", aliases)
+
+    @staticmethod
+    def _init_config_reads(cls: ast.ClassDef) -> Set[str]:
+        init = _method(cls, "__init__")
+        if init is None:
+            return set()
+        # The constructor parameter stored as self.config is the same
+        # object the loops read through — its reads count for both.
+        param: Optional[str] = None
+        for node in ast.walk(init):
+            if isinstance(node, ast.Assign) \
+                    and isinstance(node.value, ast.Name) \
+                    and any(isinstance(t, ast.Attribute)
+                            and t.attr == "config"
+                            and isinstance(t.value, ast.Name)
+                            and t.value.id == "self"
+                            for t in node.targets):
+                param = node.value.id
+                break
+        reads = _attr_reads_on(init, "self", "config",
+                               _aliases_of(init, "self", "config"))
+        if param is not None:
+            reads |= _attr_reads_on(init, "", None, {param})
+        return reads
+
+    @staticmethod
+    def _predictor_hooks(func: ast.FunctionDef) -> Set[str]:
+        aliases = _aliases_of(func, "self", "predictor")
+        return _attr_reads_on(func, "self", "predictor", aliases)
+
+
+# ----------------------------------------------------------------------
+# RL004 — error discipline
+# ----------------------------------------------------------------------
+class ErrorDisciplineRule(Rule):
+    """Failures flow through the ``repro.errors`` taxonomy.
+
+    Flags bare/broad ``except`` clauses (they swallow
+    ``NonTerminatingSimulation`` and friends indiscriminately),
+    raising ``Exception``/``BaseException``/``RuntimeError`` directly,
+    and ``raise ValueError`` inside constructors — configuration
+    rejection is :class:`repro.errors.ConfigError`'s job (it subclasses
+    ``ValueError``, so callers keep working).
+    """
+
+    code = "RL004"
+    name = "error-discipline"
+    description = ("no bare/broad except; raise repro.errors "
+                   "subclasses, not builtin exceptions")
+
+    BROAD: Tuple[str, ...] = ("Exception", "BaseException")
+    CTOR_NAMES: Tuple[str, ...] = ("__init__", "__post_init__")
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        parents = iter_parents(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler):
+                findings.extend(self._check_handler(node, path))
+            elif isinstance(node, ast.Raise):
+                findings.extend(self._check_raise(node, path, parents))
+        return findings
+
+    def _check_handler(self, node: ast.ExceptHandler,
+                       path: str) -> List[Finding]:
+        if node.type is None:
+            return [Finding(
+                self.code, path, node.lineno, node.col_offset,
+                "bare except swallows every failure, including the "
+                "repro.errors guardrails",
+                "catch the specific repro.errors subclass (or "
+                "ReproError for the whole taxonomy)")]
+        names = [node.type] if not isinstance(node.type, ast.Tuple) \
+            else list(node.type.elts)
+        for entry in names:
+            name = dotted_name(entry)
+            if name in self.BROAD:
+                return [Finding(
+                    self.code, path, node.lineno, node.col_offset,
+                    f"broad `except {name}` outside a crash-isolation "
+                    "boundary",
+                    "catch ReproError / a specific subclass; only "
+                    "worker watchdogs may catch everything "
+                    "(suppress with a comment saying so)")]
+        return []
+
+    def _check_raise(self, node: ast.Raise, path: str,
+                     parents: Dict[ast.AST, ast.AST]) -> List[Finding]:
+        exc = node.exc
+        if exc is None:
+            return []  # re-raise
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        name = dotted_name(target)
+        if name in self.BROAD:
+            return [Finding(
+                self.code, path, node.lineno, node.col_offset,
+                f"raising builtin {name}",
+                "raise the repro.errors subclass that matches the "
+                "failure (see src/repro/errors.py)")]
+        if name == "RuntimeError":
+            return [Finding(
+                self.code, path, node.lineno, node.col_offset,
+                "raising builtin RuntimeError",
+                "raise a repro.errors subclass so campaign retry/"
+                "quarantine logic can classify the failure")]
+        if name == "ValueError" and self._in_ctor(node, parents):
+            return [Finding(
+                self.code, path, node.lineno, node.col_offset,
+                "raising builtin ValueError in a constructor",
+                "raise repro.errors.ConfigError (subclasses "
+                "ValueError, so existing callers keep working)")]
+        return []
+
+    def _in_ctor(self, node: ast.AST,
+                 parents: Dict[ast.AST, ast.AST]) -> bool:
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                return current.name in self.CTOR_NAMES
+            current = parents.get(current)
+        return False
+
+
+# ----------------------------------------------------------------------
+# RL005 — stat-schema consistency
+# ----------------------------------------------------------------------
+class StatSchemaRule(Rule):
+    """Published stat names and ``TELEMETRY_SCHEMA`` stay in sync.
+
+    Forward: every string literal passed as the name to a
+    ``.counter(name, desc, ...)`` / ``.histogram(name, desc)`` /
+    ``.group(name, desc)`` call must be a segment the schema declares.
+    Reverse (whole-run, only when the schema module itself was
+    scanned): every concrete schema segment must be published by some
+    literal — a schema entry nothing publishes is drift in the other
+    direction.  Dynamic names (``counters_from`` mappings, per-cache
+    group names) are exempt; their families appear as ``*`` patterns.
+    """
+
+    code = "RL005"
+    name = "stat-schema"
+    description = ("every published stat literal appears in "
+                   "TELEMETRY_SCHEMA and vice versa")
+    scope = (("repro",),)
+
+    STAT_METHODS: Tuple[str, ...] = ("counter", "histogram", "group")
+
+    def __init__(self, vocabulary: Optional[Set[str]] = None) -> None:
+        if vocabulary is None:
+            from repro.telemetry.schema import concrete_segments
+            vocabulary = set(concrete_segments())
+        self.vocabulary = vocabulary
+        self.published: Set[str] = set()
+        self.schema_path: Optional[str] = None
+        self.schema_line = 0
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Finding]:
+        if "TELEMETRY_SCHEMA" in source and \
+                any(isinstance(node, ast.Assign)
+                    and any(isinstance(t, ast.Name)
+                            and t.id == "TELEMETRY_SCHEMA"
+                            for t in node.targets)
+                    for node in tree.body):
+            self.schema_path = path
+            self.schema_line = 1
+            return []  # the schema itself publishes nothing
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            name_node = self._stat_name(node)
+            if name_node is None:
+                continue
+            name = name_node.value
+            self.published.add(name)
+            if name not in self.vocabulary:
+                assert isinstance(node, ast.Call)
+                assert isinstance(node.func, ast.Attribute)
+                findings.append(Finding(
+                    self.code, path, name_node.lineno,
+                    name_node.col_offset,
+                    f"stat {name!r} published via "
+                    f".{node.func.attr}() is not declared in "
+                    "TELEMETRY_SCHEMA",
+                    "add the path to "
+                    "repro.telemetry.schema.TELEMETRY_SCHEMA (or fix "
+                    "the name)"))
+        return findings
+
+    def _stat_name(self, node: ast.AST) -> Optional[ast.Constant]:
+        """The literal stat name of a publish call, if ``node`` is
+        one.  Requires >= 2 arguments (name + description) so
+        ``re.Match.group(1)``-style calls don't false-positive."""
+        if not isinstance(node, ast.Call) \
+                or not isinstance(node.func, ast.Attribute) \
+                or node.func.attr not in self.STAT_METHODS \
+                or len(node.args) < 2:
+            return None
+        first = node.args[0]
+        if isinstance(first, ast.Constant) \
+                and isinstance(first.value, str):
+            return first
+        return None
+
+    def finish(self) -> List[Finding]:
+        if self.schema_path is None or not self.published:
+            return []  # partial run: no cross-file ground truth
+        findings = [
+            Finding(self.code, self.schema_path, self.schema_line, 0,
+                    f"schema segment {segment!r} is never published "
+                    "by any .counter/.histogram/.group literal",
+                    "delete the stale schema entry or publish the stat")
+            for segment in sorted(self.vocabulary - self.published)]
+        self.published = set()
+        self.schema_path = None
+        return findings
+
+
+# ----------------------------------------------------------------------
+# RL006 — env-var registry
+# ----------------------------------------------------------------------
+class EnvRegistryRule(Rule):
+    """Every ``REPRO_*`` environment read is declared in the registry.
+
+    ``repro doctor`` and the docs render ``repro.envreg.REGISTRY``;
+    an env read the registry doesn't know about is invisible to both,
+    and a registry entry nothing reads is stale documentation.
+    Recognised read forms: ``os.environ[...]``, ``os.environ.get(...)``
+    and ``os.getenv(...)`` with the name as a string literal or a
+    module-level string constant (``FAULTS_ENV``-style); names the
+    rule cannot resolve statically are skipped, not guessed.
+    """
+
+    code = "RL006"
+    name = "env-registry"
+    description = ("every REPRO_* env read is declared in "
+                   "repro.envreg.REGISTRY (and vice versa)")
+
+    def __init__(self, declared: Optional[Set[str]] = None) -> None:
+        if declared is None:
+            from repro.envreg import REGISTRY
+            declared = set(REGISTRY)
+        self.declared = declared
+        self.read: Set[str] = set()
+        self.registry_path: Optional[str] = None
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Finding]:
+        if path.replace("\\", "/").endswith("repro/envreg.py"):
+            self.registry_path = path
+            return []
+        findings: List[Finding] = []
+        imports = import_map(tree)
+        constants = module_constants(tree)
+        for node in ast.walk(tree):
+            for name_node in self._env_read(node, imports):
+                name = self._resolve_name(name_node, constants)
+                if name is None or not name.startswith("REPRO_"):
+                    continue
+                self.read.add(name)
+                if name not in self.declared:
+                    findings.append(Finding(
+                        self.code, path, name_node.lineno,
+                        name_node.col_offset,
+                        f"environment variable {name} read but not "
+                        "declared in repro.envreg.REGISTRY",
+                        "add an EnvVar entry in src/repro/envreg.py "
+                        "(repro doctor renders the registry)"))
+        return findings
+
+    @staticmethod
+    def _env_read(node: ast.AST,
+                  imports: Dict[str, str]) -> List[ast.expr]:
+        """Expressions naming the variable in env-read syntax forms."""
+        if isinstance(node, ast.Subscript):
+            base = resolve_dotted(node.value, imports)
+            if base == "os.environ":
+                return [node.slice]
+        elif isinstance(node, ast.Call) and node.args:
+            func = resolve_dotted(node.func, imports)
+            if func in ("os.getenv",):
+                return [node.args[0]]
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in ("get", "pop", "setdefault") \
+                    and resolve_dotted(node.func.value,
+                                       imports) == "os.environ":
+                return [node.args[0]]
+        return []
+
+    @staticmethod
+    def _resolve_name(node: ast.expr,
+                      constants: Dict[str, str]) -> Optional[str]:
+        if isinstance(node, ast.Constant) \
+                and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.Name):
+            return constants.get(node.id)
+        return None
+
+    def finish(self) -> List[Finding]:
+        if self.registry_path is None or not self.read:
+            return []  # partial run: no cross-file ground truth
+        findings = [
+            Finding(self.code, self.registry_path, 1, 0,
+                    f"registry declares {name} but nothing in the "
+                    "scanned tree reads it",
+                    "drop the stale EnvVar entry (or restore the "
+                    "consumer read)")
+            for name in sorted(self.declared - self.read)]
+        self.read = set()
+        self.registry_path = None
+        return findings
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every rule, in code order."""
+    return [
+        DeterminismRule(),
+        HotPathPurityRule(),
+        DualLoopDriftRule(),
+        ErrorDisciplineRule(),
+        StatSchemaRule(),
+        EnvRegistryRule(),
+    ]

@@ -15,6 +15,7 @@ these sizes and keeps the code simple.
 from __future__ import annotations
 
 from typing import List
+from repro.errors import ConfigError
 
 
 def _check_power_of_two(name: str, value: int) -> None:
@@ -49,7 +50,7 @@ class Cache:
         _check_power_of_two("line_bytes", line_bytes)
         num_sets = size_bytes // (assoc * line_bytes)
         if num_sets < 1:
-            raise ValueError("cache has no sets: size too small for "
+            raise ConfigError("cache has no sets: size too small for "
                              f"assoc={assoc} line={line_bytes}")
         _check_power_of_two("num_sets", num_sets)
         self.name = name

@@ -20,6 +20,7 @@ into one store set — the self-correcting learning rule of the paper.
 from __future__ import annotations
 
 from typing import Optional
+from repro.errors import ConfigError
 
 
 class StoreSets:
@@ -38,7 +39,7 @@ class StoreSets:
 
     def __init__(self, ssit_size: int = 1024, lfst_size: int = 128) -> None:
         if ssit_size <= 0 or lfst_size <= 0:
-            raise ValueError("table sizes must be positive")
+            raise ConfigError("table sizes must be positive")
         self.ssit_size = ssit_size
         self.lfst_size = lfst_size
         self._ssit = {}  # pc_hash -> set id

@@ -10,6 +10,7 @@ level to fill.
 from __future__ import annotations
 
 from typing import List
+from repro.errors import ConfigError
 
 #: Shared "nothing to prefetch" result — the overwhelmingly common
 #: outcome; returning a fresh list per access shows up in profiles.
@@ -30,7 +31,7 @@ class StridePrefetcher:
     def __init__(self, table_size: int = 64, degree: int = 2,
                  threshold: int = 2) -> None:
         if table_size <= 0:
-            raise ValueError("table_size must be positive")
+            raise ConfigError("table_size must be positive")
         self.table_size = table_size
         self.degree = degree
         self.threshold = threshold

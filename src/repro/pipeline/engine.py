@@ -44,7 +44,8 @@ import os
 from bisect import bisect_right
 from typing import Optional, Sequence
 
-from repro.errors import InvariantViolation, NonTerminatingSimulation
+from repro.errors import (ConfigError, InvariantViolation,
+                          NonTerminatingSimulation)
 from repro.frontend.fetch import FrontEnd
 from repro.isa import opcodes
 from repro.isa.instruction import MicroOp
@@ -197,7 +198,8 @@ class Engine:
         if max_cycles is None:
             max_cycles = _default_max_cycles()
         elif max_cycles <= 0:
-            raise ValueError(f"max_cycles must be positive, got {max_cycles}")
+            raise ConfigError(
+                f"max_cycles must be positive, got {max_cycles}")
         self.max_cycles = max_cycles
         self.config = config
         self.predictor = predictor or NoPredictor()
@@ -474,6 +476,8 @@ class Engine:
         load_dependence = self.store_sets.load_dependence
         record_violation = self.store_sets.record_violation
         store_dispatched = self.store_sets.store_dispatched
+        prune_stores = self._prune_stores
+        abort_nonterminating = self._abort_nonterminating
         history = frontend.history
         icache_line = frontend.config.icache_line
         last_fetch_line = frontend._last_fetch_line
@@ -498,7 +502,8 @@ class Engine:
             collecting = idx >= warmup
             if idx == warmup:
                 cycle_base = prev_retire
-                level_base = dict(memory.level_counts)
+                # Snapshot runs once per simulation, at the warmup edge.
+                level_base = dict(memory.level_counts)  # reprolint: disable=RL002
 
             # ---------------- front end / allocate ----------------
             earliest = redirect_t
@@ -635,7 +640,7 @@ class Engine:
                 retire_count += 1
             retire_t = retire_cycle
             if retire_t > cycle_limit:
-                self._abort_nonterminating(idx, n, pc, retire_t)
+                abort_nonterminating(idx, n, pc, retire_t)
 
             # ---------------- cycle accounting ----------------
             gap = retire_t - prev_retire
@@ -729,8 +734,13 @@ class Engine:
                         c_mr_pred += 1
                     else:
                         c_reg_pred += 1
-                    attribution = by_source.setdefault(
-                        prediction.source, [0, 0])
+                    attribution = by_source.get(prediction.source)
+                    if attribution is None:
+                        # First sighting of a source: one list per
+                        # source per run (setdefault would build and
+                        # discard the default on every predicted op).
+                        attribution = [0, 0]  # reprolint: disable=RL002
+                        by_source[prediction.source] = attribution
                     attribution[0] += 1
                     if vp_correct:
                         attribution[1] += 1
@@ -777,7 +787,7 @@ class Engine:
                 store_records[idx] = (pc, addr8, complete_t, retire_t, value)
                 store_retires.append(retire_t)
                 if len(store_records) > store_prune_limit:
-                    self._prune_stores(retire_t)
+                    prune_stores(retire_t)
             if is_load:
                 load_retires.append(retire_t)
 

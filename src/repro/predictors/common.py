@@ -9,6 +9,7 @@ Centralising them keeps each predictor file about its *policy*.
 from __future__ import annotations
 
 from typing import List, Optional
+from repro.errors import ConfigError
 
 
 class XorShift:
@@ -65,7 +66,7 @@ class TaggedTable:
     def __init__(self, entries: int, ways: int = 2,
                  tag_bits: int = 11) -> None:
         if entries <= 0 or ways <= 0 or entries % ways:
-            raise ValueError(
+            raise ConfigError(
                 f"entries ({entries}) must be a positive multiple of "
                 f"ways ({ways})")
         self.sets = entries // ways

@@ -1,0 +1,132 @@
+"""The declared shape of the per-run telemetry tree.
+
+Every dotted stat path a simulation publishes (relative to the ``sim``
+root group) must match a pattern in :data:`TELEMETRY_SCHEMA`, and
+every concrete name in the schema must correspond to a real
+publication site — the ``RL005`` reprolint rule (docs/LINTING.md)
+checks the static half of that contract (string literals passed to
+``StatGroup.counter`` / ``histogram`` / ``group``), and
+``tests/test_reprolint.py`` checks the runtime half against an actual
+simulation's tree.
+
+Pattern language
+----------------
+Patterns are dotted paths whose segments are either concrete names or
+wildcards: ``*`` matches exactly one segment (dynamic families such as
+the stall-bucket counters), and a trailing ``**`` matches one or more
+remaining segments (the predictor's free-form internal stats).
+
+Versioning: structural changes to the tree bump
+``repro.pipeline.results.TELEMETRY_SCHEMA_VERSION`` (part of the
+campaign cache key); this module describes the *shape* at the current
+version.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+#: Dotted-path pattern → leaf/group kind (``counter`` / ``histogram``
+#: / ``group``).  Paths are relative to the per-run ``sim`` root.
+TELEMETRY_SCHEMA: Dict[str, str] = {
+    # Engine cycle accounting (repro.pipeline.engine._publish).
+    "pipeline": "group",
+    "pipeline.cycles": "counter",
+    "pipeline.instructions": "counter",
+    "pipeline.stall-gaps": "histogram",
+    "pipeline.stalls": "group",
+    "pipeline.stalls.*": "counter",          # stall-taxonomy buckets
+    "pipeline.warmup-stalls": "group",
+    "pipeline.warmup-stalls.*": "counter",
+    # Front end (repro.frontend.fetch.FrontEnd.publish_stats).
+    "frontend": "group",
+    "frontend.branch_accuracy": "counter",
+    "frontend.control_ops": "counter",
+    "frontend.mispredicts": "counter",
+    "frontend.btb_misses": "counter",
+    "frontend.icache_misses": "counter",
+    "frontend.icache_hits": "counter",
+    # Memory hierarchy (repro.memory.hierarchy.publish_stats).
+    "memory": "group",
+    "memory.levels": "group",
+    "memory.levels.*": "counter",            # post-warmup per-level serves
+    "memory.*.hits": "counter",              # one group per cache level
+    "memory.*.misses": "counter",
+    "memory.*.prefetch_fills": "counter",
+    "memory.*.prefetch_hits": "counter",
+    "memory.dram.accesses": "counter",
+    "memory.dram.row_hits": "counter",
+    "memory.dram.row_misses": "counter",
+    "memory.dram.row_conflicts": "counter",
+    # Hosted predictor (repro.pipeline.vp_interface.publish_stats).
+    "predictor": "group",
+    "predictor.storage_bits": "counter",
+    "predictor.**": "counter",               # predictor-internal stats()
+}
+
+
+def match(path: str, pattern: str) -> bool:
+    """Whether dotted ``path`` matches dotted ``pattern``."""
+    parts = path.split(".")
+    want = pattern.split(".")
+    for index, segment in enumerate(want):
+        if segment == "**":
+            return index == len(want) - 1 and len(parts) > index
+        if index >= len(parts) or (segment != "*"
+                                   and segment != parts[index]):
+            return False
+    return len(parts) == len(want)
+
+
+def kind_of(path: str) -> str:
+    """The declared kind for ``path`` (most specific pattern wins), or
+    ``"undeclared"`` when no pattern matches."""
+    best: Tuple[int, str] = (-1, "undeclared")
+    for pattern, kind in TELEMETRY_SCHEMA.items():
+        if match(path, pattern):
+            concrete = sum(1 for seg in pattern.split(".")
+                           if seg not in ("*", "**"))
+            if concrete > best[0]:
+                best = (concrete, kind)
+    return best[1]
+
+
+def concrete_segments() -> Tuple[str, ...]:
+    """Every non-wildcard segment appearing in the schema, sorted —
+    the vocabulary the RL005 static check validates against."""
+    names = {segment
+             for pattern in TELEMETRY_SCHEMA
+             for segment in pattern.split(".")
+             if segment not in ("*", "**")}
+    return tuple(sorted(names))
+
+
+def validate_paths(paths: Iterable[Tuple[str, str]]) -> List[str]:
+    """Check ``(dotted path, kind)`` pairs from a real telemetry tree
+    against the schema; returns human-readable problem strings (empty
+    when the tree conforms)."""
+    problems: List[str] = []
+    seen: Set[str] = set()
+    for path, kind in paths:
+        seen.add(path)
+        declared = kind_of(path)
+        if declared == "undeclared":
+            problems.append(f"undeclared stat path: {path}")
+        elif declared != kind:
+            problems.append(f"{path}: published as {kind}, "
+                            f"schema says {declared}")
+    for pattern, kind in TELEMETRY_SCHEMA.items():
+        if "*" in pattern or kind == "group":
+            continue
+        if pattern not in seen:
+            problems.append(f"schema path never published: {pattern}")
+    return problems
+
+
+__all__ = [
+    "TELEMETRY_SCHEMA",
+    "concrete_segments",
+    "kind_of",
+    "match",
+    "validate_paths",
+]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 from typing import Deque, Iterator, List, NamedTuple, Optional
+from repro.errors import ConfigError
 
 DEFAULT_CAPACITY = 1 << 16
 
@@ -48,7 +49,7 @@ class EventTrace:
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         if capacity <= 0:
-            raise ValueError(f"capacity must be positive, got {capacity}")
+            raise ConfigError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         #: Events evicted from the ring (oldest-first) — lets reports
         #: say "showing the last N of M".

@@ -45,7 +45,7 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Dict, Iterator, List, Optional, Sequence
 
-from repro.errors import TransientError
+from repro.errors import ConfigError, TransientError
 
 #: Environment variable carrying the serialised fault plan.
 FAULTS_ENV = "REPRO_FAULTS"
@@ -68,10 +68,10 @@ class FaultSpec:
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
-            raise ValueError(f"unknown fault kind {self.kind!r}; "
+            raise ConfigError(f"unknown fault kind {self.kind!r}; "
                              f"choose from {KINDS}")
         if self.times < 1:
-            raise ValueError(f"times must be >= 1, got {self.times}")
+            raise ConfigError(f"times must be >= 1, got {self.times}")
 
 
 def encode(specs: Sequence[FaultSpec]) -> str:

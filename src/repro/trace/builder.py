@@ -14,6 +14,7 @@ import itertools
 import random
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
+from repro.errors import ConfigError
 from repro.isa.instruction import MicroOp
 from repro.trace.kernels import Kernel
 from repro.trace.memimage import MemImage
@@ -45,7 +46,7 @@ class KernelSpec:
     def __init__(self, kernel_cls: Type[Kernel], weight: float,
                  **params) -> None:
         if weight <= 0:
-            raise ValueError("kernel weight must be positive")
+            raise ConfigError("kernel weight must be positive")
         self.kernel_cls = kernel_cls
         self.weight = weight
         self.params = params
@@ -63,7 +64,7 @@ class WorkloadProfile:
                  specs: Sequence[KernelSpec],
                  description: str = "") -> None:
         if not specs:
-            raise ValueError("a workload needs at least one kernel")
+            raise ConfigError("a workload needs at least one kernel")
         self.name = name
         self.category = category
         self.seed = seed

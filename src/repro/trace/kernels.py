@@ -49,6 +49,7 @@ from __future__ import annotations
 import random
 from typing import List, Tuple
 
+from repro.errors import ConfigError
 from repro.isa import opcodes
 from repro.isa.instruction import MicroOp
 from repro.trace.memimage import MemImage
@@ -140,9 +141,9 @@ class IndexedMissKernel(Kernel):
                  serial: bool = False, meta_slots: int = None) -> None:
         super().__init__(name, pc_base, regs, mem, rng)
         if len(regs) < 4:
-            raise ValueError("IndexedMissKernel needs 4 registers")
+            raise ConfigError("IndexedMissKernel needs 4 registers")
         if hops < 1:
-            raise ValueError("need at least one hop")
+            raise ConfigError("need at least one hop")
         del meta_slots  # retired knob, accepted for compatibility
         self.meta_base = meta_base
         self.hops = hops
@@ -242,7 +243,7 @@ class ChaseKernel(Kernel):
                  shuffle_period=None, use_alu: int = 1) -> None:
         super().__init__(name, pc_base, regs, mem, rng)
         if len(regs) < 2:
-            raise ValueError("ChaseKernel needs 2 registers")
+            raise ConfigError("ChaseKernel needs 2 registers")
         self.region_base = region_base
         self.nodes = nodes
         self.spacing = spacing
@@ -325,7 +326,7 @@ class StoreForwardKernel(Kernel):
                  hops: int = 1, pad: int = 0) -> None:
         super().__init__(name, pc_base, regs, mem, rng)
         if len(regs) < 4:
-            raise ValueError("StoreForwardKernel needs 4 registers")
+            raise ConfigError("StoreForwardKernel needs 4 registers")
         self.src_base = src_base
         self.src_slots = src_slots
         self.queue_base = queue_base
@@ -474,9 +475,9 @@ class SpillKernel(Kernel):
                  depth: int = 2, pad: int = 2) -> None:
         super().__init__(name, pc_base, regs, mem, rng)
         if len(regs) < 4:
-            raise ValueError("SpillKernel needs 4 registers")
+            raise ConfigError("SpillKernel needs 4 registers")
         if pairs <= 0 or critical_every <= 0:
-            raise ValueError("pairs and critical_every must be positive")
+            raise ConfigError("pairs and critical_every must be positive")
         self.spill_base = spill_base
         self.dep_base = dep_base
         self.pairs = pairs
@@ -548,7 +549,7 @@ class DeepChainKernel(Kernel):
                  chain_len: int = 12) -> None:
         super().__init__(name, pc_base, regs, mem, rng)
         if len(regs) < 2:
-            raise ValueError("DeepChainKernel needs 2 registers")
+            raise ConfigError("DeepChainKernel needs 2 registers")
         self.coef_base = coef_base
         self.coef_slots = coef_slots
         self.chain_len = chain_len
@@ -586,7 +587,7 @@ class StreamKernel(Kernel):
                  stride: int = 8, unroll: int = 4) -> None:
         super().__init__(name, pc_base, regs, mem, rng)
         if len(regs) < 2:
-            raise ValueError("StreamKernel needs 2 registers")
+            raise ConfigError("StreamKernel needs 2 registers")
         self.array_base = array_base
         self.footprint = footprint
         self.stride = stride
@@ -624,7 +625,7 @@ class HotLoadsKernel(Kernel):
                  globals_base: int, count: int = 4) -> None:
         super().__init__(name, pc_base, regs, mem, rng)
         if len(regs) < 2:
-            raise ValueError("HotLoadsKernel needs 2 registers")
+            raise ConfigError("HotLoadsKernel needs 2 registers")
         self.globals_base = globals_base
         self.count = count
         for g in range(count):
@@ -665,7 +666,7 @@ class ContextValueKernel(Kernel):
                  critical: bool = False, lead_branches: int = 6) -> None:
         super().__init__(name, pc_base, regs, mem, rng)
         if len(regs) < 3:
-            raise ValueError("ContextValueKernel needs 3 registers")
+            raise ConfigError("ContextValueKernel needs 3 registers")
         self.table_base = table_base
         self.data_base = data_base
         self.footprint = footprint
@@ -741,9 +742,9 @@ class BranchyKernel(Kernel):
                  pattern: int = 0b1101, pattern_len: int = 4) -> None:
         super().__init__(name, pc_base, regs, mem, rng)
         if len(regs) < 2:
-            raise ValueError("BranchyKernel needs 2 registers")
+            raise ConfigError("BranchyKernel needs 2 registers")
         if mode not in ("patterned", "biased", "random"):
-            raise ValueError(f"unknown mode {mode!r}")
+            raise ConfigError(f"unknown mode {mode!r}")
         self.data_base = data_base
         self.mode = mode
         self.branches = branches
@@ -795,7 +796,7 @@ class ICacheKernel(Kernel):
                  block_stride: int = 256) -> None:
         super().__init__(name, pc_base, regs, mem, rng)
         if len(regs) < 2:
-            raise ValueError("ICacheKernel needs 2 registers")
+            raise ConfigError("ICacheKernel needs 2 registers")
         self.data_base = data_base
         self.blocks = blocks
         self.block_stride = block_stride

@@ -1,0 +1,78 @@
+"""The ``mypy --strict`` per-module ratchet.
+
+CI's ``lint-strict`` job runs ``mypy --strict`` over exactly the
+modules listed in :data:`STRICT_MODULES` (via ``tools/check_types.py``,
+with the flags in ``mypy.ini``).  This tuple is the single source of
+truth for what is ratcheted.  The contract is a ratchet: modules are
+only ever *added* — a PR that edits a listed module must keep it
+strict-clean, and a PR that annotates a new module appends it here in
+the same change.
+
+``repro doctor`` reports the current coverage percentage from this
+file, so the number is visible without mypy installed (the local
+container deliberately has no type-checker; CI is the enforcement
+point).
+"""
+
+from __future__ import annotations
+
+import pkgutil
+from typing import List, Tuple
+
+#: Modules (dotted, package-relative to ``repro``) that must pass
+#: ``mypy --strict``.  Append-only — see the module docstring.
+STRICT_MODULES: Tuple[str, ...] = (
+    "repro.envreg",
+    "repro.errors",
+    "repro.isa",
+    "repro.isa.instruction",
+    "repro.isa.opcodes",
+    "repro.isa.registers",
+    "repro.lint",
+    "repro.lint.cli",
+    "repro.lint.core",
+    "repro.lint.rules",
+    "repro.telemetry.schema",
+    "repro.telemetry.stalls",
+    "repro.typing_ratchet",
+)
+
+
+def all_modules() -> List[str]:
+    """Every importable module under the ``repro`` package, sorted
+    (walked from the package's file tree, no imports executed)."""
+    import repro
+
+    names = {"repro"}
+    search = list(getattr(repro, "__path__", []))
+    for info in pkgutil.walk_packages(search, prefix="repro."):
+        names.add(info.name)
+    return sorted(names)
+
+
+def coverage() -> Tuple[int, int]:
+    """``(strict modules, total modules)`` for the package."""
+    return len(STRICT_MODULES), len(all_modules())
+
+
+def coverage_percent() -> float:
+    """Strict-clean share of the package's modules, in percent."""
+    strict, total = coverage()
+    return 100.0 * strict / total if total else 0.0
+
+
+def missing() -> List[str]:
+    """Ratchet entries that no longer exist as modules (stale entries
+    would make CI vacuously green for them)."""
+    existing = set(all_modules())
+    return sorted(name for name in STRICT_MODULES
+                  if name not in existing)
+
+
+__all__ = [
+    "STRICT_MODULES",
+    "all_modules",
+    "coverage",
+    "coverage_percent",
+    "missing",
+]

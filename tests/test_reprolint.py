@@ -1,0 +1,470 @@
+"""Fixture-based coverage for the reprolint rules (RL001-RL006).
+
+Every rule has at least one *bad* fixture (a snippet the rule must
+flag) and one *good* fixture (a snippet it must leave alone); the
+meta-test at the bottom enforces that pairing so a new rule cannot
+land without fixtures.  Snippets are linted in-memory through
+``repro.lint.lint_source`` at a path inside the rule's enforcement
+scope.  The dogfood test then pins the real tree at zero findings.
+"""
+
+import ast
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (default_rules, find_dual_dispatch, lint_paths,
+                        lint_source)
+from repro.lint.rules import EnvRegistryRule, StatSchemaRule
+
+REPO = Path(__file__).resolve().parent.parent
+ALL_CODES = [rule.code for rule in default_rules()]
+
+
+def dual_class(hot="pass", ref="pass", init_extra=""):
+    """A minimal class exhibiting the fast/slow dual-dispatch shape
+    that ``find_dual_dispatch`` locates structurally (RL002/RL003
+    fixtures plug loop bodies into it)."""
+    def block(code):
+        lines = [ln for ln in code.strip("\n").splitlines()] or ["pass"]
+        return "\n".join("        " + ln if ln else "" for ln in lines)
+
+    init = block(init_extra) + "\n" if init_extra.strip() else ""
+    return (
+        "class Engine:\n"
+        "    def __init__(self, config):\n"
+        "        self.config = config\n"
+        + init +
+        "\n"
+        "    def run(self, trace):\n"
+        "        if self._slow_path():\n"
+        "            self._loop_reference(trace)\n"
+        "        else:\n"
+        "            self._loop_hot(trace)\n"
+        "\n"
+        "    def _slow_path(self):\n"
+        "        return False\n"
+        "\n"
+        "    def _loop_hot(self, trace):\n" + block(hot) + "\n"
+        "\n"
+        "    def _loop_reference(self, trace):\n" + block(ref) + "\n"
+    )
+
+
+MISSING_METHOD_CLASS = (
+    "class Engine:\n"
+    "    def run(self, trace):\n"
+    "        if self._slow_path():\n"
+    "            self._loop_reference(trace)\n"
+    "        else:\n"
+    "            self._loop_hot(trace)\n"
+    "\n"
+    "    def _slow_path(self):\n"
+    "        return False\n"
+    "\n"
+    "    def _loop_hot(self, trace):\n"
+    "        pass\n"
+)
+
+
+#: code -> {"bad": [(label, source)], "good": [(label, source)]}
+FIXTURES = {
+    "RL001": {
+        "bad": [
+            ("module-rng",
+             "import random\n\n\ndef jitter():\n"
+             "    return random.random()\n"),
+            ("wall-clock",
+             "import time\n\nSTAMP = time.time()\n"),
+            ("datetime-now",
+             "from datetime import datetime\n\n\ndef stamp():\n"
+             "    return datetime.now()\n"),
+            ("os-urandom",
+             "import os\n\nSEED = os.urandom(8)\n"),
+            ("set-display-iteration",
+             "def f():\n    for item in {1, 2, 3}:\n        yield item\n"),
+            ("set-call-iteration",
+             "def f(items):\n    out = 0\n    for item in set(items):\n"
+             "        out += item\n    return out\n"),
+        ],
+        "good": [
+            ("seeded-rng",
+             "import random\n\n\ndef draw(seed):\n"
+             "    rng = random.Random(seed)\n    return rng.random()\n"),
+            ("seeded-rng-alias-import",
+             "from random import Random\n\n\ndef make(seed):\n"
+             "    return Random(seed)\n"),
+            ("sorted-set-iteration",
+             "def f(items):\n    for item in sorted(set(items)):\n"
+             "        yield item\n"),
+        ],
+    },
+    "RL002": {
+        "bad": [
+            ("list-alloc-in-loop",
+             dual_class(hot="total = 0\nfor op in trace:\n"
+                            "    tmp = [op]\n    total += tmp[0]",
+                        ref="for op in trace:\n    pass")),
+            ("comprehension-in-loop",
+             dual_class(hot="total = 0\nfor op in trace:\n"
+                            "    vals = [x for x in range(op)]\n"
+                            "    total += len(vals)")),
+            ("self-lookup-in-loop",
+             dual_class(hot="for op in trace:\n    width = self.width")),
+            ("ungated-telemetry",
+             dual_class(hot="hist = self.hist\nfor op in trace:\n"
+                            "    hist.observe(op)")),
+            ("ungated-telemetry-alias",
+             dual_class(hot="observe = self.hist.observe\n"
+                            "for op in trace:\n    observe(op)")),
+        ],
+        "good": [
+            ("gated-telemetry",
+             dual_class(hot="hist = self.hist\ncollect = self.collect\n"
+                            "for op in trace:\n    if collect:\n"
+                            "        hist.observe(op)")),
+            ("is-not-none-gate",
+             dual_class(hot="hist = self.hist\nfor op in trace:\n"
+                            "    if hist is not None:\n"
+                            "        hist.observe(op)")),
+            ("hoisted-locals-store-ok",
+             dual_class(hot="width = self.width\ntable = self.table\n"
+                            "total = 0\nfor op in trace:\n"
+                            "    total += table[op] * width\n"
+                            "    self.cursor = op")),
+        ],
+    },
+    "RL003": {
+        "bad": [
+            ("config-drift",
+             dual_class(hot="cfg = self.config\nwidth = cfg.fetch_width",
+                        ref="cfg = self.config\nwidth = cfg.fetch_width\n"
+                            "depth = cfg.rob_size")),
+            ("predictor-hook-drift",
+             dual_class(hot="pred = self.predictor\nfor op in trace:\n"
+                            "    pred.predict(op)",
+                        ref="pred = self.predictor\nfor op in trace:\n"
+                            "    pred.predict(op)\n"
+                            "    pred.train_execute(op)")),
+            ("missing-dispatch-target", MISSING_METHOD_CLASS),
+        ],
+        "good": [
+            ("lockstep",
+             dual_class(hot="cfg = self.config\npred = self.predictor\n"
+                            "for op in trace:\n"
+                            "    pred.predict(cfg.fetch_width)",
+                        ref="for op in trace:\n"
+                            "    self.predictor.predict("
+                            "self.config.fetch_width)")),
+            ("init-precompute-folds-in",
+             dual_class(init_extra="self._tab = config.ports",
+                        hot="pass",
+                        ref="width = self.config.ports")),
+        ],
+    },
+    "RL004": {
+        "bad": [
+            ("bare-except",
+             "def f():\n    try:\n        return 1\n"
+             "    except:\n        return 0\n"),
+            ("broad-except",
+             "def f():\n    try:\n        return 1\n"
+             "    except Exception:\n        return 0\n"),
+            ("broad-except-in-tuple",
+             "def f():\n    try:\n        return 1\n"
+             "    except (ValueError, Exception):\n        return 0\n"),
+            ("raise-runtimeerror",
+             "def f():\n    raise RuntimeError('boom')\n"),
+            ("raise-exception",
+             "def f():\n    raise Exception('boom')\n"),
+            ("ctor-valueerror",
+             "class C:\n    def __init__(self, n):\n        if n < 0:\n"
+             "            raise ValueError('n must be >= 0')\n"),
+        ],
+        "good": [
+            ("specific-except",
+             "def f():\n    try:\n        return 1\n"
+             "    except ValueError:\n        return 0\n"),
+            ("taxonomy-raise-in-ctor",
+             "from repro.errors import ConfigError\n\n\nclass C:\n"
+             "    def __init__(self, n):\n        if n < 0:\n"
+             "            raise ConfigError('n must be >= 0')\n"),
+            ("valueerror-outside-ctor",
+             "def parse(text):\n    if not text:\n"
+             "        raise ValueError('empty')\n    return text\n"),
+            ("re-raise",
+             "def f():\n    try:\n        return 1\n"
+             "    except ValueError:\n        raise\n"),
+        ],
+    },
+    "RL005": {
+        "bad": [
+            ("stat-not-in-schema",
+             "def register(root):\n    root.counter('bogus_stat', "
+             "'a stat no schema declares', 0)\n"),
+        ],
+        "good": [
+            ("stat-in-schema",
+             "def register(root):\n    root.counter('cycles', "
+             "'total simulated cycles', 0)\n"),
+            ("regex-group-not-a-stat",
+             "import re\n\n\ndef head(text):\n"
+             "    found = re.match('(x+)', text)\n"
+             "    return found.group(1)\n"),
+            ("schema-module-publishes-nothing",
+             "TELEMETRY_SCHEMA = {'pipeline.cycles': 'counter'}\n\n\n"
+             "def register(root):\n    root.counter("
+             "'schema_side_def', 'definitions are not publishes', 0)\n"),
+        ],
+    },
+    "RL006": {
+        "bad": [
+            ("environ-get",
+             "import os\n\nLIMIT = os.environ.get('REPRO_BOGUS_LIMIT')\n"),
+            ("environ-subscript",
+             "import os\n\nTOKEN = os.environ['REPRO_BOGUS_TOKEN']\n"),
+            ("getenv",
+             "import os\n\nFLAG = os.getenv('REPRO_BOGUS_FLAG')\n"),
+            ("module-constant-name",
+             "import os\n\nNAME = 'REPRO_BOGUS_CONST'\n"
+             "VALUE = os.environ.get(NAME)\n"),
+        ],
+        "good": [
+            ("declared-read",
+             "import os\n\nLENGTH = os.environ.get('REPRO_LENGTH')\n"),
+            ("non-repro-variable",
+             "import os\n\nHOME = os.getenv('HOME')\n"),
+            ("dynamic-name-skipped",
+             "import os\n\n\ndef read(name):\n"
+             "    return os.environ.get(name)\n"),
+        ],
+    },
+}
+
+
+def _cases(kind):
+    for code in sorted(FIXTURES):
+        for label, src in FIXTURES[code][kind]:
+            yield pytest.param(code, src, id=f"{code}-{label}")
+
+
+@pytest.mark.parametrize("code,src", _cases("bad"))
+def test_bad_fixture_is_caught(code, src):
+    findings = lint_source(src, select=[code])
+    assert findings, f"{code} fixture expected at least one finding"
+    assert {f.code for f in findings} == {code}
+    assert all(f.message for f in findings)
+
+
+@pytest.mark.parametrize("code,src", _cases("good"))
+def test_good_fixture_is_clean(code, src):
+    findings = lint_source(src, select=[code])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_every_rule_has_fixture_pairs():
+    # Meta-test: a rule cannot exist without >=1 positive and >=1
+    # negative fixture, and fixtures cannot name unknown codes.
+    assert set(FIXTURES) == set(ALL_CODES)
+    for code in ALL_CODES:
+        assert len(FIXTURES[code]["bad"]) >= 1, code
+        assert len(FIXTURES[code]["good"]) >= 1, code
+
+
+def test_rule_metadata_is_complete():
+    rules = default_rules()
+    assert [r.code for r in rules] == sorted(r.code for r in rules)
+    for rule in rules:
+        assert rule.code.startswith("RL") and len(rule.code) == 5
+        assert rule.name and rule.description
+
+
+# ----------------------------------------------------------------------
+# Scoping and suppression machinery.
+# ----------------------------------------------------------------------
+def test_rule_scope_excludes_out_of_scope_paths():
+    # RL001 polices the simulated machine, not the experiment drivers:
+    # the same nondeterministic snippet is legal outside its scope.
+    src = "import time\n\nSTAMP = time.time()\n"
+    assert lint_source(src, select=["RL001"])
+    assert lint_source(src, path="src/repro/experiments/sweep.py",
+                       select=["RL001"]) == []
+
+
+def test_suppression_same_line():
+    src = ("import time\n\n"
+           "STAMP = time.time()  # reprolint: disable=RL001\n")
+    assert lint_source(src, select=["RL001"]) == []
+
+
+def test_suppression_comment_line_above():
+    src = ("import time\n\n"
+           "# build stamp, not simulated time"
+           "  # reprolint: disable=RL001\n"
+           "STAMP = time.time()\n")
+    assert lint_source(src, select=["RL001"]) == []
+
+
+def test_suppression_file_wide():
+    src = ("# reprolint: disable-file=RL001\n"
+           "import time\n\n"
+           "A = time.time()\n"
+           "B = time.time()\n")
+    assert lint_source(src, select=["RL001"]) == []
+
+
+def test_suppression_is_per_code():
+    src = ("import time\n\n"
+           "STAMP = time.time()  # reprolint: disable=RL004\n")
+    assert [f.code for f in lint_source(src, select=["RL001"])] == ["RL001"]
+
+
+# ----------------------------------------------------------------------
+# The structural dual-dispatch locator against the real engine.
+# ----------------------------------------------------------------------
+def test_locator_finds_engine_dual_dispatch():
+    engine_py = REPO / "src" / "repro" / "pipeline" / "engine.py"
+    located = find_dual_dispatch(ast.parse(engine_py.read_text()))
+    assert located is not None
+    hot_name, ref_name, cls = located
+    assert hot_name == "_time_trace"
+    assert ref_name == "_time_trace_reference"
+    assert cls.name == "Engine"
+
+
+# ----------------------------------------------------------------------
+# Cross-file reverse directions (finish() passes).
+# ----------------------------------------------------------------------
+def test_rl005_reverse_flags_never_published_segment():
+    rule = StatSchemaRule(vocabulary={"cycles", "ghost_segment"})
+    schema_src = "TELEMETRY_SCHEMA = {'cycles': 'counter'}\n"
+    assert rule.check(ast.parse(schema_src), schema_src,
+                      "src/repro/telemetry/schema.py") == []
+    pub_src = ("def register(root):\n"
+               "    root.counter('cycles', 'cycle count', 0)\n")
+    assert rule.check(ast.parse(pub_src), pub_src,
+                      "src/repro/pipeline/stats.py") == []
+    stale = rule.finish()
+    assert [f.code for f in stale] == ["RL005"]
+    assert "ghost_segment" in stale[0].message
+
+
+def test_rl006_reverse_flags_dead_registry_entry():
+    rule = EnvRegistryRule(declared={"REPRO_ALIVE", "REPRO_DEAD"})
+    reg_src = "REGISTRY = {}\n"
+    assert rule.check(ast.parse(reg_src), reg_src,
+                      "src/repro/envreg.py") == []
+    read_src = "import os\n\nV = os.environ.get('REPRO_ALIVE')\n"
+    assert rule.check(ast.parse(read_src), read_src,
+                      "src/repro/cli.py") == []
+    stale = rule.finish()
+    assert [f.code for f in stale] == ["RL006"]
+    assert "REPRO_DEAD" in stale[0].message
+
+
+# ----------------------------------------------------------------------
+# Dogfood: the shipped tree is clean, and what it publishes at runtime
+# matches the schema the linter checks against.
+# ----------------------------------------------------------------------
+def test_shipped_tree_is_lint_clean():
+    findings = lint_paths([str(REPO / "src" / "repro"),
+                           str(REPO / "tools")])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_runtime_stat_paths_match_schema():
+    from repro.pipeline.engine import simulate
+    from repro.telemetry.schema import validate_paths
+    from repro.trace.builder import build_trace
+    from repro.trace.workloads import get_profile
+
+    result = simulate(build_trace(get_profile("astar"), 3000), warmup=500)
+    kind_of = {"Counter": "counter", "Histogram": "histogram"}
+    pairs = [(path, kind_of[type(leaf).__name__])
+             for path, leaf in result.telemetry.walk()]
+    assert pairs
+    assert validate_paths(pairs) == []
+
+
+# ----------------------------------------------------------------------
+# CLI contract: exit codes, rendering, and the repro subcommand.
+# ----------------------------------------------------------------------
+def test_cli_exit_codes_and_render(tmp_path, capsys):
+    from repro.lint.cli import main
+
+    clean = tmp_path / "clean.py"
+    clean.write_text("GOOD = 1\n")
+    assert main([str(clean)]) == 0
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f():\n    raise RuntimeError('boom')\n")
+    assert main([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "RL004" in out and "[fix:" in out
+
+    assert main([str(tmp_path / "missing.py")]) == 2
+    assert main(["--select", "RL999", str(clean)]) == 2
+
+
+def test_cli_codes_format(tmp_path, capsys):
+    from repro.lint.cli import main
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f():\n    raise RuntimeError('boom')\n")
+    assert main(["--format", "codes", str(dirty)]) == 1
+    first = capsys.readouterr().out.splitlines()[0]
+    assert first.endswith("RL004") and ":2 " in first
+
+
+def test_cli_list_rules(capsys):
+    from repro.lint.cli import main
+
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ALL_CODES:
+        assert code in out
+
+
+def test_repro_lint_subcommand_wired():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--list-rules"],
+        cwd=REPO, capture_output=True, text=True,
+        env={**os.environ, "PYTHONPATH": "src"})
+    assert proc.returncode == 0, proc.stderr
+    assert "RL001" in proc.stdout and "RL006" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# Typing ratchet + env registry companions of the lint gate.
+# ----------------------------------------------------------------------
+def test_typing_ratchet_entries_are_real_modules():
+    from repro import typing_ratchet
+
+    assert typing_ratchet.missing() == []
+    strict, total = typing_ratchet.coverage()
+    assert 0 < strict <= total
+    assert 0.0 < typing_ratchet.coverage_percent() <= 100.0
+
+
+def test_env_registry_shape():
+    from repro import envreg
+
+    names = envreg.declared_names()
+    assert names and all(n.startswith("REPRO_") for n in names)
+    rendered = envreg.format_registry({})
+    for name in names:
+        assert name in rendered
+    assert envreg.undeclared({"REPRO_NOT_A_THING": "1",
+                              "HOME": "/root"}) == ["REPRO_NOT_A_THING"]
+    assert envreg.undeclared({"REPRO_LENGTH": "5"}) == []
+
+
+def test_mypy_strict_ratchet_passes():
+    pytest.importorskip("mypy")
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_types.py")],
+        cwd=REPO, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Run ``mypy --strict`` over the ratcheted module list (CI gate).
+
+Reads ``repro.typing_ratchet.STRICT_MODULES`` — the committed,
+append-only ratchet — and type-checks exactly those modules with the
+shared ``mypy.ini``.  Exits non-zero on type errors, on a stale
+ratchet entry (a listed module that no longer exists), or when mypy
+itself is unavailable *and* ``--allow-missing-mypy`` was not given.
+
+The development container intentionally ships no type-checker; local
+runs use ``--allow-missing-mypy`` (as the test suite does), and CI —
+which installs mypy — runs the real check.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.typing_ratchet import STRICT_MODULES, missing  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--allow-missing-mypy", action="store_true",
+        help="exit 0 (after ratchet sanity checks) when mypy is not "
+             "installed")
+    args = parser.parse_args(argv)
+
+    stale = missing()
+    if stale:
+        print("stale typing-ratchet entries (module gone): "
+              + ", ".join(stale), file=sys.stderr)
+        return 1
+
+    try:
+        import mypy  # noqa: F401 - availability probe
+    except ImportError:
+        message = "mypy is not installed; ratchet check skipped"
+        if args.allow_missing_mypy:
+            print(message)
+            return 0
+        print(message, file=sys.stderr)
+        return 1
+
+    cmd = [sys.executable, "-m", "mypy", "--config-file",
+           os.path.join(REPO_ROOT, "mypy.ini")]
+    for module in STRICT_MODULES:
+        cmd.extend(["-m", module])
+    print(f"mypy --strict over {len(STRICT_MODULES)} ratcheted modules")
+    completed = subprocess.run(cmd, cwd=REPO_ROOT)
+    return completed.returncode
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

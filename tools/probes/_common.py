@@ -1,0 +1,49 @@
+"""Shared plumbing for the calibration probes in ``tools/probes/``.
+
+Every probe starts with::
+
+    from _common import probe_args
+    args = probe_args("what this probe sweeps",
+                      length=60_000, warmup=24_000)
+
+which (1) bootstraps ``src/`` onto ``sys.path`` so probes run from a
+bare checkout without installing the package, and (2) gives every
+probe the same ``--length`` / ``--warmup`` / ``--seed`` flags with
+per-probe defaults, so a quick exploratory run (``--length 20000``)
+doesn't require editing the script.  Probes stay in the repo because
+they document how the synthetic-workload parameters were derived
+(see tools/README.md); they are linted (reprolint + ruff) but not
+part of the installed package.
+"""
+
+import argparse
+import os
+import sys
+
+
+def bootstrap() -> None:
+    """Put the repo's ``src/`` first on ``sys.path`` (idempotent)."""
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    src = os.path.join(root, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+
+
+def probe_args(description: str, length: int = 60_000,
+               warmup: int = 24_000, seed: int = 42,
+               argv=None) -> argparse.Namespace:
+    """Parse the probe-standard CLI flags (and bootstrap the path)."""
+    bootstrap()
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--length", type=int, default=length,
+                        metavar="N",
+                        help=f"trace length in micro-ops "
+                             f"(default {length})")
+    parser.add_argument("--warmup", type=int, default=warmup,
+                        metavar="N",
+                        help=f"micro-ops excluded from statistics "
+                             f"(default {warmup})")
+    parser.add_argument("--seed", type=int, default=seed,
+                        help=f"workload-profile seed (default {seed})")
+    return parser.parse_args(argv)

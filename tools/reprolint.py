@@ -1,0 +1,18 @@
+#!/usr/bin/env python
+"""Standalone reprolint entry point (equivalent to ``repro lint``).
+
+Usable without installing the package — bootstraps ``src/`` onto
+``sys.path`` relative to this file, so CI and pre-commit hooks can run
+``python tools/reprolint.py`` from a bare checkout.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.lint.cli import main  # noqa: E402 - needs the path bootstrap
+
+if __name__ == "__main__":
+    raise SystemExit(main())
