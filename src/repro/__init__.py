@@ -24,9 +24,15 @@ Quickstart::
     from repro.core import FVP
 
     trace = build_workload("omnetpp", length=100_000)
-    baseline = simulate(trace, CoreConfig.skylake())
-    focused = simulate(trace, CoreConfig.skylake(), predictor=FVP())
+    baseline = simulate(trace, config=CoreConfig.skylake())
+    focused = simulate(trace, config=CoreConfig.skylake(),
+                       predictor=FVP())
     print(focused.ipc / baseline.ipc)
+
+Traces also stream: ``repro.trace`` exposes a bounded-window
+:class:`~repro.trace.source.TraceSource` protocol plus an mmap-backed
+on-disk format, so million-op workloads simulate under a fixed RSS
+budget (see docs/TRACES.md).
 """
 
 from typing import List

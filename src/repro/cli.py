@@ -17,8 +17,18 @@ Commands
                 run campaigns reliably)
 ``bench``     — simulator performance benchmark: sim-KIPS over a fixed
                 (workload × predictor) matrix, fast-vs-slow-path
-                speedup, baseline comparison and the CI regression
-                gate (``--check``); writes ``BENCH_<date>.json``
+                speedup, baseline comparison, the CI regression gate
+                (``--check``) and the peak-RSS gate (``--rss-budget``);
+                writes ``BENCH_<date>.json``
+``trace``     — build (``trace build``) and inspect (``trace
+                inspect``) compact binary trace files for mmap-backed
+                streaming replay (docs/TRACES.md)
+
+Trace-shape flags (``--length``/``--warmup``/``--seed``/
+``--trace-file``) are shared by every simulating command via one
+argparse parent; ``--trace-file`` replays a ``repro trace build``
+artefact under bounded RSS and is accepted by the single-workload
+commands (``run``, ``compare``, ``profile``, ``bench``).
 
 Every simulating command runs through the campaign engine
 (:mod:`repro.experiments.campaign`): ``--jobs N`` fans simulations out
@@ -51,12 +61,32 @@ from repro.telemetry.trace import DEFAULT_CAPACITY
 from repro.trace.workloads import CATALOGUE, CATEGORIES, get_profile
 
 
+def _trace_shape_parent(default_length: int = DEFAULT_LENGTH
+                        ) -> argparse.ArgumentParser:
+    """Shared ``--length/--warmup/--seed/--trace-file`` flags — one
+    argparse parent reused by every simulating subcommand (mirroring
+    ``tools/probes/_common.probe_args``), so trace shape is spelled
+    identically across ``run``, ``sweep``, ``bench``, ``profile`` and
+    ``trace build``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    shape = parent.add_argument_group("trace shape")
+    shape.add_argument("--length", type=int, default=default_length,
+                       help="trace length in micro-ops")
+    shape.add_argument("--warmup", type=int, default=None,
+                       help="warmup prefix excluded from statistics "
+                            "(default: 40%% of length, capped at 40k)")
+    shape.add_argument("--seed", type=int, default=None, metavar="N",
+                       help="trace-generation seed override (default: "
+                            "the workload's stable seed)")
+    shape.add_argument("--trace-file", default=None, metavar="FILE",
+                       help="replay a binary trace file (from `repro "
+                            "trace build`) instead of generating the "
+                            "trace; --length is then taken from the "
+                            "file header")
+    return parent
+
+
 def _add_scale_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--length", type=int, default=DEFAULT_LENGTH,
-                        help="trace length in micro-ops")
-    parser.add_argument("--warmup", type=int, default=None,
-                        help="warmup prefix excluded from statistics "
-                             "(default: 40%% of length, capped at 40k)")
     parser.add_argument("--core", choices=("skylake", "skylake-2x"),
                         default="skylake")
     _add_campaign_args(parser)
@@ -107,11 +137,33 @@ def _progress(event: JobEvent) -> None:
 
 
 def _runner(args, workloads: Optional[List[str]] = None) -> Runner:
+    trace_file = getattr(args, "trace_file", None)
+    seed = getattr(args, "seed", None)
+    if trace_file is not None:
+        # The whole file is replayed: its header supplies the length,
+        # so --length is ignored on this path.
+        return Runner(warmup=args.warmup, workloads=workloads,
+                      jobs=args.jobs, use_cache=not args.no_cache,
+                      cache_dir=args.cache_dir, progress=_progress,
+                      timeout=args.timeout, retries=args.retries,
+                      seed=seed, trace_file=trace_file)
     return Runner(length=args.length, warmup=_warmup(args),
                   workloads=workloads, jobs=args.jobs,
                   use_cache=not args.no_cache, cache_dir=args.cache_dir,
                   progress=_progress, timeout=args.timeout,
-                  retries=args.retries)
+                  retries=args.retries, seed=seed)
+
+
+def _reject_trace_file(args, command: str) -> bool:
+    """True (after an stderr diagnostic) when ``--trace-file`` was
+    given to a command that runs multiple workloads and cannot honour
+    it."""
+    if getattr(args, "trace_file", None) is not None:
+        print(f"{command} runs multiple workloads; --trace-file applies "
+              "to single-workload commands (run, compare, profile, "
+              "bench)", file=sys.stderr)
+        return True
+    return False
 
 
 def _figure_number(text: str) -> int:
@@ -238,6 +290,8 @@ def cmd_figure(args) -> int:
     if driver is None or renderer is None:
         print(f"no driver for figure {args.number}", file=sys.stderr)
         return 2
+    if _reject_trace_file(args, "figure"):
+        return 2
     runner = figures.default_runner(length=args.length,
                                     warmup=_warmup(args),
                                     per_category=args.per_category,
@@ -247,7 +301,8 @@ def cmd_figure(args) -> int:
                                     progress=_progress,
                                     timeout=args.timeout,
                                     retries=args.retries,
-                                    strict=False)
+                                    strict=False,
+                                    seed=args.seed)
     print(renderer(driver(runner)))
     return _report_failures(runner)
 
@@ -283,6 +338,8 @@ def cmd_sweep(args) -> int:
         save_campaign,
     )
 
+    if _reject_trace_file(args, "sweep"):
+        return 2
     cache_root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR",
                                                   DEFAULT_CACHE_DIR)
     if not args.resume and not args.predictors:
@@ -303,6 +360,7 @@ def cmd_sweep(args) -> int:
         args.length = meta["length"]
         args.warmup = meta["warmup"]
         args.per_category = meta["per_category"]
+        args.seed = meta.get("seed")
         args.no_cache = False
 
     runner = _default_runner_for(args, strict=False)
@@ -311,7 +369,8 @@ def cmd_sweep(args) -> int:
         meta = {"command": "sweep", "predictors": list(args.predictors),
                 "cores": list(args.cores), "length": args.length,
                 "warmup": _warmup(args),
-                "per_category": args.per_category}
+                "per_category": args.per_category,
+                "seed": args.seed}
         cid = save_campaign(cache_root, meta)
         print(f"campaign {cid} (resume with: repro sweep --resume {cid})",
               file=sys.stderr)
@@ -349,7 +408,7 @@ def _default_runner_for(args, strict: bool = True) -> Runner:
                           jobs=args.jobs, use_cache=not args.no_cache,
                           cache_dir=args.cache_dir, progress=_progress,
                           timeout=args.timeout, retries=args.retries,
-                          strict=strict)
+                          strict=strict, seed=getattr(args, "seed", None))
 
 
 def cmd_storage(_args) -> int:
@@ -364,6 +423,8 @@ def cmd_report(args) -> int:
     """Write the full paper-vs-measured markdown report."""
     from repro.experiments.report import write_report
 
+    if _reject_trace_file(args, "report"):
+        return 2
     runner = _default_runner_for(args)
     write_report(args.output, runner, figure_numbers=args.figures,
                  include_oracle=args.oracle)
@@ -529,14 +590,66 @@ def cmd_lint(args) -> int:
     return lint_main(argv)
 
 
+def cmd_trace_build(args) -> int:
+    """Materialize a workload's trace as a compact binary file
+    (streamed — bounded RSS whatever the length; docs/TRACES.md)."""
+    from repro.trace.builder import stream_trace
+    from repro.trace.io import trace_file_hash, write_trace_file
+    from repro.trace.workloads import reseeded
+
+    if args.trace_file is not None:
+        print("trace build generates a trace file; --trace-file is for "
+              "replaying one (use run/compare/profile/bench)",
+              file=sys.stderr)
+        return 2
+    profile = get_profile(args.workload)
+    if args.seed is not None:
+        profile = reseeded(profile, args.seed)
+    output = args.output or f"{args.workload}.rvt"
+    count = write_trace_file(stream_trace(profile, args.length), output)
+    print(f"wrote {output}: {count} ops "
+          f"(sha256 {trace_file_hash(output)[:16]}…)")
+    return 0
+
+
+def cmd_trace_inspect(args) -> int:
+    """Print a trace file's header summary (and, with ``--stats``, its
+    instruction mix from one bounded-memory streaming pass)."""
+    from repro.trace.builder import trace_stats
+    from repro.trace.io import inspect_trace, open_trace
+
+    try:
+        info = inspect_trace(args.file, verify=args.verify)
+    except (OSError, ValueError) as exc:
+        print(f"cannot inspect {args.file}: {exc}", file=sys.stderr)
+        return 1
+    print(f"{info['path']}: v{info['version']} trace, {info['ops']} ops, "
+          f"{info['size_bytes']} bytes")
+    print(f"content hash: {info['content_hash']}"
+          + ("  (payload verified)" if args.verify else ""))
+    if args.stats:
+        with open_trace(args.file) as source:
+            stats = trace_stats(source)
+        print(f"static PCs: {stats['static_pcs']}")
+        for kind in ("loads", "stores", "branches", "alu", "fp", "other"):
+            print(f"  {kind:<9} {stats[kind]:6.1%}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Simulator throughput benchmark + regression gate (docs/PERF.md)."""
     from repro.experiments import perfbench
 
+    if args.trace_file is not None and len(args.workloads) != 1:
+        print("bench --trace-file requires exactly one --workloads entry "
+              "(the label the replayed trace is recorded under)",
+              file=sys.stderr)
+        return 2
     report = perfbench.run_bench(
         workloads=args.workloads, predictors=args.predictors,
         length=args.length, warmup=args.warmup, repeats=args.repeats,
         core=args.core, measure_slow=not args.no_slow,
+        seed=args.seed, trace_file=args.trace_file,
         progress=lambda line: print(f"  {line}", file=sys.stderr))
 
     comparison = None
@@ -553,6 +666,13 @@ def cmd_bench(args) -> int:
         perfbench.write_report(report, args.baseline)
         print(f"updated baseline {args.baseline}")
         return 0
+    if args.rss_budget is not None:
+        failure = perfbench.check_rss(report, args.rss_budget)
+        if failure is not None:
+            print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"peak RSS {report['peak_rss_kb'] / 1024:.0f} MB within "
+              f"budget {args.rss_budget} MB")
     if args.check:
         if comparison is None:
             print(f"no baseline at {args.baseline} to check against",
@@ -573,25 +693,28 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Focused Value Prediction (ISCA 2020) reproduction")
     sub = parser.add_subparsers(dest="command", required=True)
+    shape = _trace_shape_parent()
 
     p_list = sub.add_parser("list", help="list workloads")
     p_list.add_argument("--category", choices=CATEGORIES)
     p_list.set_defaults(func=cmd_list)
 
-    p_run = sub.add_parser("run", help="simulate one workload")
+    p_run = sub.add_parser("run", parents=[shape],
+                           help="simulate one workload")
     p_run.add_argument("workload")
     p_run.add_argument("--predictor", default="fvp")
     _add_scale_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
-    p_cmp = sub.add_parser("compare", help="compare predictors")
+    p_cmp = sub.add_parser("compare", parents=[shape],
+                           help="compare predictors")
     p_cmp.add_argument("workload")
     p_cmp.add_argument("predictors", nargs="+")
     _add_scale_args(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_prof = sub.add_parser(
-        "profile",
+        "profile", parents=[shape],
         help="per-bucket CPI breakdown and delta vs another predictor")
     p_prof.add_argument("workload")
     p_prof.add_argument("--predictor", default="fvp")
@@ -609,7 +732,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_args(p_prof)
     p_prof.set_defaults(func=cmd_profile)
 
-    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig = sub.add_parser("figure", parents=[shape],
+                           help="regenerate a paper figure")
     p_fig.add_argument("number", type=_figure_number,
                        choices=range(6, 14), metavar="{6..13|fig06..fig13}")
     p_fig.add_argument("--per-category", type=int, default=None)
@@ -617,7 +741,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.set_defaults(func=cmd_figure)
 
     p_sweep = sub.add_parser(
-        "sweep", help="sweep predictors × cores over the suite")
+        "sweep", parents=[shape],
+        help="sweep predictors × cores over the suite")
     p_sweep.add_argument("predictors", nargs="*",
                          help="predictor registry names (omit when "
                               "resuming a checkpointed campaign)")
@@ -635,7 +760,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_storage = sub.add_parser("storage", help="print Table I")
     p_storage.set_defaults(func=cmd_storage)
 
-    p_report = sub.add_parser("report",
+    p_report = sub.add_parser("report", parents=[shape],
                               help="write a full reproduction report")
     p_report.add_argument("--output", default="report.md")
     p_report.add_argument("--figures", type=int, nargs="+",
@@ -656,17 +781,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_bench = sub.add_parser(
-        "bench", help="simulator performance benchmark (sim-KIPS)")
+        "bench", parents=[_trace_shape_parent(BENCH_LENGTH)],
+        help="simulator performance benchmark (sim-KIPS)")
     p_bench.add_argument("--workloads", nargs="+",
                          default=list(DEFAULT_WORKLOADS))
     p_bench.add_argument("--predictors", nargs="+",
                          default=list(DEFAULT_PREDICTORS))
-    p_bench.add_argument("--length", type=int, default=BENCH_LENGTH)
-    p_bench.add_argument("--warmup", type=int, default=None)
     p_bench.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
                          help="per-cell repeats; best time kept")
     p_bench.add_argument("--core", choices=("skylake", "skylake-2x"),
                          default="skylake")
+    p_bench.add_argument("--rss-budget", type=int, default=None,
+                         metavar="MB",
+                         help="fail (exit 1) when the bench process's "
+                              "peak RSS exceeds this many MB")
     p_bench.add_argument("--no-slow", action="store_true",
                          help="skip the slow-path runs (no speedup "
                               "column; faster)")
@@ -685,6 +813,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="overwrite the baseline with this run")
     p_bench.set_defaults(func=cmd_bench)
 
+    p_trace = sub.add_parser(
+        "trace", help="build and inspect binary trace files "
+                      "(docs/TRACES.md)")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tbuild = trace_sub.add_parser(
+        "build", parents=[shape],
+        help="materialize a workload's trace as a compact binary file")
+    p_tbuild.add_argument("workload")
+    p_tbuild.add_argument("--output", "-o", default=None, metavar="FILE",
+                          help="output path (default: <workload>.rvt)")
+    p_tbuild.set_defaults(func=cmd_trace_build)
+    p_tinspect = trace_sub.add_parser(
+        "inspect", help="print a trace file's header summary")
+    p_tinspect.add_argument("file")
+    p_tinspect.add_argument("--verify", action="store_true",
+                            help="re-hash the payload and compare "
+                                 "against the header's content hash")
+    p_tinspect.add_argument("--stats", action="store_true",
+                            help="also stream one pass and print the "
+                                 "instruction mix")
+    p_tinspect.set_defaults(func=cmd_trace_inspect)
+
     p_cache = sub.add_parser(
         "cache", help="inspect, clear, or prune the result cache")
     p_cache.add_argument("action", choices=("stats", "clear", "prune"))
@@ -702,7 +852,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint", help="simulator-aware static analysis "
-                     "(RL001-RL006; docs/LINTING.md)")
+                     "(RL001-RL007; docs/LINTING.md)")
     p_lint.add_argument("paths", nargs="*", metavar="PATH",
                         help="files/directories to lint "
                              "(default: src/repro tools)")

@@ -11,17 +11,18 @@ Criticality" configuration: FVP's predictor machinery with perfect
 
 from __future__ import annotations
 
-from typing import Sequence, Set, Tuple
+from typing import Optional, Sequence, Set, Tuple, Union
 
 from repro.criticality.ddg import critical_load_pcs
 from repro.isa.instruction import MicroOp
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.engine import Engine
 from repro.pipeline.results import SimResult
+from repro.trace.source import TraceSource
 
 
-def oracle_critical_pcs(trace: Sequence[MicroOp],
-                        config: CoreConfig = None,
+def oracle_critical_pcs(trace: Union[TraceSource, Sequence[MicroOp]],
+                        config: Optional[CoreConfig] = None,
                         window: int = 512,
                         min_count: int = 2) -> Set[int]:
     """Critical load PCs of ``trace`` under ``config`` (baseline run +
@@ -31,11 +32,19 @@ def oracle_critical_pcs(trace: Sequence[MicroOp],
     return pcs
 
 
-def oracle_analysis(trace: Sequence[MicroOp], config: CoreConfig = None,
+def oracle_analysis(trace: Union[TraceSource, Sequence[MicroOp]],
+                    config: Optional[CoreConfig] = None,
                     window: int = 512,
                     min_count: int = 2) -> Tuple[Set[int], SimResult]:
     """As :func:`oracle_critical_pcs`, also returning the baseline
-    timing run (callers often want both)."""
+    timing run (callers often want both).
+
+    The DDG analysis is inherently random-access (windows index into
+    the trace), so a streaming source is materialized here via the
+    explicit :meth:`~repro.trace.source.TraceSource.materialize`
+    escape hatch — the oracle is a whole-trace consumer by design."""
+    if isinstance(trace, TraceSource):
+        trace = trace.materialize()
     cfg = config or CoreConfig.skylake()
     engine = Engine(cfg, collect_timing=True)
     result = engine.run(trace, workload="oracle-baseline")

@@ -82,7 +82,9 @@ from repro.pipeline.results import TELEMETRY_SCHEMA_VERSION, SimResult
 from repro.pipeline.vp_interface import ValuePredictor
 from repro.testing.faults import FAULTS_ENV
 from repro.trace.builder import build_trace
-from repro.trace.workloads import get_profile
+from repro.trace.io import open_trace, trace_file_hash
+from repro.trace.source import TraceSource
+from repro.trace.workloads import get_profile, reseeded
 
 try:  # advisory locking is POSIX-only; degrade to no-op elsewhere
     import fcntl
@@ -111,6 +113,12 @@ class Job:
 
     Jobs compare by value (callable specs by identity), so a campaign
     deduplicates naturally when used as dict keys.
+
+    The trace input is named, never inline: workers rebuild it from
+    ``workload`` (optionally under a ``seed`` override) or replay it
+    from a v2 trace file referenced by ``trace_file`` — in which case
+    ``length`` is ignored and the file's content hash joins the cache
+    key.
     """
 
     workload: str
@@ -118,6 +126,8 @@ class Job:
     spec: PredictorSpec = None
     length: int = 100_000
     warmup: int = 40_000
+    seed: Optional[int] = None
+    trace_file: Optional[str] = None
 
     @property
     def distributable(self) -> bool:
@@ -235,6 +245,12 @@ def job_key(job: Job) -> Optional[str]:
         "version": repro.__version__,
         "telemetry": TELEMETRY_SCHEMA_VERSION,
     }
+    # Optional trace-shape overrides join the key only when set, so
+    # every pre-existing job hashes exactly as before.
+    if job.seed is not None:
+        payload["seed"] = job.seed
+    if job.trace_file is not None:
+        payload["trace"] = trace_file_hash(job.trace_file)
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -289,6 +305,13 @@ def execute_job(job: Job, trace: Optional[List[MicroOp]] = None,
                 attempt: int = 1) -> SimResult:
     """Run one job to completion in this process.
 
+    The trace comes from (in priority order) the ``trace`` argument
+    (a campaign trace-provider), the job's ``trace_file`` (streamed —
+    mmap-backed bounded-window replay, the path that keeps million-op
+    jobs under a fixed RSS budget), or a local
+    :func:`~repro.trace.builder.build_trace` rebuild honouring the
+    job's ``seed`` override.
+
     ``attempt`` is the campaign retry counter (1-based); the
     fault-injection harness (docs/ROBUSTNESS.md) uses it to fire
     deterministically on specific attempts when ``REPRO_FAULTS`` is
@@ -298,13 +321,26 @@ def execute_job(job: Job, trace: Optional[List[MicroOp]] = None,
     if FAULTS_ENV in os.environ:
         from repro.testing import faults
         faults.inject_job_faults(job.label, attempt)
-    if trace is None:
-        trace = build_trace(get_profile(job.workload), job.length)
+    source: Union[TraceSource, List[MicroOp], None] = trace
+    close_after = False
+    if source is None:
+        if job.trace_file is not None:
+            source = open_trace(job.trace_file)
+            close_after = True
+        else:
+            profile = get_profile(job.workload)
+            if job.seed is not None:
+                profile = reseeded(profile, job.seed)
+            source = build_trace(profile, job.length)
     config = core_config(job.core)
-    predictor = build_predictor(job.spec, trace, config)
+    predictor = build_predictor(job.spec, source, config)
     _claim_predictor(predictor)
     engine = Engine(config, predictor)
-    return engine.run(trace, workload=job.workload, warmup=job.warmup)
+    try:
+        return engine.run(source, workload=job.workload, warmup=job.warmup)
+    finally:
+        if close_after:
+            source.close()
 
 
 class _PoolUnavailable(Exception):
@@ -312,16 +348,18 @@ class _PoolUnavailable(Exception):
     limits); the campaign falls back to serial execution."""
 
 
-def _pool_worker(payload: Tuple[str, str, Optional[str], int, int],
+def _pool_worker(payload: Tuple[str, str, Optional[str], int, int,
+                                Optional[int], Optional[str]],
                  attempt: int, conn) -> None:
     """Worker-process entry point: rebuild everything locally and send
     ``("ok", result, elapsed)`` or ``("err", taxonomy, message)`` back
     over the pipe.  A crash (or injected ``os._exit``) sends nothing —
     the parent watchdog classifies that as a ``WorkerCrash``."""
     try:
-        workload, core, spec, length, warmup = payload
+        workload, core, spec, length, warmup, seed, trace_file = payload
         start = time.perf_counter()
-        result = execute_job(Job(workload, core, spec, length, warmup),
+        result = execute_job(Job(workload, core, spec, length, warmup,
+                                 seed, trace_file),
                              attempt=attempt)
         conn.send(("ok", result, time.perf_counter() - start))
     # Crash-isolation boundary: the worker must classify *anything* and
@@ -1035,7 +1073,8 @@ class CampaignEngine:
                         break
                     job, attempt, _ = queue.pop(ready)
                     payload = (job.workload, job.core, job.spec,
-                               job.length, job.warmup)
+                               job.length, job.warmup, job.seed,
+                               job.trace_file)
                     parent_conn, child_conn = ctx.Pipe(duplex=False)
                     proc = ctx.Process(target=_pool_worker,
                                        args=(payload, attempt, child_conn),

@@ -9,6 +9,7 @@ side.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import (
@@ -229,20 +230,57 @@ def render_figure13(data: Dict[str, Dict[str, float]]) -> str:
 
 
 # ----------------------------------------------------------------------
-def default_runner(length: int = None, warmup: int = None,
+#: Positional order ``default_runner`` accepted before the
+#: keyword-only redesign.
+_DEFAULT_RUNNER_LEGACY_ORDER = ("length", "warmup", "per_category",
+                                "jobs", "use_cache", "cache_dir",
+                                "progress", "timeout", "retries",
+                                "strict")
+
+
+def default_runner(*legacy,
+                   length: Optional[int] = None,
+                   warmup: Optional[int] = None,
                    per_category: Optional[int] = None,
                    jobs: int = 1, use_cache: bool = False,
                    cache_dir: Optional[str] = None,
                    progress: Optional[Callable[[JobEvent], None]] = None,
                    timeout: Optional[float] = None, retries: int = 2,
-                   strict: bool = True) -> Runner:
+                   strict: bool = True,
+                   seed: Optional[int] = None) -> Runner:
     """Runner over the full 60-workload suite, optionally subsampled to
     ``per_category`` workloads per category (benchmark scaling).
     ``jobs``/``use_cache`` configure the campaign engine and
     ``timeout``/``retries``/``strict`` its fault tolerance (see
     :class:`repro.experiments.Runner`); with ``strict=False`` a figure
     rendered from a partial campaign carries explicit gap
-    annotations instead of aborting."""
+    annotations instead of aborting.  ``seed`` reseeds every generated
+    trace (run-to-run variation studies).  Everything is keyword-only;
+    old positional call sites still work for one release behind a
+    :class:`DeprecationWarning`."""
+    if legacy:
+        if len(legacy) > len(_DEFAULT_RUNNER_LEGACY_ORDER):
+            raise TypeError(
+                f"default_runner() takes at most "
+                f"{len(_DEFAULT_RUNNER_LEGACY_ORDER)} positional "
+                f"arguments ({len(legacy)} given)")
+        warnings.warn(
+            "positional arguments to default_runner() are deprecated; "
+            "pass length=, warmup=, ... as keywords",
+            DeprecationWarning, stacklevel=2)
+        defaults = (None, None, None, 1, False, None, None, None, 2, True)
+        current = (length, warmup, per_category, jobs, use_cache,
+                   cache_dir, progress, timeout, retries, strict)
+        for name, value, default in zip(
+                _DEFAULT_RUNNER_LEGACY_ORDER[:len(legacy)], current,
+                defaults):
+            if value is not default:
+                raise TypeError(
+                    f"default_runner() got multiple values for argument "
+                    f"{name!r}")
+        (length, warmup, per_category, jobs, use_cache, cache_dir,
+         progress, timeout, retries, strict) = \
+            tuple(legacy) + current[len(legacy):]
     workloads: Optional[List[str]] = None
     if per_category is not None:
         seen: Dict[str, int] = {}
@@ -254,7 +292,7 @@ def default_runner(length: int = None, warmup: int = None,
     return Runner(length=length, warmup=warmup, workloads=workloads,
                   jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
                   progress=progress, timeout=timeout, retries=retries,
-                  strict=strict)
+                  strict=strict, seed=seed)
 
 
 __all__ = [

@@ -141,7 +141,9 @@ def run_bench(workloads: Sequence[str] = DEFAULT_WORKLOADS,
               repeats: int = DEFAULT_REPEATS,
               core: str = "skylake",
               measure_slow: bool = True,
-              progress=None) -> Dict:
+              progress=None,
+              seed: Optional[int] = None,
+              trace_file: Optional[str] = None) -> Dict:
     """Run the bench matrix and return the report dictionary.
 
     Parameters
@@ -159,18 +161,39 @@ def run_bench(workloads: Sequence[str] = DEFAULT_WORKLOADS,
         the machine-independent speedup ratio.
     progress:
         Optional callable invoked with a one-line message per cell.
+    seed:
+        Optional trace-generation seed override (reseeds every
+        workload profile); ignored when ``trace_file`` is given.
+    trace_file:
+        Replay this v2 trace file (mmap-backed, bounded RSS) instead
+        of generating traces.  Requires exactly one workload, and
+        ``length`` is taken from the file's header.
     """
+    from repro.errors import ConfigError
     from repro.experiments.runner import core_config
     from repro.trace import build_trace
-    from repro.trace.workloads import get_profile
+    from repro.trace.io import open_trace, trace_file_length
+    from repro.trace.workloads import get_profile, reseeded
 
+    if trace_file is not None:
+        if len(workloads) != 1:
+            raise ConfigError(
+                "trace_file requires exactly one workload (the label "
+                "the replayed trace is benchmarked under)")
+        length = trace_file_length(trace_file)
     if warmup is None:
         warmup = _default_warmup(length)
     config = core_config(core)
 
     cells: List[Dict] = []
     for workload in workloads:
-        trace = build_trace(get_profile(workload), length)
+        if trace_file is not None:
+            trace = open_trace(trace_file)
+        else:
+            profile = get_profile(workload)
+            if seed is not None:
+                profile = reseeded(profile, seed)
+            trace = build_trace(profile, length)
         n = len(trace)
         for predictor in predictors:
             fast_s, slow_s, cycles = _time_cell(
@@ -193,6 +216,8 @@ def run_bench(workloads: Sequence[str] = DEFAULT_WORKLOADS,
                 if measure_slow:
                     line += (f" ({cell['speedup']:.2f}x vs slow path)")
                 progress(line)
+        if trace_file is not None:
+            trace.close()
 
     report = {
         "schema": 1,
@@ -206,6 +231,8 @@ def run_bench(workloads: Sequence[str] = DEFAULT_WORKLOADS,
             "warmup": warmup,
             "repeats": repeats,
             "core": core,
+            "seed": seed,
+            "trace_file": trace_file,
         },
         "cells": cells,
         "geomean_kips": round(geomean([c["sim_kips"] for c in cells]), 2),
@@ -280,6 +307,24 @@ def check_regression(comparison: Dict,
             f"fast-path speedup regressed to {ratio:.2f}x of the "
             f"baseline (tolerance {1 - tolerance:.2f}x)")
     return failures
+
+
+def check_rss(report: Dict, budget_mb: int) -> Optional[str]:
+    """Failure message when the bench run's peak RSS exceeded
+    ``budget_mb`` MiB, else ``None`` (the ``--rss-budget`` CI gate).
+
+    Returns a failure string (not raising) so the CLI can print it
+    alongside the regression-gate output; a platform without RSS
+    accounting (no ``resource`` module) passes vacuously.
+    """
+    peak_kb = report.get("peak_rss_kb")
+    if peak_kb is None:
+        return None
+    budget_kb = budget_mb * 1024
+    if peak_kb > budget_kb:
+        return (f"peak RSS {peak_kb / 1024:.1f} MiB exceeded the "
+                f"{budget_mb} MiB budget")
+    return None
 
 
 def write_report(report: Dict, output: Optional[str] = None) -> str:

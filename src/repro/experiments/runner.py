@@ -34,6 +34,7 @@ and ``REPRO_WARMUP`` override the defaults globally.
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.metrics import SuiteResult, WorkloadRun
@@ -49,7 +50,9 @@ from repro.isa.instruction import MicroOp
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.results import SimResult
 from repro.trace.builder import build_trace
-from repro.trace.workloads import CATALOGUE, get_profile
+from repro.trace.io import open_trace, trace_file_length
+from repro.trace.source import TraceSource
+from repro.trace.workloads import CATALOGUE, get_profile, reseeded
 
 PredictorSpec = Union[str, Callable]
 
@@ -106,15 +109,66 @@ class Runner:
         failure re-raises after the campaign drains (``strict=True``,
         the default) or is tolerated as a gap in the suite
         (``strict=False``).
+    seed:
+        Optional trace-generation seed override (run-to-run variation
+        studies) — every trace this runner builds is reseeded with it.
+    trace_file:
+        Optional v2 trace file to replay instead of generating traces
+        (mmap-backed, bounded RSS).  Requires exactly one explicit
+        workload — the label the replayed trace is recorded under —
+        and defaults ``length`` to the file's op count.
+
+    Everything is keyword-only; old positional call sites still work
+    for one release behind a :class:`DeprecationWarning`.
     """
 
-    def __init__(self, length: int = None, warmup: int = None,
+    #: Positional order accepted before the keyword-only redesign.
+    _LEGACY_ORDER = ("length", "warmup", "workloads", "jobs", "use_cache",
+                     "cache_dir", "progress", "timeout", "retries",
+                     "strict")
+
+    def __init__(self, *legacy,
+                 length: Optional[int] = None,
+                 warmup: Optional[int] = None,
                  workloads: Optional[Sequence[str]] = None,
                  jobs: int = 1, use_cache: bool = False,
                  cache_dir: Optional[str] = None,
                  progress: Optional[Callable[[JobEvent], None]] = None,
                  timeout: Optional[float] = None, retries: int = 2,
-                 strict: bool = True) -> None:
+                 strict: bool = True,
+                 seed: Optional[int] = None,
+                 trace_file: Optional[str] = None) -> None:
+        if legacy:
+            if len(legacy) > len(self._LEGACY_ORDER):
+                raise TypeError(
+                    f"Runner() takes at most {len(self._LEGACY_ORDER)} "
+                    f"positional arguments ({len(legacy)} given)")
+            warnings.warn(
+                "positional arguments to Runner() are deprecated; pass "
+                "length=, warmup=, ... as keywords",
+                DeprecationWarning, stacklevel=2)
+            defaults = (None, None, None, 1, False, None, None, None, 2,
+                        True)
+            current = (length, warmup, workloads, jobs, use_cache,
+                       cache_dir, progress, timeout, retries, strict)
+            for name, value, default in zip(
+                    self._LEGACY_ORDER[:len(legacy)], current, defaults):
+                if value is not default:
+                    raise TypeError(
+                        f"Runner() got multiple values for argument "
+                        f"{name!r}")
+            (length, warmup, workloads, jobs, use_cache, cache_dir,
+             progress, timeout, retries, strict) = \
+                tuple(legacy) + current[len(legacy):]
+        self.seed = seed
+        self.trace_file = trace_file
+        if trace_file is not None:
+            if workloads is None or len(list(workloads)) != 1:
+                raise ConfigError(
+                    "trace_file requires exactly one explicit workload "
+                    "(the label the replayed trace is recorded under)")
+            if length is None:
+                length = trace_file_length(trace_file)
         self.length = length if length is not None else DEFAULT_LENGTH
         self.warmup = warmup if warmup is not None \
             else default_warmup(self.length)
@@ -128,21 +182,31 @@ class Runner:
             cache=ResultCache(cache_dir) if use_cache else None,
             progress=progress,
             timeout=timeout, retries=retries, strict=strict)
-        self._traces: Dict[str, List[MicroOp]] = {}
+        self._traces: Dict[str, Union[TraceSource, List[MicroOp]]] = {}
         self._baselines: Dict[Tuple[str, str], SimResult] = {}
         self._suites: Dict[Tuple[str, str], SuiteResult] = {}
 
     # ------------------------------------------------------------------
-    def trace(self, workload: str) -> List[MicroOp]:
+    def trace(self, workload: str) -> Union[TraceSource, List[MicroOp]]:
+        """The trace this runner simulates for ``workload``: an
+        mmap-backed :class:`~repro.trace.io.FileSource` when replaying
+        a trace file, otherwise a (memoised) generated list honouring
+        the runner's ``seed`` override."""
         if workload not in self._traces:
-            self._traces[workload] = build_trace(
-                get_profile(workload), self.length)
+            if self.trace_file is not None:
+                self._traces[workload] = open_trace(self.trace_file)
+            else:
+                profile = get_profile(workload)
+                if self.seed is not None:
+                    profile = reseeded(profile, self.seed)
+                self._traces[workload] = build_trace(profile, self.length)
         return self._traces[workload]
 
     def job(self, workload: str, core: str,
             predictor: Optional[PredictorSpec]) -> Job:
         """The campaign job this runner would execute for the triple."""
-        return Job(workload, core, predictor, self.length, self.warmup)
+        return Job(workload, core, predictor, self.length, self.warmup,
+                   self.seed, self.trace_file)
 
     def _build_predictor(self, spec, trace, config):
         # Retained for API compatibility; construction lives in

@@ -1,11 +1,12 @@
 """reprolint: simulator-aware static analysis (``repro lint``).
 
-Six AST-based rules enforce the contracts the test suite can only
+Seven AST-based rules enforce the contracts the test suite can only
 spot-check — determinism of simulated components (RL001), hot-path
 purity (RL002), fast/reference loop lockstep (RL003), the
 ``repro.errors`` taxonomy (RL004), telemetry-schema consistency
-(RL005), and the ``REPRO_*`` env-var registry (RL006).  See
-docs/LINTING.md for the catalogue and suppression syntax.
+(RL005), the ``REPRO_*`` env-var registry (RL006), and streaming
+trace discipline (RL007).  See docs/LINTING.md for the catalogue and
+suppression syntax.
 """
 
 from repro.lint.core import (Finding, LintError, Rule, lint_files,

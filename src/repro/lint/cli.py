@@ -23,7 +23,7 @@ def build_parser() -> argparse.ArgumentParser:
     """The ``repro lint`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="simulator-aware static analysis (rules RL001-RL006; "
+        description="simulator-aware static analysis (rules RL001-RL007; "
                     "see docs/LINTING.md)")
     parser.add_argument(
         "paths", nargs="*", default=list(DEFAULT_PATHS),

@@ -28,7 +28,7 @@ from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Set, Tu
 class Finding(NamedTuple):
     """One diagnostic emitted by a rule."""
 
-    #: Stable rule code (``RL001`` ... ``RL006``).
+    #: Stable rule code (``RL001`` ... ``RL007``).
     code: str
     #: Path of the offending file, as given to the driver.
     path: str

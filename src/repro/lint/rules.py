@@ -1,4 +1,4 @@
-"""The six reprolint rules (RL001–RL006).
+"""The seven reprolint rules (RL001–RL007).
 
 Each rule enforces one simulator-specific contract that a generic
 linter cannot see; docs/LINTING.md is the user-facing catalogue with
@@ -392,18 +392,24 @@ class DualLoopDriftRule(Rule):
     """The optimized and reference timing loops read the same model.
 
     For the pair of methods selected by :func:`find_dual_dispatch`,
-    the *effective* set of core-config attributes and the set of
-    predictor hooks must match.  "Effective" folds in ``__init__``:
-    the hot path may precompute a config attribute into a dispatch
-    table at construction time (e.g. ``ports``), so each loop's set is
-    its own direct reads unioned with the constructor's — drift is a
-    config attribute one path can see and the other cannot.
+    the *effective* set of core-config attributes, the set of
+    predictor hooks, and the set of trace-stream reads must match.
+    "Effective" folds in ``__init__``: the hot path may precompute a
+    config attribute into a dispatch table at construction time (e.g.
+    ``ports``), so each loop's set is its own direct reads unioned
+    with the constructor's — drift is a config attribute one path can
+    see and the other cannot.  The trace-stream comparison covers the
+    chunk-refill seam: both loops must consume the trace through the
+    same :class:`~repro.trace.source.TraceSource` surface (e.g. both
+    via ``.chunks()``), or one path's window boundaries silently
+    diverge from the other's.
     """
 
     code = "RL003"
     name = "dual-loop-drift"
     description = ("optimized and reference timing loops must read the "
-                   "same config attributes and predictor hooks")
+                   "same config attributes, predictor hooks, and "
+                   "trace-stream surface")
     scope = (("repro", "pipeline"),)
 
     def check(self, tree: ast.Module, source: str,
@@ -438,6 +444,15 @@ class DualLoopDriftRule(Rule):
             hot_hooks, ref_hooks,
             "call the same predictor hooks from both loops (a hook "
             "one loop skips changes training behaviour)"))
+
+        hot_stream = self._trace_reads(hot)
+        ref_stream = self._trace_reads(ref)
+        findings.extend(self._drift(
+            path, hot, "trace-stream read", hot_name, ref_name,
+            hot_stream, ref_stream,
+            "consume the trace through the same TraceSource surface "
+            "in both loops — the chunk-refill seam is part of the "
+            "bit-identity contract"))
         return findings
 
     def _drift(self, path: str, anchor: ast.FunctionDef, what: str,
@@ -491,6 +506,15 @@ class DualLoopDriftRule(Rule):
     def _predictor_hooks(func: ast.FunctionDef) -> Set[str]:
         aliases = _aliases_of(func, "self", "predictor")
         return _attr_reads_on(func, "self", "predictor", aliases)
+
+    @staticmethod
+    def _trace_reads(func: ast.FunctionDef) -> Set[str]:
+        # The trace source is the first parameter after self; every
+        # attribute read on it is part of the streaming surface.
+        args = func.args.args
+        if len(args) < 2:
+            return set()
+        return _attr_reads_on(func, "", None, {args[1].arg})
 
 
 # ----------------------------------------------------------------------
@@ -777,6 +801,124 @@ class EnvRegistryRule(Rule):
         return findings
 
 
+# ----------------------------------------------------------------------
+# RL007 — trace materialization
+# ----------------------------------------------------------------------
+class TraceMaterializationRule(Rule):
+    """Streaming trace sources stay streamed.
+
+    The bounded-RSS guarantee of the :class:`TraceSource` protocol
+    dies the moment a consumer flattens the stream — ``list(source)``
+    resurrects the whole-trace working set the streaming redesign
+    removed.  The rule flags materializing builtins (``list``,
+    ``tuple``, ``sorted``) applied to a source-typed name and random
+    access (subscription) on one, everywhere except the trace I/O
+    layer and the protocol module itself, which by definition convert
+    between representations.  Consumers that genuinely need random
+    access call ``source.materialize()`` — the searchable, explicit
+    escape hatch (see docs/TRACES.md).
+
+    A name is source-typed when a parameter is annotated
+    ``TraceSource`` or it is assigned from one of the known source
+    constructors (``as_source``, ``stream_trace``, ``open_trace``,
+    ``ListSource``/``FileSource``/``ProfileSource``).
+    """
+
+    code = "RL007"
+    name = "trace-materialization"
+    description = ("no whole-trace materialization of a TraceSource "
+                   "outside the trace I/O layer (use .materialize() "
+                   "where random access is genuinely needed)")
+
+    #: Callables whose result is a TraceSource.
+    SOURCE_CALLS: Tuple[str, ...] = ("as_source", "stream_trace",
+                                     "open_trace", "ListSource",
+                                     "FileSource", "ProfileSource")
+    #: Builtins that flatten an iterable into a container.
+    MATERIALIZING_BUILTINS: Tuple[str, ...] = ("list", "tuple", "sorted")
+    #: Modules allowed to materialize: the format converters.
+    ALLOWED_SUFFIXES: Tuple[str, ...] = ("repro/trace/io.py",
+                                         "repro/trace/source.py")
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Finding]:
+        norm = path.replace("\\", "/")
+        if any(norm.endswith(suffix) for suffix in self.ALLOWED_SUFFIXES):
+            return []
+        findings: List[Finding] = []
+        for func in ast.walk(tree):
+            if not isinstance(func, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            names = self._source_names(func)
+            if not names:
+                continue
+            findings.extend(self._check_func(func, names, path))
+        return findings
+
+    def _check_func(self, func: ast.AST, names: Set[str],
+                    path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Name) \
+                    and node.func.id in self.MATERIALIZING_BUILTINS \
+                    and node.args \
+                    and isinstance(node.args[0], ast.Name) \
+                    and node.args[0].id in names:
+                findings.append(Finding(
+                    self.code, path, node.lineno, node.col_offset,
+                    f"{node.func.id}({node.args[0].id}) materializes "
+                    "a streaming trace source",
+                    "iterate the source (or its .chunks()) instead; "
+                    "call .materialize() if random access is "
+                    "genuinely required"))
+            elif isinstance(node, ast.Subscript) \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id in names:
+                findings.append(Finding(
+                    self.code, path, node.lineno, node.col_offset,
+                    f"random access {node.value.id}[...] on a "
+                    "streaming trace source",
+                    "TraceSource is forward-only; call "
+                    ".materialize() if random access is genuinely "
+                    "required"))
+        return findings
+
+    def _source_names(self, func: ast.AST) -> Set[str]:
+        """Names in ``func`` that statically look like TraceSources."""
+        assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+        names: Set[str] = set()
+        for arg in (func.args.posonlyargs + func.args.args
+                    + func.args.kwonlyargs):
+            if arg.annotation is not None \
+                    and self._is_source_annotation(arg.annotation):
+                names.add(arg.arg)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) \
+                    and isinstance(node.value, ast.Call):
+                callee = node.value.func
+                callee_name = callee.attr \
+                    if isinstance(callee, ast.Attribute) \
+                    else callee.id if isinstance(callee, ast.Name) \
+                    else None
+                if callee_name in self.SOURCE_CALLS:
+                    names.update(target.id for target in node.targets
+                                 if isinstance(target, ast.Name))
+        return names
+
+    @staticmethod
+    def _is_source_annotation(node: ast.expr) -> bool:
+        # Exactly `TraceSource` (possibly dotted, possibly a string
+        # annotation) — Union annotations admit list-like inputs, so
+        # materializing those is the callee's documented business.
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value.split(".")[-1] == "TraceSource"
+        name = dotted_name(node)
+        return name is not None \
+            and name.split(".")[-1] == "TraceSource"
+
+
 def default_rules() -> List[Rule]:
     """Fresh instances of every rule, in code order."""
     return [
@@ -786,4 +928,5 @@ def default_rules() -> List[Rule]:
         ErrorDisciplineRule(),
         StatSchemaRule(),
         EnvRegistryRule(),
+        TraceMaterializationRule(),
     ]

@@ -41,8 +41,9 @@ from __future__ import annotations
 
 import heapq
 import os
+import warnings
 from bisect import bisect_right
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.errors import (ConfigError, InvariantViolation,
                           NonTerminatingSimulation)
@@ -72,6 +73,7 @@ from repro.telemetry.stalls import (
 )
 from repro.telemetry.stats import StatGroup
 from repro.telemetry.trace import DEFAULT_CAPACITY, EventTrace
+from repro.trace.source import PassStats, TraceSource, as_source
 
 # Port-group aliasing: control ops share the branch ports, NOPs flow
 # through the ALU ports.
@@ -273,15 +275,20 @@ class Engine:
         return seq, pc, value, complete
 
     # ------------------------------------------------------------------
-    def run(self, trace: Sequence[MicroOp], workload: str = "trace",
-            warmup: int = 0) -> SimResult:
+    def run(self, trace: Union[TraceSource, Sequence[MicroOp]],
+            workload: str = "trace", warmup: int = 0) -> SimResult:
         """Time ``trace`` and return its :class:`SimResult`.
 
         Parameters
         ----------
         trace:
-            Program-order sequence of :class:`~repro.isa.instruction.MicroOp`
-            records (e.g. from :func:`repro.trace.build_trace`).
+            A :class:`~repro.trace.source.TraceSource` (streaming,
+            bounded-window delivery — see docs/TRACES.md) or a plain
+            program-order sequence of
+            :class:`~repro.isa.instruction.MicroOp` records (e.g. from
+            :func:`repro.trace.build_trace`), which is wrapped in the
+            zero-copy list adapter.  Both paths produce bit-identical
+            results.
         workload:
             Label recorded on the result.
         warmup:
@@ -298,12 +305,14 @@ class Engine:
             bit-identical result, whichever loop implementation runs
             (``REPRO_SLOW_PATH=1`` selects the reference loop).
         """
+        source = as_source(trace)
         result = SimResult(workload, self.config.name, self.predictor.name)
-        n = len(trace)
+        n = len(source)
         if warmup < 0 or warmup >= n and n > 0:
             raise ValueError(f"warmup {warmup} must be in [0, {n})")
         result.instructions = n - warmup
         telemetry = StatGroup("sim")
+        stream = source.last_pass
         audit = _invariants_requested()
         forced_timing = audit and not self.collect_timing
         if forced_timing:
@@ -315,21 +324,24 @@ class Engine:
                 gap_hist = pipeline_group.histogram(
                     "stall-gaps", "non-retiring gap lengths (post-warmup)")
                 if _slow_path_requested():
-                    self._time_trace_reference(trace, warmup, result,
+                    self._time_trace_reference(source, warmup, result,
                                                gap_hist)
                 else:
-                    self._time_trace(trace, warmup, result, gap_hist)
+                    self._time_trace(source, warmup, result, gap_hist)
+                # Capture delivery stats before the audit's second pass
+                # overwrites them.
+                stream = source.last_pass
                 if audit:
-                    self._check_invariants(trace, warmup, result)
+                    self._check_invariants(source, warmup, result)
         finally:
             if forced_timing:
                 self.collect_timing = False
                 result.timing = None
-        result.telemetry = self._publish(result, telemetry)
+        result.telemetry = self._publish(result, telemetry, stream)
         return result
 
     # ------------------------------------------------------------------
-    def _time_trace(self, trace: Sequence[MicroOp], warmup: int,
+    def _time_trace(self, trace: TraceSource, warmup: int,
                     result: SimResult, gap_hist) -> None:
         """Optimized per-op loop (the default hot path).
 
@@ -493,329 +505,330 @@ class Engine:
             ctx.history = bits & MASK128
 
         idx = -1
-        for uop in trace:
-            idx += 1
-            op = uop.op
-            pc = uop.pc
-            is_load = op == LOAD_OP
-            is_store = op == STORE_OP
-            collecting = idx >= warmup
-            if idx == warmup:
-                cycle_base = prev_retire
-                # Snapshot runs once per simulation, at the warmup edge.
-                level_base = dict(memory.level_counts)  # reprolint: disable=RL002
+        for _window in trace.chunks():
+            for uop in _window:
+                idx += 1
+                op = uop.op
+                pc = uop.pc
+                is_load = op == LOAD_OP
+                is_store = op == STORE_OP
+                collecting = idx >= warmup
+                if idx == warmup:
+                    cycle_base = prev_retire
+                    # Snapshot runs once per simulation, at the warmup edge.
+                    level_base = dict(memory.level_counts)  # reprolint: disable=RL002
 
-            # ---------------- front end / allocate ----------------
-            earliest = redirect_t
-            alloc_cause = redirect_cause
-            line = pc // icache_line
-            if line != last_fetch_line:
-                last_fetch_line = line
-                bubbles = fetch_bubbles(pc)
-                if bubbles:
-                    base = earliest if earliest > alloc_cycle \
-                        else alloc_cycle
-                    earliest = base + bubbles
-                    alloc_cause = FRONTEND_STARVED
-            if idx >= rob_size:
-                t = retire_times[idx - rob_size]
-                if t > earliest:
-                    earliest = t
-                    alloc_cause = ROB_FULL
-            if len(iq_heap) >= iq_size and iq_heap[0] > earliest:
-                earliest = iq_heap[0]
-                alloc_cause = IQ_FULL
-            if is_load and num_loads >= lq_size:
-                t = load_retires[num_loads - lq_size]
-                if t > earliest:
-                    earliest = t
-                    alloc_cause = LQ_FULL
-            if is_store and num_stores >= sq_size:
-                t = store_retires[num_stores - sq_size]
-                if t > earliest:
-                    earliest = t
-                    alloc_cause = SQ_FULL
-            # Inlined alloc-width machine.
-            if earliest > alloc_cycle:
-                alloc_cycle = earliest
-                alloc_count = 1
-            elif alloc_count >= alloc_width:
-                alloc_cycle += 1
-                alloc_count = 1
-            else:
-                alloc_count += 1
-            alloc_t = alloc_cycle
-
-            # ---------------- context + front-end VP lookup ----------------
-            fwd = None
-            if is_load:
-                num_loads += 1
-                if collecting:
-                    c_loads += 1
-                entry = store_by_addr.get(uop.addr & ADDR_ALIGN)
-                if entry is not None and entry[3] >= alloc_t:
-                    fwd = entry  # (seq, pc, complete, retire, value)
-
-            if need_ctx:
-                self._now_alloc = alloc_t
-                ctx.seq = idx
-                ctx.forwarding_store = (
-                    None if fwd is None else (fwd[0], fwd[1], fwd[4]))
-
-            prediction = predict(uop, ctx) if predict is not None else None
-
-            # ---------------- dataflow readiness ----------------
-            ready = alloc_t + 1
-            dep_load = False
-            for src in uop.srcs:
-                t = reg_ready[src]
-                if t > ready:
-                    ready = t
-                    dep_load = reg_writer_load[src]
-
-            violation = False
-            if fwd is not None:
-                store_complete = fwd[2]
-                dep = load_dependence(pc)
-                if dep is not None:
-                    if store_complete > ready:
-                        ready = store_complete
-                        dep_load = False
-                elif store_complete > ready:
-                    violation = True
-
-            # ---------------- issue ----------------
-            heap = heap_tab[group_tab[op]]
-            port_free = heappop(heap)
-            bw_free = heappop(issue_bw)
-            issue_t = ready
-            if port_free > issue_t:
-                issue_t = port_free
-            if bw_free > issue_t:
-                issue_t = bw_free
-            heappush(heap, issue_t + push_tab[op])
-            heappush(issue_bw, issue_t + 1)
-
-            # ---------------- execute / complete ----------------
-            level = "L1"
-            if is_load:
-                if fwd is not None and not violation:
-                    store_complete = fwd[2]
-                    base = issue_t if issue_t > store_complete \
-                        else store_complete
-                    complete_t = base + fwd_latency
-                    if on_fwd is not None:
-                        on_fwd(fwd[1], pc, fwd[0])
+                # ---------------- front end / allocate ----------------
+                earliest = redirect_t
+                alloc_cause = redirect_cause
+                line = pc // icache_line
+                if line != last_fetch_line:
+                    last_fetch_line = line
+                    bubbles = fetch_bubbles(pc)
+                    if bubbles:
+                        base = earliest if earliest > alloc_cycle \
+                            else alloc_cycle
+                        earliest = base + bubbles
+                        alloc_cause = FRONTEND_STARVED
+                if idx >= rob_size:
+                    t = retire_times[idx - rob_size]
+                    if t > earliest:
+                        earliest = t
+                        alloc_cause = ROB_FULL
+                if len(iq_heap) >= iq_size and iq_heap[0] > earliest:
+                    earliest = iq_heap[0]
+                    alloc_cause = IQ_FULL
+                if is_load and num_loads >= lq_size:
+                    t = load_retires[num_loads - lq_size]
+                    if t > earliest:
+                        earliest = t
+                        alloc_cause = LQ_FULL
+                if is_store and num_stores >= sq_size:
+                    t = store_retires[num_stores - sq_size]
+                    if t > earliest:
+                        earliest = t
+                        alloc_cause = SQ_FULL
+                # Inlined alloc-width machine.
+                if earliest > alloc_cycle:
+                    alloc_cycle = earliest
+                    alloc_count = 1
+                elif alloc_count >= alloc_width:
+                    alloc_cycle += 1
+                    alloc_count = 1
                 else:
-                    latency, level = memory_access(pc, uop.addr, issue_t)
-                    complete_t = issue_t + latency
-                    if violation:
+                    alloc_count += 1
+                alloc_t = alloc_cycle
+
+                # ---------------- context + front-end VP lookup ----------------
+                fwd = None
+                if is_load:
+                    num_loads += 1
+                    if collecting:
+                        c_loads += 1
+                    entry = store_by_addr.get(uop.addr & ADDR_ALIGN)
+                    if entry is not None and entry[3] >= alloc_t:
+                        fwd = entry  # (seq, pc, complete, retire, value)
+
+                if need_ctx:
+                    self._now_alloc = alloc_t
+                    ctx.seq = idx
+                    ctx.forwarding_store = (
+                        None if fwd is None else (fwd[0], fwd[1], fwd[4]))
+
+                prediction = predict(uop, ctx) if predict is not None else None
+
+                # ---------------- dataflow readiness ----------------
+                ready = alloc_t + 1
+                dep_load = False
+                for src in uop.srcs:
+                    t = reg_ready[src]
+                    if t > ready:
+                        ready = t
+                        dep_load = reg_writer_load[src]
+
+                violation = False
+                if fwd is not None:
+                    store_complete = fwd[2]
+                    dep = load_dependence(pc)
+                    if dep is not None:
+                        if store_complete > ready:
+                            ready = store_complete
+                            dep_load = False
+                    elif store_complete > ready:
+                        violation = True
+
+                # ---------------- issue ----------------
+                heap = heap_tab[group_tab[op]]
+                port_free = heappop(heap)
+                bw_free = heappop(issue_bw)
+                issue_t = ready
+                if port_free > issue_t:
+                    issue_t = port_free
+                if bw_free > issue_t:
+                    issue_t = bw_free
+                heappush(heap, issue_t + push_tab[op])
+                heappush(issue_bw, issue_t + 1)
+
+                # ---------------- execute / complete ----------------
+                level = "L1"
+                if is_load:
+                    if fwd is not None and not violation:
+                        store_complete = fwd[2]
+                        base = issue_t if issue_t > store_complete \
+                            else store_complete
+                        complete_t = base + fwd_latency
+                        if on_fwd is not None:
+                            on_fwd(fwd[1], pc, fwd[0])
+                    else:
+                        latency, level = memory_access(pc, uop.addr, issue_t)
+                        complete_t = issue_t + latency
+                        if violation:
+                            if collecting:
+                                c_mem_viol += 1
+                            record_violation(pc, fwd[1])
+                            t = complete_t + mem_violation_penalty
+                            if t > redirect_t:
+                                redirect_t = t
+                                redirect_cause = MEM_FLUSH
+                                if record_event is not None:
+                                    record_event(complete_t, "flush", idx,
+                                                 pc, op, MEM_FLUSH)
+                elif is_store:
+                    complete_t = issue_t + 1
+                    memory_access(pc, uop.addr, complete_t, is_store=True)
+                else:
+                    complete_t = issue_t + lat_tab[op]
+
+                # ---------------- retire (inlined width machine) ----------
+                earliest_r = complete_t + 1
+                if prev_retire > earliest_r:
+                    earliest_r = prev_retire
+                if earliest_r > retire_cycle:
+                    retire_cycle = earliest_r
+                    retire_count = 1
+                elif retire_count >= retire_bw:
+                    retire_cycle += 1
+                    retire_count = 1
+                else:
+                    retire_count += 1
+                retire_t = retire_cycle
+                if retire_t > cycle_limit:
+                    abort_nonterminating(idx, n, pc, retire_t)
+
+                # ---------------- cycle accounting ----------------
+                gap = retire_t - prev_retire
+                if gap > 0 and collect_stalls:
+                    if collecting:
+                        main_retiring += 1
+                        buckets = main_buckets
+                    else:
+                        warm_retiring += 1
+                        buckets = warmup_buckets
+                    if gap > 1:
+                        hi = retire_t - 1
+                        pos = prev_retire
+                        while True:
+                            if earliest > pos:
+                                top = earliest if earliest < hi else hi
+                                buckets[alloc_cause] += top - pos
+                                pos = top
+                                if pos == hi:
+                                    break
+                            if alloc_t > pos:
+                                top = alloc_t if alloc_t < hi else hi
+                                buckets[FRONTEND_STARVED] += top - pos
+                                pos = top
+                                if pos == hi:
+                                    break
+                            if ready > pos:
+                                top = ready if ready < hi else hi
+                                buckets[HEAD_WAIT_LOAD if dep_load
+                                        else HEAD_WAIT_EXEC] += top - pos
+                                pos = top
+                                if pos == hi:
+                                    break
+                            if issue_t > pos:
+                                top = issue_t if issue_t < hi else hi
+                                buckets[PORT_CONTENTION] += top - pos
+                                pos = top
+                                if pos == hi:
+                                    break
+                            buckets[HEAD_WAIT_LOAD if is_load
+                                    else HEAD_WAIT_EXEC] += hi - pos
+                            break
                         if collecting:
-                            c_mem_viol += 1
-                        record_violation(pc, fwd[1])
-                        t = complete_t + mem_violation_penalty
+                            observe_gap(gap - 1)
+                prev_retire = retire_t
+
+                # ---------------- criticality signal ----------------
+                if need_crit:
+                    head = bisect(retire_times, complete_t, 0, idx)
+                    rob_distance = idx - head
+                    ctx.rob_distance = rob_distance
+                    ctx.stalls_retirement = (rob_distance < retire_width
+                                             and retire_t == complete_t + 1)
+                    ctx.l1_hit = level == "L1"
+                    ctx.hit_level = level
+
+                # ---------------- control flow ----------------
+                branch_misp = False
+                if is_control_tab[op]:
+                    if collecting:
+                        c_branches += 1
+                    correct_cf = process_control(pc, op, uop.taken, uop.target)
+                    if need_ctx:
+                        bits = history.bits
+                        ctx.history32 = bits & MASK32
+                        ctx.history = bits & MASK128
+                    if not correct_cf:
+                        if collecting:
+                            c_branch_miss += 1
+                        branch_misp = True
+                        t = complete_t + mispredict_penalty
                         if t > redirect_t:
                             redirect_t = t
-                            redirect_cause = MEM_FLUSH
+                            redirect_cause = BRANCH_FLUSH
                             if record_event is not None:
                                 record_event(complete_t, "flush", idx,
-                                             pc, op, MEM_FLUSH)
-            elif is_store:
-                complete_t = issue_t + 1
-                memory_access(pc, uop.addr, complete_t, is_store=True)
-            else:
-                complete_t = issue_t + lat_tab[op]
-
-            # ---------------- retire (inlined width machine) ----------
-            earliest_r = complete_t + 1
-            if prev_retire > earliest_r:
-                earliest_r = prev_retire
-            if earliest_r > retire_cycle:
-                retire_cycle = earliest_r
-                retire_count = 1
-            elif retire_count >= retire_bw:
-                retire_cycle += 1
-                retire_count = 1
-            else:
-                retire_count += 1
-            retire_t = retire_cycle
-            if retire_t > cycle_limit:
-                abort_nonterminating(idx, n, pc, retire_t)
-
-            # ---------------- cycle accounting ----------------
-            gap = retire_t - prev_retire
-            if gap > 0 and collect_stalls:
-                if collecting:
-                    main_retiring += 1
-                    buckets = main_buckets
-                else:
-                    warm_retiring += 1
-                    buckets = warmup_buckets
-                if gap > 1:
-                    hi = retire_t - 1
-                    pos = prev_retire
-                    while True:
-                        if earliest > pos:
-                            top = earliest if earliest < hi else hi
-                            buckets[alloc_cause] += top - pos
-                            pos = top
-                            if pos == hi:
-                                break
-                        if alloc_t > pos:
-                            top = alloc_t if alloc_t < hi else hi
-                            buckets[FRONTEND_STARVED] += top - pos
-                            pos = top
-                            if pos == hi:
-                                break
-                        if ready > pos:
-                            top = ready if ready < hi else hi
-                            buckets[HEAD_WAIT_LOAD if dep_load
-                                    else HEAD_WAIT_EXEC] += top - pos
-                            pos = top
-                            if pos == hi:
-                                break
-                        if issue_t > pos:
-                            top = issue_t if issue_t < hi else hi
-                            buckets[PORT_CONTENTION] += top - pos
-                            pos = top
-                            if pos == hi:
-                                break
-                        buckets[HEAD_WAIT_LOAD if is_load
-                                else HEAD_WAIT_EXEC] += hi - pos
-                        break
-                    if collecting:
-                        observe_gap(gap - 1)
-            prev_retire = retire_t
-
-            # ---------------- criticality signal ----------------
-            if need_crit:
-                head = bisect(retire_times, complete_t, 0, idx)
-                rob_distance = idx - head
-                ctx.rob_distance = rob_distance
-                ctx.stalls_retirement = (rob_distance < retire_width
-                                         and retire_t == complete_t + 1)
-                ctx.l1_hit = level == "L1"
-                ctx.hit_level = level
-
-            # ---------------- control flow ----------------
-            branch_misp = False
-            if is_control_tab[op]:
-                if collecting:
-                    c_branches += 1
-                correct_cf = process_control(pc, op, uop.taken, uop.target)
+                                             pc, op, BRANCH_FLUSH)
                 if need_ctx:
-                    bits = history.bits
-                    ctx.history32 = bits & MASK32
-                    ctx.history = bits & MASK128
-                if not correct_cf:
+                    ctx.branch_mispredicted = branch_misp
+
+                # ---------------- value-prediction outcome ----------------
+                vp_correct = True
+                if prediction is not None:
+                    vp_correct = prediction.value == uop.value
                     if collecting:
-                        c_branch_miss += 1
-                    branch_misp = True
-                    t = complete_t + mispredict_penalty
-                    if t > redirect_t:
-                        redirect_t = t
-                        redirect_cause = BRANCH_FLUSH
-                        if record_event is not None:
-                            record_event(complete_t, "flush", idx,
-                                         pc, op, BRANCH_FLUSH)
-            if need_ctx:
-                ctx.branch_mispredicted = branch_misp
+                        if is_load:
+                            c_pred_loads += 1
+                        else:
+                            c_pred_nonloads += 1
+                        if prediction.store_seq is not None:
+                            c_mr_pred += 1
+                        else:
+                            c_reg_pred += 1
+                        attribution = by_source.get(prediction.source)
+                        if attribution is None:
+                            # First sighting of a source: one list per
+                            # source per run (setdefault would build and
+                            # discard the default on every predicted op).
+                            attribution = [0, 0]  # reprolint: disable=RL002
+                            by_source[prediction.source] = attribution
+                        attribution[0] += 1
+                        if vp_correct:
+                            attribution[1] += 1
+                            c_correct += 1
+                        else:
+                            c_wrong += 1
+                            c_vp_flush += 1
+                    if not vp_correct:
+                        t = complete_t + vp_penalty
+                        if t > redirect_t:
+                            redirect_t = t
+                            redirect_cause = VP_FLUSH
+                            if record_event is not None:
+                                record_event(complete_t, "flush", idx,
+                                             pc, op, VP_FLUSH)
 
-            # ---------------- value-prediction outcome ----------------
-            vp_correct = True
-            if prediction is not None:
-                vp_correct = prediction.value == uop.value
-                if collecting:
-                    if is_load:
-                        c_pred_loads += 1
+                # ---------------- architectural updates ----------------
+                dest = uop.dest
+                if dest is not None:
+                    if prediction is not None and vp_correct:
+                        avail = alloc_t + 1
+                        if prediction.store_seq is not None:
+                            rec = store_records.get(prediction.store_seq)
+                            if rec is not None and rec[2] > avail:
+                                avail = rec[2]
+                        reg_ready[dest] = avail
+                        reg_writer_load[dest] = False
                     else:
-                        c_pred_nonloads += 1
-                    if prediction.store_seq is not None:
-                        c_mr_pred += 1
-                    else:
-                        c_reg_pred += 1
-                    attribution = by_source.get(prediction.source)
-                    if attribution is None:
-                        # First sighting of a source: one list per
-                        # source per run (setdefault would build and
-                        # discard the default on every predicted op).
-                        attribution = [0, 0]  # reprolint: disable=RL002
-                        by_source[prediction.source] = attribution
-                    attribution[0] += 1
-                    if vp_correct:
-                        attribution[1] += 1
-                        c_correct += 1
-                    else:
-                        c_wrong += 1
-                        c_vp_flush += 1
-                if not vp_correct:
-                    t = complete_t + vp_penalty
-                    if t > redirect_t:
-                        redirect_t = t
-                        redirect_cause = VP_FLUSH
-                        if record_event is not None:
-                            record_event(complete_t, "flush", idx,
-                                         pc, op, VP_FLUSH)
+                        reg_ready[dest] = complete_t
+                        reg_writer_load[dest] = is_load
+                    if need_ctx:
+                        writer_pc[dest] = pc
+                        writer_seq[dest] = idx
 
-            # ---------------- architectural updates ----------------
-            dest = uop.dest
-            if dest is not None:
-                if prediction is not None and vp_correct:
-                    avail = alloc_t + 1
-                    if prediction.store_seq is not None:
-                        rec = store_records.get(prediction.store_seq)
-                        if rec is not None and rec[2] > avail:
-                            avail = rec[2]
-                    reg_ready[dest] = avail
-                    reg_writer_load[dest] = False
-                else:
-                    reg_ready[dest] = complete_t
-                    reg_writer_load[dest] = is_load
-                if need_ctx:
-                    writer_pc[dest] = pc
-                    writer_seq[dest] = idx
+                if is_store:
+                    num_stores += 1
+                    if collecting:
+                        c_stores += 1
+                    store_dispatched(pc, idx)
+                    addr8 = uop.addr & ADDR_ALIGN
+                    value = uop.value
+                    store_by_addr[addr8] = (idx, pc, complete_t, retire_t, value)
+                    store_by_pc[pc] = idx
+                    store_records[idx] = (pc, addr8, complete_t, retire_t, value)
+                    store_retires.append(retire_t)
+                    if len(store_records) > store_prune_limit:
+                        prune_stores(retire_t)
+                if is_load:
+                    load_retires.append(retire_t)
 
-            if is_store:
-                num_stores += 1
-                if collecting:
-                    c_stores += 1
-                store_dispatched(pc, idx)
-                addr8 = uop.addr & ADDR_ALIGN
-                value = uop.value
-                store_by_addr[addr8] = (idx, pc, complete_t, retire_t, value)
-                store_by_pc[pc] = idx
-                store_records[idx] = (pc, addr8, complete_t, retire_t, value)
-                store_retires.append(retire_t)
-                if len(store_records) > store_prune_limit:
-                    prune_stores(retire_t)
-            if is_load:
-                load_retires.append(retire_t)
+                retire_times.append(retire_t)
+                if len(iq_heap) < iq_size:
+                    heappush(iq_heap, issue_t)
+                elif issue_t > iq_heap[0]:
+                    heapreplace(iq_heap, issue_t)
 
-            retire_times.append(retire_t)
-            if len(iq_heap) < iq_size:
-                heappush(iq_heap, issue_t)
-            elif issue_t > iq_heap[0]:
-                heapreplace(iq_heap, issue_t)
+                # ---------------- training ----------------
+                if train is not None:
+                    train(uop, ctx, prediction, vp_correct)
+                if tick is not None:
+                    tick(idx + 1)
 
-            # ---------------- training ----------------
-            if train is not None:
-                train(uop, ctx, prediction, vp_correct)
-            if tick is not None:
-                tick(idx + 1)
+                if timing is not None:
+                    timing["alloc"][idx] = alloc_t
+                    timing["ready"][idx] = ready
+                    timing["issue"][idx] = issue_t
+                    timing["complete"][idx] = complete_t
+                    timing["retire"][idx] = retire_t
+                    timing["mispredict"][idx] = branch_misp
 
-            if timing is not None:
-                timing["alloc"][idx] = alloc_t
-                timing["ready"][idx] = ready
-                timing["issue"][idx] = issue_t
-                timing["complete"][idx] = complete_t
-                timing["retire"][idx] = retire_t
-                timing["mispredict"][idx] = branch_misp
-
-            if record_event is not None:
-                record_event(alloc_t, "alloc", idx, pc, op)
-                record_event(issue_t, "issue", idx, pc, op)
-                record_event(complete_t, "complete", idx, pc, op)
-                record_event(retire_t, "retire", idx, pc, op)
+                if record_event is not None:
+                    record_event(alloc_t, "alloc", idx, pc, op)
+                    record_event(issue_t, "issue", idx, pc, op)
+                    record_event(complete_t, "complete", idx, pc, op)
+                    record_event(retire_t, "retire", idx, pc, op)
 
         # Write the local accumulators back to the result.
         main_buckets[RETIRING] += main_retiring
@@ -840,7 +853,7 @@ class Engine:
         result.events = events
 
     # ------------------------------------------------------------------
-    def _time_trace_reference(self, trace: Sequence[MicroOp], warmup: int,
+    def _time_trace_reference(self, trace: TraceSource, warmup: int,
                               result: SimResult, gap_hist) -> None:
         """Readable reference implementation of the per-op loop.
 
@@ -927,292 +940,295 @@ class Engine:
         sq_size = cfg.sq_size
         fwd_latency = cfg.forward_latency
 
-        for idx, uop in enumerate(trace):
-            op = uop.op
-            is_load = op == opcodes.LOAD
-            is_store = op == opcodes.STORE
-            is_control = op in opcodes.CONTROL
-            collecting = idx >= warmup
-            if idx == warmup:
-                cycle_base = prev_retire
-                level_base = dict(memory.level_counts)
+        idx = -1
+        for _window in trace.chunks():
+            for uop in _window:
+                idx += 1
+                op = uop.op
+                is_load = op == opcodes.LOAD
+                is_store = op == opcodes.STORE
+                is_control = op in opcodes.CONTROL
+                collecting = idx >= warmup
+                if idx == warmup:
+                    cycle_base = prev_retire
+                    level_base = dict(memory.level_counts)
 
-            # ---------------- front end / allocate ----------------
-            # Track which constraint binds allocation (`alloc_cause`);
-            # ties keep the earlier, higher-priority cause.
-            earliest = redirect_t
-            alloc_cause = redirect_cause
-            bubbles = frontend.fetch_bubbles(uop.pc)
-            if bubbles:
-                base = earliest if earliest > alloc_machine.cycle \
-                    else alloc_machine.cycle
-                earliest = base + bubbles
-                alloc_cause = FRONTEND_STARVED
-            if idx >= rob_size:
-                t = retire_times[idx - rob_size]
-                if t > earliest:
-                    earliest = t
-                    alloc_cause = ROB_FULL
-            if len(iq_heap) >= iq_size and iq_heap[0] > earliest:
-                earliest = iq_heap[0]
-                alloc_cause = IQ_FULL
-            if is_load and num_loads >= lq_size:
-                t = load_retires[num_loads - lq_size]
-                if t > earliest:
-                    earliest = t
-                    alloc_cause = LQ_FULL
-            if is_store and num_stores >= sq_size:
-                t = store_retires[num_stores - sq_size]
-                if t > earliest:
-                    earliest = t
-                    alloc_cause = SQ_FULL
-            alloc_t = alloc_machine.schedule(earliest)
-            self._now_alloc = alloc_t
+                # ---------------- front end / allocate ----------------
+                # Track which constraint binds allocation (`alloc_cause`);
+                # ties keep the earlier, higher-priority cause.
+                earliest = redirect_t
+                alloc_cause = redirect_cause
+                bubbles = frontend.fetch_bubbles(uop.pc)
+                if bubbles:
+                    base = earliest if earliest > alloc_machine.cycle \
+                        else alloc_machine.cycle
+                    earliest = base + bubbles
+                    alloc_cause = FRONTEND_STARVED
+                if idx >= rob_size:
+                    t = retire_times[idx - rob_size]
+                    if t > earliest:
+                        earliest = t
+                        alloc_cause = ROB_FULL
+                if len(iq_heap) >= iq_size and iq_heap[0] > earliest:
+                    earliest = iq_heap[0]
+                    alloc_cause = IQ_FULL
+                if is_load and num_loads >= lq_size:
+                    t = load_retires[num_loads - lq_size]
+                    if t > earliest:
+                        earliest = t
+                        alloc_cause = LQ_FULL
+                if is_store and num_stores >= sq_size:
+                    t = store_retires[num_stores - sq_size]
+                    if t > earliest:
+                        earliest = t
+                        alloc_cause = SQ_FULL
+                alloc_t = alloc_machine.schedule(earliest)
+                self._now_alloc = alloc_t
 
-            # ---------------- context + front-end VP lookup ----------------
-            ctx.seq = idx
-            ctx.history32 = frontend.history.recent(32)
-            ctx.history = frontend.history.recent(128)
-            fwd = None
-            if is_load:
-                num_loads += 1
-                if collecting:
-                    result.loads += 1
-                entry = store_by_addr.get(uop.addr & _ADDR_ALIGN)
-                if entry is not None and entry[3] >= alloc_t:
-                    fwd = entry  # (seq, pc, complete, retire, value)
-            ctx.forwarding_store = (
-                None if fwd is None else (fwd[0], fwd[1], fwd[4]))
+                # ---------------- context + front-end VP lookup ----------------
+                ctx.seq = idx
+                ctx.history32 = frontend.history.recent(32)
+                ctx.history = frontend.history.recent(128)
+                fwd = None
+                if is_load:
+                    num_loads += 1
+                    if collecting:
+                        result.loads += 1
+                    entry = store_by_addr.get(uop.addr & _ADDR_ALIGN)
+                    if entry is not None and entry[3] >= alloc_t:
+                        fwd = entry  # (seq, pc, complete, retire, value)
+                ctx.forwarding_store = (
+                    None if fwd is None else (fwd[0], fwd[1], fwd[4]))
 
-            prediction = predictor.predict(uop, ctx)
+                prediction = predictor.predict(uop, ctx)
 
-            # ---------------- dataflow readiness ----------------
-            ready = alloc_t + 1
-            dep_load = False
-            for src in uop.srcs:
-                t = reg_ready[src]
-                if t > ready:
-                    ready = t
-                    dep_load = reg_writer_load[src]
+                # ---------------- dataflow readiness ----------------
+                ready = alloc_t + 1
+                dep_load = False
+                for src in uop.srcs:
+                    t = reg_ready[src]
+                    if t > ready:
+                        ready = t
+                        dep_load = reg_writer_load[src]
 
-            # Memory disambiguation for loads with an in-flight producer
-            # store: a store-sets hit serialises the load behind the
-            # store; otherwise the load speculates and pays a violation
-            # flush when the store's data was not yet available.
-            violation = False
-            if fwd is not None:
-                store_complete = fwd[2]
-                dep = self.store_sets.load_dependence(uop.pc)
-                if dep is not None:
-                    if store_complete > ready:
-                        ready = store_complete
-                        dep_load = False
-                elif store_complete > ready:
-                    violation = True
-
-            # ---------------- issue ----------------
-            group = _GROUP_OF[op]
-            heap = port_heaps[group]
-            port_free = heapq.heappop(heap)
-            bw_free = heapq.heappop(issue_bw)
-            issue_t = ready
-            if port_free > issue_t:
-                issue_t = port_free
-            if bw_free > issue_t:
-                issue_t = bw_free
-            pg = cfg.ports[op]
-            heapq.heappush(heap, issue_t + (1 if pg.pipelined else pg.latency))
-            heapq.heappush(issue_bw, issue_t + 1)
-
-            # ---------------- execute / complete ----------------
-            level = "L1"
-            if is_load:
-                if fwd is not None and not violation:
+                # Memory disambiguation for loads with an in-flight producer
+                # store: a store-sets hit serialises the load behind the
+                # store; otherwise the load speculates and pays a violation
+                # flush when the store's data was not yet available.
+                violation = False
+                if fwd is not None:
                     store_complete = fwd[2]
-                    base = issue_t if issue_t > store_complete else store_complete
-                    complete_t = base + fwd_latency
-                    predictor.on_forwarding(fwd[1], uop.pc, fwd[0])
+                    dep = self.store_sets.load_dependence(uop.pc)
+                    if dep is not None:
+                        if store_complete > ready:
+                            ready = store_complete
+                            dep_load = False
+                    elif store_complete > ready:
+                        violation = True
+
+                # ---------------- issue ----------------
+                group = _GROUP_OF[op]
+                heap = port_heaps[group]
+                port_free = heapq.heappop(heap)
+                bw_free = heapq.heappop(issue_bw)
+                issue_t = ready
+                if port_free > issue_t:
+                    issue_t = port_free
+                if bw_free > issue_t:
+                    issue_t = bw_free
+                pg = cfg.ports[op]
+                heapq.heappush(heap, issue_t + (1 if pg.pipelined else pg.latency))
+                heapq.heappush(issue_bw, issue_t + 1)
+
+                # ---------------- execute / complete ----------------
+                level = "L1"
+                if is_load:
+                    if fwd is not None and not violation:
+                        store_complete = fwd[2]
+                        base = issue_t if issue_t > store_complete else store_complete
+                        complete_t = base + fwd_latency
+                        predictor.on_forwarding(fwd[1], uop.pc, fwd[0])
+                    else:
+                        latency, level = memory.access(uop.pc, uop.addr, issue_t)
+                        complete_t = issue_t + latency
+                        if violation:
+                            # Ordering violation: squash + refetch from the load.
+                            if collecting:
+                                result.mem_violations += 1
+                            self.store_sets.record_violation(uop.pc, fwd[1])
+                            t = complete_t + cfg.mem_violation_penalty
+                            if t > redirect_t:
+                                redirect_t = t
+                                redirect_cause = MEM_FLUSH
+                                if events is not None:
+                                    events.record(complete_t, "flush", idx,
+                                                  uop.pc, op, MEM_FLUSH)
+                elif is_store:
+                    complete_t = issue_t + 1
+                    memory.access(uop.pc, uop.addr, complete_t, is_store=True)
                 else:
-                    latency, level = memory.access(uop.pc, uop.addr, issue_t)
-                    complete_t = issue_t + latency
-                    if violation:
-                        # Ordering violation: squash + refetch from the load.
+                    complete_t = issue_t + cfg.ports[op].latency
+
+                # ---------------- retire ----------------
+                retire_t = retire_machine.schedule(
+                    max(complete_t + 1, prev_retire))
+                if retire_t > cycle_limit:
+                    self._abort_nonterminating(idx, n, uop.pc, retire_t)
+
+                # ---------------- cycle accounting ----------------
+                # Gap cycles back to the previous retirement are exactly
+                # the cycles in which nothing retired; charge them to the
+                # constraint chain that bound this op (retirement times are
+                # monotone, so the partition is exact by construction).
+                gap = retire_t - prev_retire
+                if gap > 0 and collect_stalls:
+                    buckets = main_buckets if collecting else warmup_buckets
+                    buckets[RETIRING] += 1
+                    if gap > 1:
+                        # gap > 1 implies retire_t == complete_t + 1: the
+                        # op's own completion was the binding constraint.
+                        hi = retire_t - 1
+                        pos = prev_retire
+                        for bound, bucket in (
+                                (earliest, alloc_cause),
+                                (alloc_t, FRONTEND_STARVED),
+                                (ready, HEAD_WAIT_LOAD if dep_load
+                                 else HEAD_WAIT_EXEC),
+                                (issue_t, PORT_CONTENTION),
+                                (hi, HEAD_WAIT_LOAD if is_load
+                                 else HEAD_WAIT_EXEC)):
+                            if bound > pos:
+                                top = bound if bound < hi else hi
+                                buckets[bucket] += top - pos
+                                pos = top
+                                if pos == hi:
+                                    break
                         if collecting:
-                            result.mem_violations += 1
-                        self.store_sets.record_violation(uop.pc, fwd[1])
-                        t = complete_t + cfg.mem_violation_penalty
+                            gap_hist.observe(gap - 1)
+                prev_retire = retire_t
+
+                # ---------------- criticality signal ----------------
+                # ROB head when this op finished executing: the oldest op
+                # whose retirement is still pending at complete_t.  An op
+                # "stalls retirement" when it is within commit-width of the
+                # head *and* its own completion is what its retirement is
+                # waiting on (an op whose retirement is bound by fetch or
+                # older ops is not a bottleneck even if near the head).
+                head = bisect_right(retire_times, complete_t, 0, idx)
+                rob_distance = idx - head
+                completion_bound = retire_t == complete_t + 1
+                ctx.rob_distance = rob_distance
+                ctx.stalls_retirement = (rob_distance < cfg.retire_width
+                                         and completion_bound)
+                ctx.l1_hit = level == "L1"
+                ctx.hit_level = level
+
+                # ---------------- control flow ----------------
+                ctx.branch_mispredicted = False
+                if is_control:
+                    if collecting:
+                        result.branches += 1
+                    correct_cf = frontend.process_control(
+                        uop.pc, op, uop.taken, uop.target)
+                    if not correct_cf:
+                        if collecting:
+                            result.branch_mispredicts += 1
+                        ctx.branch_mispredicted = True
+                        t = complete_t + frontend.mispredict_penalty
                         if t > redirect_t:
                             redirect_t = t
-                            redirect_cause = MEM_FLUSH
+                            redirect_cause = BRANCH_FLUSH
                             if events is not None:
                                 events.record(complete_t, "flush", idx,
-                                              uop.pc, op, MEM_FLUSH)
-            elif is_store:
-                complete_t = issue_t + 1
-                memory.access(uop.pc, uop.addr, complete_t, is_store=True)
-            else:
-                complete_t = issue_t + cfg.ports[op].latency
+                                              uop.pc, op, BRANCH_FLUSH)
 
-            # ---------------- retire ----------------
-            retire_t = retire_machine.schedule(
-                max(complete_t + 1, prev_retire))
-            if retire_t > cycle_limit:
-                self._abort_nonterminating(idx, n, uop.pc, retire_t)
-
-            # ---------------- cycle accounting ----------------
-            # Gap cycles back to the previous retirement are exactly
-            # the cycles in which nothing retired; charge them to the
-            # constraint chain that bound this op (retirement times are
-            # monotone, so the partition is exact by construction).
-            gap = retire_t - prev_retire
-            if gap > 0 and collect_stalls:
-                buckets = main_buckets if collecting else warmup_buckets
-                buckets[RETIRING] += 1
-                if gap > 1:
-                    # gap > 1 implies retire_t == complete_t + 1: the
-                    # op's own completion was the binding constraint.
-                    hi = retire_t - 1
-                    pos = prev_retire
-                    for bound, bucket in (
-                            (earliest, alloc_cause),
-                            (alloc_t, FRONTEND_STARVED),
-                            (ready, HEAD_WAIT_LOAD if dep_load
-                             else HEAD_WAIT_EXEC),
-                            (issue_t, PORT_CONTENTION),
-                            (hi, HEAD_WAIT_LOAD if is_load
-                             else HEAD_WAIT_EXEC)):
-                        if bound > pos:
-                            top = bound if bound < hi else hi
-                            buckets[bucket] += top - pos
-                            pos = top
-                            if pos == hi:
-                                break
+                # ---------------- value-prediction outcome ----------------
+                vp_correct = True
+                if prediction is not None:
+                    vp_correct = prediction.value == uop.value
                     if collecting:
-                        gap_hist.observe(gap - 1)
-            prev_retire = retire_t
+                        if is_load:
+                            result.predicted_loads += 1
+                        else:
+                            result.predicted_nonloads += 1
+                        if prediction.store_seq is not None:
+                            result.mr_predictions += 1
+                        else:
+                            result.register_predictions += 1
+                        attribution = result.by_source.setdefault(
+                            prediction.source, [0, 0])
+                        attribution[0] += 1
+                        if vp_correct:
+                            attribution[1] += 1
+                            result.correct_predictions += 1
+                        else:
+                            result.wrong_predictions += 1
+                            result.vp_flushes += 1
+                    if not vp_correct:
+                        t = complete_t + cfg.vp_penalty
+                        if t > redirect_t:
+                            redirect_t = t
+                            redirect_cause = VP_FLUSH
+                            if events is not None:
+                                events.record(complete_t, "flush", idx,
+                                              uop.pc, op, VP_FLUSH)
 
-            # ---------------- criticality signal ----------------
-            # ROB head when this op finished executing: the oldest op
-            # whose retirement is still pending at complete_t.  An op
-            # "stalls retirement" when it is within commit-width of the
-            # head *and* its own completion is what its retirement is
-            # waiting on (an op whose retirement is bound by fetch or
-            # older ops is not a bottleneck even if near the head).
-            head = bisect_right(retire_times, complete_t, 0, idx)
-            rob_distance = idx - head
-            completion_bound = retire_t == complete_t + 1
-            ctx.rob_distance = rob_distance
-            ctx.stalls_retirement = (rob_distance < cfg.retire_width
-                                     and completion_bound)
-            ctx.l1_hit = level == "L1"
-            ctx.hit_level = level
+                # ---------------- architectural updates ----------------
+                dest = uop.dest
+                if dest is not None:
+                    if prediction is not None and vp_correct:
+                        avail = alloc_t + 1
+                        if prediction.store_seq is not None:
+                            rec = store_records.get(prediction.store_seq)
+                            if rec is not None and rec[2] > avail:
+                                avail = rec[2]
+                        reg_ready[dest] = avail
+                        reg_writer_load[dest] = False
+                    else:
+                        reg_ready[dest] = complete_t
+                        reg_writer_load[dest] = is_load
+                    writer_pc[dest] = uop.pc
+                    writer_seq[dest] = idx
 
-            # ---------------- control flow ----------------
-            ctx.branch_mispredicted = False
-            if is_control:
-                if collecting:
-                    result.branches += 1
-                correct_cf = frontend.process_control(
-                    uop.pc, op, uop.taken, uop.target)
-                if not correct_cf:
+                if is_store:
+                    num_stores += 1
                     if collecting:
-                        result.branch_mispredicts += 1
-                    ctx.branch_mispredicted = True
-                    t = complete_t + frontend.mispredict_penalty
-                    if t > redirect_t:
-                        redirect_t = t
-                        redirect_cause = BRANCH_FLUSH
-                        if events is not None:
-                            events.record(complete_t, "flush", idx,
-                                          uop.pc, op, BRANCH_FLUSH)
+                        result.stores += 1
+                    self.store_sets.store_dispatched(uop.pc, idx)
+                    record = (idx, uop.pc, complete_t, retire_t, uop.value)
+                    store_by_addr[uop.addr & _ADDR_ALIGN] = record
+                    store_by_pc[uop.pc] = idx
+                    store_records[idx] = (uop.pc, uop.addr & _ADDR_ALIGN,
+                                          complete_t, retire_t, uop.value)
+                    store_retires.append(retire_t)
+                    if len(store_records) > 4 * sq_size:
+                        self._prune_stores(retire_t)
+                if is_load:
+                    load_retires.append(retire_t)
 
-            # ---------------- value-prediction outcome ----------------
-            vp_correct = True
-            if prediction is not None:
-                vp_correct = prediction.value == uop.value
-                if collecting:
-                    if is_load:
-                        result.predicted_loads += 1
-                    else:
-                        result.predicted_nonloads += 1
-                    if prediction.store_seq is not None:
-                        result.mr_predictions += 1
-                    else:
-                        result.register_predictions += 1
-                    attribution = result.by_source.setdefault(
-                        prediction.source, [0, 0])
-                    attribution[0] += 1
-                    if vp_correct:
-                        attribution[1] += 1
-                        result.correct_predictions += 1
-                    else:
-                        result.wrong_predictions += 1
-                        result.vp_flushes += 1
-                if not vp_correct:
-                    t = complete_t + cfg.vp_penalty
-                    if t > redirect_t:
-                        redirect_t = t
-                        redirect_cause = VP_FLUSH
-                        if events is not None:
-                            events.record(complete_t, "flush", idx,
-                                          uop.pc, op, VP_FLUSH)
+                retire_times.append(retire_t)
+                if len(iq_heap) < iq_size:
+                    heapq.heappush(iq_heap, issue_t)
+                elif issue_t > iq_heap[0]:
+                    heapq.heapreplace(iq_heap, issue_t)
 
-            # ---------------- architectural updates ----------------
-            dest = uop.dest
-            if dest is not None:
-                if prediction is not None and vp_correct:
-                    avail = alloc_t + 1
-                    if prediction.store_seq is not None:
-                        rec = store_records.get(prediction.store_seq)
-                        if rec is not None and rec[2] > avail:
-                            avail = rec[2]
-                    reg_ready[dest] = avail
-                    reg_writer_load[dest] = False
-                else:
-                    reg_ready[dest] = complete_t
-                    reg_writer_load[dest] = is_load
-                writer_pc[dest] = uop.pc
-                writer_seq[dest] = idx
+                # ---------------- training ----------------
+                predictor.train_execute(uop, ctx, prediction, vp_correct)
+                predictor.epoch_tick(idx + 1)
 
-            if is_store:
-                num_stores += 1
-                if collecting:
-                    result.stores += 1
-                self.store_sets.store_dispatched(uop.pc, idx)
-                record = (idx, uop.pc, complete_t, retire_t, uop.value)
-                store_by_addr[uop.addr & _ADDR_ALIGN] = record
-                store_by_pc[uop.pc] = idx
-                store_records[idx] = (uop.pc, uop.addr & _ADDR_ALIGN,
-                                      complete_t, retire_t, uop.value)
-                store_retires.append(retire_t)
-                if len(store_records) > 4 * sq_size:
-                    self._prune_stores(retire_t)
-            if is_load:
-                load_retires.append(retire_t)
+                if timing is not None:
+                    timing["alloc"][idx] = alloc_t
+                    timing["ready"][idx] = ready
+                    timing["issue"][idx] = issue_t
+                    timing["complete"][idx] = complete_t
+                    timing["retire"][idx] = retire_t
+                    timing["mispredict"][idx] = ctx.branch_mispredicted
 
-            retire_times.append(retire_t)
-            if len(iq_heap) < iq_size:
-                heapq.heappush(iq_heap, issue_t)
-            elif issue_t > iq_heap[0]:
-                heapq.heapreplace(iq_heap, issue_t)
-
-            # ---------------- training ----------------
-            predictor.train_execute(uop, ctx, prediction, vp_correct)
-            predictor.epoch_tick(idx + 1)
-
-            if timing is not None:
-                timing["alloc"][idx] = alloc_t
-                timing["ready"][idx] = ready
-                timing["issue"][idx] = issue_t
-                timing["complete"][idx] = complete_t
-                timing["retire"][idx] = retire_t
-                timing["mispredict"][idx] = ctx.branch_mispredicted
-
-            if events is not None:
-                events.record(alloc_t, "alloc", idx, uop.pc, op)
-                events.record(issue_t, "issue", idx, uop.pc, op)
-                events.record(complete_t, "complete", idx, uop.pc, op)
-                events.record(retire_t, "retire", idx, uop.pc, op)
+                if events is not None:
+                    events.record(alloc_t, "alloc", idx, uop.pc, op)
+                    events.record(issue_t, "issue", idx, uop.pc, op)
+                    events.record(complete_t, "complete", idx, uop.pc, op)
+                    events.record(retire_t, "retire", idx, uop.pc, op)
 
         result.cycles = prev_retire - cycle_base
         result.level_counts = {
@@ -1241,7 +1257,7 @@ class Engine:
             f"{cycle} (op {idx}/{n}, pc {pc:#x}); "
             "runaway configuration or model bug", snapshot)
 
-    def _check_invariants(self, trace: Sequence[MicroOp], warmup: int,
+    def _check_invariants(self, trace: TraceSource, warmup: int,
                           result: SimResult) -> None:
         """Opt-in post-run audit (``REPRO_CHECK_INVARIANTS=1``).
 
@@ -1304,9 +1320,19 @@ class Engine:
                      f"cycles = {result.cycles}")
 
     # ------------------------------------------------------------------
-    def _publish(self, result: SimResult, telemetry: StatGroup) -> StatGroup:
+    def _publish(self, result: SimResult, telemetry: StatGroup,
+                 stream: PassStats) -> StatGroup:
         """Assemble the per-run statistic tree: the engine's cycle
-        accounting plus every component's published group."""
+        accounting, the trace-delivery stats, and every component's
+        published group."""
+        source_group = telemetry.group(
+            "source", "trace delivery (streaming bounded windows)")
+        source_group.counter("ops", "micro-ops delivered", stream.ops)
+        source_group.counter("chunks", "bounded windows delivered",
+                             stream.chunks)
+        source_group.counter("peak-window",
+                             "largest resident window (micro-ops)",
+                             stream.peak_window)
         pipeline_group = telemetry.group(
             "pipeline", "cycle accounting and stall attribution")
         pipeline_group.counter("cycles", "post-warmup cycles",
@@ -1344,7 +1370,16 @@ class Engine:
                 del self._store_by_addr[addr8]
 
 
-def simulate(trace: Sequence[MicroOp], config: CoreConfig = None,
+#: Keyword order ``simulate`` accepted positionally before the
+#: keyword-only redesign; the deprecation shim maps old call sites
+#: through it for one release.
+_SIMULATE_LEGACY_ORDER = ("config", "predictor", "workload", "warmup",
+                          "collect_timing", "collect_events",
+                          "collect_stalls", "max_cycles")
+
+
+def simulate(trace: Union[TraceSource, Sequence[MicroOp]], *legacy,
+             config: Optional[CoreConfig] = None,
              predictor: Optional[ValuePredictor] = None,
              workload: str = "trace", warmup: int = 0,
              collect_timing: bool = False,
@@ -1353,10 +1388,16 @@ def simulate(trace: Sequence[MicroOp], config: CoreConfig = None,
              max_cycles: Optional[int] = None) -> SimResult:
     """One-call convenience wrapper: build an engine and run a trace.
 
+    Everything beyond the trace is keyword-only.  Old positional call
+    sites (``simulate(trace, config, predictor, ...)``) still work for
+    one release behind a :class:`DeprecationWarning`; see
+    docs/TRACES.md for the migration guide.
+
     Parameters
     ----------
     trace:
-        Program-order :class:`~repro.isa.instruction.MicroOp` sequence.
+        A :class:`~repro.trace.source.TraceSource` or a program-order
+        :class:`~repro.isa.instruction.MicroOp` sequence.
     config:
         Core configuration (default :meth:`CoreConfig.skylake`).
     predictor:
@@ -1376,6 +1417,27 @@ def simulate(trace: Sequence[MicroOp], config: CoreConfig = None,
     >>> r.instructions
     64
     """
+    if legacy:
+        if len(legacy) > len(_SIMULATE_LEGACY_ORDER):
+            raise TypeError(
+                f"simulate() takes at most "
+                f"{1 + len(_SIMULATE_LEGACY_ORDER)} positional arguments "
+                f"({1 + len(legacy)} given)")
+        warnings.warn(
+            "positional arguments to simulate() beyond the trace are "
+            "deprecated; pass config=, predictor=, ... as keywords",
+            DeprecationWarning, stacklevel=2)
+        defaults = (None, None, "trace", 0, False, False, True, None)
+        current = (config, predictor, workload, warmup, collect_timing,
+                   collect_events, collect_stalls, max_cycles)
+        for name, value, default in zip(_SIMULATE_LEGACY_ORDER[:len(legacy)],
+                                        current, defaults):
+            if value is not default:
+                raise TypeError(
+                    f"simulate() got multiple values for argument {name!r}")
+        (config, predictor, workload, warmup, collect_timing,
+         collect_events, collect_stalls, max_cycles) = \
+            tuple(legacy) + current[len(legacy):]
     engine = Engine(config or CoreConfig.skylake(), predictor,
                     collect_timing=collect_timing,
                     collect_events=collect_events,

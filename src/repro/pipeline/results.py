@@ -11,7 +11,7 @@ from repro.telemetry.trace import EventTrace
 #: Bump when the shape of the serialised result (telemetry tree, stall
 #: taxonomy, event schema) changes — participates in campaign-cache
 #: keys so stale entries never deserialise into the new shape.
-TELEMETRY_SCHEMA_VERSION = 1
+TELEMETRY_SCHEMA_VERSION = 2
 
 
 class SimResult:
@@ -26,8 +26,8 @@ class SimResult:
       (:mod:`repro.telemetry.stalls`); its values sum exactly to
       ``cycles``.
     * ``telemetry`` — the full :class:`~repro.telemetry.stats.StatGroup`
-      tree every component published into (``pipeline``, ``frontend``,
-      ``memory``, ``predictor`` groups).
+      tree every component published into (``source``, ``pipeline``,
+      ``frontend``, ``memory``, ``predictor`` groups).
     """
 
     __slots__ = ("workload", "core", "predictor", "instructions", "cycles",

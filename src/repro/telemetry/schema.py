@@ -29,6 +29,12 @@ from typing import Dict, Iterable, List, Set, Tuple
 #: Dotted-path pattern → leaf/group kind (``counter`` / ``histogram``
 #: / ``group``).  Paths are relative to the per-run ``sim`` root.
 TELEMETRY_SCHEMA: Dict[str, str] = {
+    # Trace delivery (repro.pipeline.engine._publish): how the
+    # TraceSource streamed the ops — window count and peak residency.
+    "source": "group",
+    "source.ops": "counter",
+    "source.chunks": "counter",
+    "source.peak-window": "counter",
     # Engine cycle accounting (repro.pipeline.engine._publish).
     "pipeline": "group",
     "pipeline.cycles": "counter",

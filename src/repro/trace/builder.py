@@ -12,12 +12,15 @@ from __future__ import annotations
 import bisect
 import itertools
 import random
-from typing import Dict, List, Optional, Sequence, Tuple, Type
+import warnings
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence,
+                    Tuple, Type)
 
 from repro.errors import ConfigError
 from repro.isa.instruction import MicroOp
 from repro.trace.kernels import Kernel
 from repro.trace.memimage import MemImage
+from repro.trace.source import DEFAULT_CHUNK_OPS, TraceSource
 
 #: Virtual-address layout: each kernel gets a private 256 MB data arena
 #: and a 1 MB code region.
@@ -111,34 +114,17 @@ def _instantiate(profile: WorkloadProfile,
     return kernels
 
 
-def build_trace(profile: WorkloadProfile, length: int,
-                mem: Optional[MemImage] = None) -> List[MicroOp]:
-    """Assemble ``length`` (±one iteration) micro-ops for a profile.
+def _iteration_stream(profile: WorkloadProfile, length: int,
+                      mem: Optional[MemImage] = None
+                      ) -> Iterator[List[MicroOp]]:
+    """Yield whole kernel iterations whose concatenation is *exactly*
+    the :func:`build_trace` op stream for ``(profile, length)``.
 
-    Kernels from ``profile.specs`` are instantiated against a backing
-    functional memory image and interleaved by weighted random
-    selection, one whole kernel iteration at a time, until at least
-    ``length`` micro-ops exist.
-
-    Deterministic: the same ``(profile, length)`` always yields the
-    same trace, bit for bit, across processes and machines — the RNG
-    is seeded from ``profile.seed`` and the memory image is salted
-    with it.  The campaign cache and every figure driver rely on this.
-
-    Parameters
-    ----------
-    profile:
-        A :class:`WorkloadProfile` (see ``repro.trace.workloads`` for
-        the 60-entry catalogue, or compose your own).
-    length:
-        Target micro-op count; the trace may overshoot by up to one
-        kernel iteration.  Must be positive.
-    mem:
-        Optional pre-built :class:`MemImage` to share between traces;
-        by default a fresh image salted with ``profile.seed``.
+    This is the single generation core shared by the materializing
+    :func:`build_trace` and the streaming :class:`ProfileSource` —
+    both consume the identical RNG stream, kernel instantiation and
+    stop condition, so the two paths cannot drift.
     """
-    if length <= 0:
-        raise ValueError("trace length must be positive")
     rng = random.Random(profile.seed)
     image = mem if mem is not None else MemImage(salt=profile.seed)
     kernels = _instantiate(profile, image, rng)
@@ -154,24 +140,129 @@ def build_trace(profile: WorkloadProfile, length: int,
     draw = rng.random
     pick = bisect.bisect
 
-    trace: List[MicroOp] = []
-    extend = trace.extend
     size = 0
     while size < length:
         ops = kernels[pick(cum_weights, draw() * total, 0, hi)].iteration()
-        extend(ops)
         size += len(ops)
+        yield ops
+
+
+def build_trace(profile: WorkloadProfile, length: int,
+                *legacy_mem: Optional[MemImage],
+                mem: Optional[MemImage] = None) -> List[MicroOp]:
+    """Assemble ``length`` (±one iteration) micro-ops for a profile.
+
+    Kernels from ``profile.specs`` are instantiated against a backing
+    functional memory image and interleaved by weighted random
+    selection, one whole kernel iteration at a time, until at least
+    ``length`` micro-ops exist.
+
+    Deterministic: the same ``(profile, length)`` always yields the
+    same trace, bit for bit, across processes and machines — the RNG
+    is seeded from ``profile.seed`` and the memory image is salted
+    with it.  The campaign cache and every figure driver rely on this.
+    :func:`stream_trace` delivers the identical op stream without
+    materializing it (docs/TRACES.md).
+
+    Parameters
+    ----------
+    profile:
+        A :class:`WorkloadProfile` (see ``repro.trace.workloads`` for
+        the 60-entry catalogue, or compose your own).
+    length:
+        Target micro-op count; the trace may overshoot by up to one
+        kernel iteration.  Must be positive.
+    mem:
+        Keyword-only: optional pre-built :class:`MemImage` to share
+        between traces; by default a fresh image salted with
+        ``profile.seed``.  (Passing it positionally is deprecated and
+        will be removed in the next release.)
+    """
+    if legacy_mem:
+        if len(legacy_mem) > 1 or mem is not None:
+            raise TypeError("build_trace() takes at most one mem argument")
+        warnings.warn(
+            "passing mem positionally to build_trace() is deprecated; "
+            "use the mem= keyword", DeprecationWarning, stacklevel=2)
+        mem = legacy_mem[0]
+    if length <= 0:
+        raise ValueError("trace length must be positive")
+    trace: List[MicroOp] = []
+    extend = trace.extend
+    for ops in _iteration_stream(profile, length, mem):
+        extend(ops)
     return trace
 
 
-def trace_stats(trace: Sequence[MicroOp]) -> Dict[str, float]:
-    """Instruction-mix summary of a trace (used by tests and reports)."""
+class ProfileSource(TraceSource):
+    """Streaming :class:`~repro.trace.source.TraceSource` that
+    regenerates a workload profile's op stream on every pass.
+
+    The op stream is bit-identical to ``build_trace(profile, length)``
+    (both run :func:`_iteration_stream`), but only a bounded window is
+    resident at any point.  Replay is deterministic: each pass reseeds
+    the RNG and rebuilds a fresh salted :class:`MemImage`, so kernels
+    observe the same functional memory every time.
+
+    ``len(source)`` needs the exact overshoot, which is only known by
+    generating — the first call runs one extra counting pass and
+    caches the answer.  For million-op runs prefer a trace file
+    (``repro trace build``), whose header records the count.
+    """
+
+    def __init__(self, profile: WorkloadProfile, length: int,
+                 chunk_ops: int = DEFAULT_CHUNK_OPS) -> None:
+        super().__init__(chunk_ops)
+        if length <= 0:
+            raise ConfigError("trace length must be positive")
+        self.profile = profile
+        self.target_length = length
+        self._length: Optional[int] = None
+
+    def __len__(self) -> int:
+        if self._length is None:
+            count = 0
+            for ops in _iteration_stream(self.profile, self.target_length):
+                count += len(ops)
+            self._length = count
+        return self._length
+
+    def _windows(self) -> Iterator[Sequence[MicroOp]]:
+        chunk = self.chunk_ops
+        buffer: List[MicroOp] = []
+        extend = buffer.extend
+        for ops in _iteration_stream(self.profile, self.target_length):
+            extend(ops)
+            while len(buffer) >= chunk:
+                yield buffer[:chunk]
+                del buffer[:chunk]
+        if buffer:
+            yield buffer
+
+
+def stream_trace(profile: WorkloadProfile, length: int,
+                 chunk_ops: int = DEFAULT_CHUNK_OPS) -> ProfileSource:
+    """Streaming counterpart of :func:`build_trace`: the identical
+    deterministic op stream as a bounded-window
+    :class:`ProfileSource` (docs/TRACES.md)."""
+    return ProfileSource(profile, length, chunk_ops)
+
+
+def trace_stats(trace: Iterable[MicroOp]) -> Dict[str, float]:
+    """Instruction-mix summary of a trace (used by tests and reports).
+
+    Accepts any op iterable — a materialized list or a streaming
+    :class:`~repro.trace.source.TraceSource` — and runs in one pass
+    with bounded memory (the count is accumulated, never ``len()``-ed).
+    """
     from repro.isa import opcodes
 
     counts = {"loads": 0, "stores": 0, "branches": 0, "alu": 0, "fp": 0,
               "other": 0}
     pcs = set()
+    total = 0
     for uop in trace:
+        total += 1
         pcs.add(uop.pc)
         if uop.op == opcodes.LOAD:
             counts["loads"] += 1
@@ -185,8 +276,8 @@ def trace_stats(trace: Sequence[MicroOp]) -> Dict[str, float]:
             counts["fp"] += 1
         else:
             counts["other"] += 1
-    total = len(trace)
-    stats = {k: v / total for k, v in counts.items()} if total else counts
+    stats = {k: v / total for k, v in counts.items()} if total else \
+        dict(counts)
     stats["total"] = total
     stats["static_pcs"] = len(pcs)
     return stats

@@ -1,0 +1,172 @@
+"""Streaming trace delivery: the :class:`TraceSource` protocol.
+
+A :class:`TraceSource` is the engine-facing contract for micro-op
+delivery (docs/TRACES.md).  It replaces "the trace is a list" with
+three guarantees that together allow million-op simulations under
+bounded RSS:
+
+* **known length** — ``len(source)`` is the exact op count, available
+  before iteration (the engine sizes warmup validation and timing
+  arrays from it);
+* **bounded-window chunked iteration** — :meth:`TraceSource.chunks`
+  yields program-order windows of at most ``chunk_ops`` micro-ops;
+  only the current window need be resident;
+* **deterministic replay** — every :meth:`TraceSource.chunks` call
+  restarts an identical pass over the same op stream, bit for bit
+  (the invariant audit and the DDG oracle both re-iterate).
+
+Concrete sources live next to what they wrap: :class:`ListSource`
+(here — the zero-copy adapter over an in-memory sequence),
+:class:`repro.trace.builder.ProfileSource` (regenerates a workload
+profile on the fly) and :class:`repro.trace.io.FileSource` (mmap-backed
+replay of an on-disk trace file).
+
+Materialization discipline: reprolint rule ``RL007`` forbids
+whole-trace materialization (``list(source)``, index access) outside
+this module and ``trace/io.py`` — callers that genuinely need the full
+op list (the DDG oracle) use the explicit :meth:`TraceSource.
+materialize` escape hatch, which is greppable and reviewed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Sequence, Union
+
+from repro.errors import ConfigError
+from repro.isa.instruction import MicroOp
+
+#: Default bounded-window size, in micro-ops.  4096 ops ≈ 1–2 MB of
+#: resident MicroOp objects — small enough to keep million-op replays
+#: flat, large enough that the per-window refill cost is noise.  Every
+#: source defaults to it so the published ``source.*`` telemetry is
+#: identical whichever backing (list, generator, file) delivered the
+#: ops.
+DEFAULT_CHUNK_OPS = 4096
+
+
+class PassStats(NamedTuple):
+    """Delivery statistics of one iteration pass over a source."""
+
+    #: Windows delivered.
+    chunks: int
+    #: Micro-ops delivered.
+    ops: int
+    #: Largest window delivered (peak resident micro-ops).
+    peak_window: int
+
+
+class TraceSource:
+    """Base class for streaming trace sources.
+
+    Subclasses implement :meth:`_windows` (one fresh program-order
+    pass of bounded windows) and ``__len__``; the base class layers
+    per-pass accounting (:attr:`last_pass`), the flattening iterator,
+    and the explicit materialization escape hatch on top.
+    """
+
+    #: Bounded-window size for this source (micro-ops).
+    chunk_ops: int = DEFAULT_CHUNK_OPS
+
+    def __init__(self, chunk_ops: int = DEFAULT_CHUNK_OPS) -> None:
+        if chunk_ops <= 0:
+            raise ConfigError(
+                f"chunk_ops must be positive, got {chunk_ops}")
+        self.chunk_ops = chunk_ops
+        #: Delivery statistics of the most recent (or in-progress)
+        #: :meth:`chunks` pass; zeros before the first pass.
+        self.last_pass = PassStats(0, 0, 0)
+
+    # -- subclass surface ----------------------------------------------
+    def __len__(self) -> int:
+        """Exact number of micro-ops a full pass delivers."""
+        raise NotImplementedError
+
+    def _windows(self) -> Iterator[Sequence[MicroOp]]:
+        """One fresh pass of program-order windows, each at most
+        ``self.chunk_ops`` micro-ops.  Must be deterministic: every
+        call replays the identical op stream."""
+        raise NotImplementedError
+
+    # -- protocol ------------------------------------------------------
+    def chunks(self) -> Iterator[Sequence[MicroOp]]:
+        """Iterate one pass of bounded windows, updating
+        :attr:`last_pass` as windows are delivered."""
+        count = ops = peak = 0
+        self.last_pass = PassStats(0, 0, 0)
+        for window in self._windows():
+            size = len(window)
+            count += 1
+            ops += size
+            if size > peak:
+                peak = size
+            self.last_pass = PassStats(count, ops, peak)
+            yield window
+
+    def ops(self) -> Iterator[MicroOp]:
+        """Flattened single-op iteration (one :meth:`chunks` pass)."""
+        for window in self.chunks():
+            yield from window
+
+    def __iter__(self) -> Iterator[MicroOp]:
+        return self.ops()
+
+    def materialize(self) -> List[MicroOp]:
+        """The full op list, in memory — the *explicit* escape hatch
+        from the streaming discipline (``RL007`` bans ad-hoc
+        ``list(source)`` calls so every whole-trace materialization is
+        greppable).  Only whole-trace consumers (the DDG oracle) should
+        need this."""
+        out: List[MicroOp] = []
+        for window in self.chunks():
+            out.extend(window)
+        return out
+
+
+class ListSource(TraceSource):
+    """Zero-copy adapter presenting an in-memory sequence as a
+    :class:`TraceSource`.
+
+    The backing sequence is referenced, never copied; windows are
+    reference slices.  This is the compatibility path that keeps
+    ``simulate(list_of_ops)`` bit-identical to the streaming protocol —
+    including the published ``source.*`` delivery telemetry, because
+    every source chunks at the same :data:`DEFAULT_CHUNK_OPS` unless
+    told otherwise.
+    """
+
+    def __init__(self, trace: Sequence[MicroOp],
+                 chunk_ops: int = DEFAULT_CHUNK_OPS) -> None:
+        super().__init__(chunk_ops)
+        self._trace = trace
+
+    def __len__(self) -> int:
+        return len(self._trace)
+
+    def _windows(self) -> Iterator[Sequence[MicroOp]]:
+        trace = self._trace
+        step = self.chunk_ops
+        for start in range(0, len(trace), step):
+            yield trace[start:start + step]
+
+    def materialize(self) -> List[MicroOp]:
+        """The backing sequence as a list (no-copy when already one)."""
+        trace = self._trace
+        return trace if isinstance(trace, list) else list(trace)
+
+
+def as_source(trace: Union[TraceSource, Sequence[MicroOp]],
+              chunk_ops: int = DEFAULT_CHUNK_OPS) -> TraceSource:
+    """Normalize engine input: pass sources through untouched, wrap
+    plain sequences in a :class:`ListSource`."""
+    if isinstance(trace, TraceSource):
+        return trace
+    return ListSource(trace, chunk_ops)
+
+
+__all__ = [
+    "DEFAULT_CHUNK_OPS",
+    "ListSource",
+    "PassStats",
+    "TraceSource",
+    "as_source",
+]

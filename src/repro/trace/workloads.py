@@ -374,3 +374,15 @@ def get_profile(name: str) -> WorkloadProfile:
     except KeyError:
         raise KeyError(
             f"unknown workload {name!r}; see workload_names()") from None
+
+
+def reseeded(profile: WorkloadProfile, seed: int) -> WorkloadProfile:
+    """``profile`` with its trace-generation seed replaced.
+
+    The kernel mix (specs, weights, parameters) is untouched — only
+    the interleaving RNG and the memory-image salt change, so the
+    reseeded profile is the same *program* over different data.  This
+    backs the ``--seed`` CLI flag for run-to-run variation studies."""
+    return WorkloadProfile(name=profile.name, category=profile.category,
+                           seed=seed, specs=profile.specs,
+                           description=profile.description)

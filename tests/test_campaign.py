@@ -71,6 +71,72 @@ class TestJobKey:
         with pytest.raises(TypeError):
             fingerprint(lambda: None)
 
+    def test_seed_changes_the_key_only_when_set(self):
+        base = job_key(Job("astar", "skylake", "fvp", LENGTH, WARMUP))
+        seeded = job_key(Job("astar", "skylake", "fvp", LENGTH, WARMUP,
+                             seed=7))
+        assert seeded != base
+        # Unset seed keys are byte-identical to the pre-streaming
+        # payloads, so existing cache entries stay valid.
+        assert job_key(Job("astar", "skylake", "fvp", LENGTH,
+                           WARMUP, seed=None)) == base
+
+    def test_trace_file_keys_by_content_hash(self, tmp_path):
+        from repro.trace import build_trace, get_profile
+        from repro.trace.io import write_trace_file
+
+        trace = build_trace(get_profile("astar"), LENGTH)
+        a = str(tmp_path / "a.rvt")
+        b = str(tmp_path / "renamed.rvt")
+        write_trace_file(trace, a)
+        write_trace_file(trace, b)
+        key_a = job_key(Job("astar", "skylake", "fvp", LENGTH, WARMUP,
+                            trace_file=a))
+        key_b = job_key(Job("astar", "skylake", "fvp", LENGTH, WARMUP,
+                            trace_file=b))
+        # Same bytes, different path: identical key (content-addressed).
+        assert key_a == key_b
+        assert key_a != job_key(Job("astar", "skylake", "fvp",
+                                    LENGTH, WARMUP))
+
+
+class TestTraceFileJobs:
+    def test_execute_job_replays_trace_file(self, tmp_path):
+        from repro.trace import build_trace, get_profile
+        from repro.trace.io import write_trace_file
+
+        trace = build_trace(get_profile("astar"), LENGTH)
+        path = str(tmp_path / "astar.rvt")
+        write_trace_file(trace, path)
+        from_file = execute_job(Job("astar", "skylake", "fvp",
+                                    LENGTH, WARMUP, trace_file=path))
+        in_memory = execute_job(Job("astar", "skylake", "fvp",
+                                    LENGTH, WARMUP))
+        assert from_file.to_dict() == in_memory.to_dict()
+
+    def test_runner_trace_file_requires_one_workload(self, tmp_path):
+        from repro.errors import ConfigError
+        from repro.trace import build_trace, get_profile
+        from repro.trace.io import write_trace_file
+
+        path = str(tmp_path / "astar.rvt")
+        write_trace_file(build_trace(get_profile("astar"), LENGTH), path)
+        with pytest.raises(ConfigError, match="exactly one"):
+            Runner(workloads=["astar", "mcf"], trace_file=path)
+        with pytest.raises(ConfigError, match="exactly one"):
+            Runner(trace_file=path)
+        runner = Runner(workloads=["astar"], warmup=WARMUP,
+                        trace_file=path)
+        assert runner.length == len(build_trace(get_profile("astar"),
+                                                LENGTH))
+
+    def test_runner_seed_changes_results(self):
+        plain = Runner(length=LENGTH, warmup=WARMUP,
+                       workloads=["astar"]).run("astar")
+        reseeded = Runner(length=LENGTH, warmup=WARMUP,
+                          workloads=["astar"], seed=99).run("astar")
+        assert plain.cycles != reseeded.cycles
+
 
 # ----------------------------------------------------------------------
 # The persistent cache.

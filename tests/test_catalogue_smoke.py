@@ -14,7 +14,7 @@ def test_workload_simulates_sanely(name):
     trace = build_workload(name, length=2500)
     for uop in trace[:200]:
         uop.validate()
-    result = simulate(trace, CoreConfig.skylake(), workload=name)
+    result = simulate(trace, config=CoreConfig.skylake(), workload=name)
     assert 0.01 < result.ipc < 4.5, f"{name}: IPC {result.ipc}"
     assert result.loads > 0
     assert result.branches > 0

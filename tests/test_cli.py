@@ -145,6 +145,100 @@ class TestCacheCommand:
             parser.parse_args(["cache", "prune", "--older-than", "-5m"])
 
 
+class TestSharedTraceShapeFlags:
+    """--length/--warmup/--seed/--trace-file come from one argparse
+    parent, so every simulating subcommand accepts them uniformly."""
+
+    @pytest.mark.parametrize("command", [
+        ["run", "astar"],
+        ["compare", "astar", "fvp"],
+        ["profile", "astar"],
+        ["sweep", "fvp"],
+        ["bench"],
+        ["trace", "build", "astar"],
+    ])
+    def test_every_simulating_command_accepts_shape_flags(self, command):
+        args = build_parser().parse_args(
+            command + ["--length", "5000", "--warmup", "1000",
+                       "--seed", "7", "--trace-file", "t.rvt"])
+        assert args.length == 5000
+        assert args.warmup == 1000
+        assert args.seed == 7
+        assert args.trace_file == "t.rvt"
+
+    def test_seed_changes_results(self, capsys):
+        assert main(["run", "astar", "--length", "3000",
+                     "--warmup", "800", "--no-cache"]) == 0
+        base = capsys.readouterr().out
+        assert main(["run", "astar", "--length", "3000",
+                     "--warmup", "800", "--seed", "99",
+                     "--no-cache"]) == 0
+        assert capsys.readouterr().out != base
+
+    def test_figure_rejects_trace_file(self, capsys):
+        assert main(["figure", "6", "--trace-file", "t.rvt",
+                     "--no-cache"]) == 2
+        assert "--trace-file" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_build_inspect_run_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "astar.rvt")
+        assert main(["trace", "build", "astar", "--length", "3000",
+                     "--output", path]) == 0
+        out = capsys.readouterr().out
+        assert "ops" in out and path in out
+
+        assert main(["trace", "inspect", path, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "v2 trace" in out and "verified" in out
+
+        assert main(["run", "astar", "--trace-file", path,
+                     "--warmup", "800", "--no-cache"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_inspect_stats(self, tmp_path, capsys):
+        path = str(tmp_path / "astar.rvt")
+        main(["trace", "build", "astar", "--length", "3000",
+              "--output", path])
+        capsys.readouterr()
+        assert main(["trace", "inspect", path, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "loads" in out and "branches" in out
+
+    def test_build_honours_seed(self, tmp_path, capsys):
+        a = str(tmp_path / "a.rvt")
+        b = str(tmp_path / "b.rvt")
+        main(["trace", "build", "astar", "--length", "3000",
+              "--output", a])
+        main(["trace", "build", "astar", "--length", "3000",
+              "--seed", "99", "--output", b])
+        capsys.readouterr()
+        from repro.trace.io import trace_file_hash
+
+        assert trace_file_hash(a) != trace_file_hash(b)
+
+    def test_inspect_missing_file(self, capsys):
+        assert main(["trace", "inspect", "/nonexistent/x.rvt"]) == 1
+        assert capsys.readouterr().err
+
+    def test_build_rejects_trace_file_flag(self, tmp_path, capsys):
+        assert main(["trace", "build", "astar",
+                     "--trace-file", str(tmp_path / "x.rvt")]) == 2
+        assert "--trace-file" in capsys.readouterr().err
+
+    def test_run_with_trace_file_ignores_length(self, tmp_path, capsys):
+        path = str(tmp_path / "astar.rvt")
+        main(["trace", "build", "astar", "--length", "3000",
+              "--output", path])
+        capsys.readouterr()
+        # length comes from the file header, not --length.
+        assert main(["run", "astar", "--trace-file", path,
+                     "--length", "999999", "--warmup", "800",
+                     "--no-cache"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+
 class TestProfileCommand:
     def test_profile_against_baseline(self, capsys):
         code = main(["profile", "milc", "--length", "4000",

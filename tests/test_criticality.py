@@ -108,7 +108,7 @@ class TestHeuristics:
         from repro.trace import build_trace, get_profile
 
         trace = build_trace(get_profile("namd"), 8000)
-        result = simulate(trace, CoreConfig.skylake(), collect_timing=True)
+        result = simulate(trace, config=CoreConfig.skylake(), collect_timing=True)
         pcs = retirement_stall_pcs(trace, result)
         assert pcs
         load_pcs = {u.pc for u in trace if u.op == opcodes.LOAD}

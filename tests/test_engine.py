@@ -80,7 +80,7 @@ class TestBasicTiming:
         small = CoreConfig.skylake()
         small.rob_size = 32
         big = CoreConfig.skylake()
-        assert simulate(trace, small).cycles > simulate(trace, big).cycles
+        assert simulate(trace, config=small).cycles > simulate(trace, config=big).cycles
 
 
 class TestControlFlow:

@@ -32,8 +32,8 @@ class TestIssueQueue:
         big = CoreConfig.skylake()
         small = CoreConfig.skylake()
         small.iq_size = 40
-        big_result = simulate(trace, big)
-        small_result = simulate(trace, small)
+        big_result = simulate(trace, config=big)
+        small_result = simulate(trace, config=small)
         # A FIFO-freed IQ of 40 would be catastrophic here (every op
         # behind the stalled dependent waits); the real model loses
         # some throughput but stays within 2x.
@@ -43,8 +43,8 @@ class TestIssueQueue:
         trace = miss_plus_filler_trace()
         tiny = CoreConfig.skylake()
         tiny.iq_size = 4
-        normal = simulate(trace, CoreConfig.skylake())
-        bound = simulate(trace, tiny)
+        normal = simulate(trace, config=CoreConfig.skylake())
+        bound = simulate(trace, config=tiny)
         assert bound.cycles > normal.cycles
 
 
@@ -56,8 +56,8 @@ class TestLoadStoreQueues:
                               addr=0x40000000 + (i << 20) + (i % 32) * 64))
         small = CoreConfig.skylake()
         small.lq_size = 4
-        assert simulate(trace, small).cycles > \
-            simulate(trace, CoreConfig.skylake()).cycles
+        assert simulate(trace, config=small).cycles > \
+            simulate(trace, config=CoreConfig.skylake()).cycles
 
     def test_small_sq_limits_outstanding_stores(self):
         trace = []
@@ -68,8 +68,8 @@ class TestLoadStoreQueues:
                                srcs=(1,)))
         small = CoreConfig.skylake()
         small.sq_size = 2
-        assert simulate(trace, small).cycles >= \
-            simulate(trace, CoreConfig.skylake()).cycles
+        assert simulate(trace, config=small).cycles >= \
+            simulate(trace, config=CoreConfig.skylake()).cycles
 
 
 class TestFrontEndEffects:

@@ -68,8 +68,8 @@ class TestPredictionEffects:
         dear = CoreConfig.skylake()
         dear.vp_penalty = 50
         spec = lambda: ScriptedPredictor({pc: 999 for pc in pcs})  # noqa: E731
-        assert simulate(trace, dear, predictor=spec()).cycles > \
-            simulate(trace, cheap, predictor=spec()).cycles
+        assert simulate(trace, config=dear, predictor=spec()).cycles > \
+            simulate(trace, config=cheap, predictor=spec()).cycles
 
     def test_store_seq_prediction_waits_for_store_data(self):
         """An MR-style prediction is available at the store's

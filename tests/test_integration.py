@@ -15,22 +15,22 @@ def traces():
 class TestBaselineBehaviour:
     def test_ipcs_in_plausible_band(self, traces):
         for name, trace in traces.items():
-            result = simulate(trace, CoreConfig.skylake(), workload=name)
+            result = simulate(trace, config=CoreConfig.skylake(), workload=name)
             assert 0.05 < result.ipc < 4.0, name
 
     def test_mcf_is_memory_bound(self, traces):
-        result = simulate(traces["mcf"], CoreConfig.skylake())
+        result = simulate(traces["mcf"], config=CoreConfig.skylake())
         dram = result.level_counts.get("DRAM", 0)
         assert dram > result.loads * 0.05
 
     def test_leela_is_branch_bound(self, traces):
-        result = simulate(traces["leela17"], CoreConfig.skylake())
+        result = simulate(traces["leela17"], config=CoreConfig.skylake())
         assert result.branch_mispredicts > result.branches * 0.05
 
     def test_skylake_2x_faster(self, traces):
         for name, trace in traces.items():
-            narrow = simulate(trace, CoreConfig.skylake())
-            wide = simulate(trace, CoreConfig.skylake_2x())
+            narrow = simulate(trace, config=CoreConfig.skylake())
+            wide = simulate(trace, config=CoreConfig.skylake_2x())
             assert wide.ipc >= narrow.ipc * 0.99, name
 
 
@@ -38,30 +38,30 @@ class TestFvpEndToEnd:
     def test_accuracy_above_99_percent(self, traces):
         """§IV-C: FVP's confidence scheme delivers >99% accuracy."""
         for name, trace in traces.items():
-            result = simulate(trace, CoreConfig.skylake(), predictor=FVP(),
+            result = simulate(trace, config=CoreConfig.skylake(), predictor=FVP(),
                               workload=name)
             if result.predictions > 100:
                 assert result.accuracy > 0.98, name
 
     def test_fvp_never_materially_slows(self, traces):
         for name, trace in traces.items():
-            base = simulate(trace, CoreConfig.skylake())
-            fvp = simulate(trace, CoreConfig.skylake(), predictor=FVP())
+            base = simulate(trace, config=CoreConfig.skylake())
+            fvp = simulate(trace, config=CoreConfig.skylake(), predictor=FVP())
             assert fvp.ipc >= base.ipc * 0.97, name
 
     def test_fvp_gains_on_chain_workloads(self):
         trace = build_workload("namd", length=80_000)
-        base = simulate(trace, CoreConfig.skylake(), warmup=30_000)
-        fvp = simulate(trace, CoreConfig.skylake(), predictor=FVP(),
+        base = simulate(trace, config=CoreConfig.skylake(), warmup=30_000)
+        fvp = simulate(trace, config=CoreConfig.skylake(), predictor=FVP(),
                        warmup=30_000)
         assert fvp.ipc > base.ipc * 1.005
 
     def test_component_split_covers_less_than_full(self, traces):
         trace = traces["hadoop"]
-        full = simulate(trace, CoreConfig.skylake(), predictor=FVP())
-        reg = simulate(trace, CoreConfig.skylake(),
+        full = simulate(trace, config=CoreConfig.skylake(), predictor=FVP())
+        reg = simulate(trace, config=CoreConfig.skylake(),
                        predictor=fvp_register_only())
-        mem = simulate(trace, CoreConfig.skylake(),
+        mem = simulate(trace, config=CoreConfig.skylake(),
                        predictor=fvp_memory_only())
         assert reg.predicted_loads <= full.predicted_loads * 1.1
         # The memory-only variant has no Value Table to gate its MR
@@ -73,7 +73,7 @@ class TestFvpEndToEnd:
 
     def test_loads_only_discipline(self, traces):
         for trace in traces.values():
-            result = simulate(trace, CoreConfig.skylake(), predictor=FVP())
+            result = simulate(trace, config=CoreConfig.skylake(), predictor=FVP())
             assert result.predicted_nonloads == 0
 
 
@@ -81,7 +81,7 @@ class TestBaselinePredictorsEndToEnd:
     @pytest.mark.parametrize("name", ["lvp", "stride", "eves", "dlvp",
                                       "mr-8kb", "composite-8kb"])
     def test_predictors_run_clean(self, traces, name):
-        result = simulate(traces["hadoop"], CoreConfig.skylake(),
+        result = simulate(traces["hadoop"], config=CoreConfig.skylake(),
                           predictor=make_predictor(name))
         if result.predictions > 100:
             # Unfiltered DLVP mispredicts on store-conflicting loads —
@@ -93,13 +93,13 @@ class TestBaselinePredictorsEndToEnd:
         """The paper's central contrast: the Composite chases coverage,
         FVP does not — yet FVP stays competitive."""
         trace = traces["hadoop"]
-        comp = simulate(trace, CoreConfig.skylake(),
+        comp = simulate(trace, config=CoreConfig.skylake(),
                         predictor=make_predictor("composite-8kb"))
-        fvp = simulate(trace, CoreConfig.skylake(), predictor=FVP())
+        fvp = simulate(trace, config=CoreConfig.skylake(), predictor=FVP())
         assert comp.coverage > fvp.coverage
 
     def test_mr_only_makes_store_seq_predictions(self, traces):
-        result = simulate(traces["hadoop"], CoreConfig.skylake(),
+        result = simulate(traces["hadoop"], config=CoreConfig.skylake(),
                           predictor=make_predictor("mr-8kb"))
         assert result.register_predictions == 0
 
@@ -107,9 +107,9 @@ class TestBaselinePredictorsEndToEnd:
 class TestDeterminism:
     def test_same_trace_same_result(self):
         trace = build_workload("astar", length=8_000)
-        a = simulate(trace, CoreConfig.skylake(), predictor=FVP())
+        a = simulate(trace, config=CoreConfig.skylake(), predictor=FVP())
         b = simulate(build_workload("astar", length=8_000),
-                     CoreConfig.skylake(), predictor=FVP())
+                     config=CoreConfig.skylake(), predictor=FVP())
         assert a.cycles == b.cycles
         assert a.predicted_loads == b.predicted_loads
         assert a.branch_mispredicts == b.branch_mispredicts

@@ -191,6 +191,6 @@ def test_skylake2x_never_slower(seed):
     """The doubled machine is a strict resource superset: it must not
     lose to the narrow machine on any trace."""
     trace = random_trace(seed, n=400)
-    narrow = simulate(trace, CoreConfig.skylake())
-    wide = simulate(trace, CoreConfig.skylake_2x())
+    narrow = simulate(trace, config=CoreConfig.skylake())
+    wide = simulate(trace, config=CoreConfig.skylake_2x())
     assert wide.cycles <= narrow.cycles * 1.02 + 8

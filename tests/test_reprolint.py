@@ -1,4 +1,4 @@
-"""Fixture-based coverage for the reprolint rules (RL001-RL006).
+"""Fixture-based coverage for the reprolint rules (RL001-RL007).
 
 Every rule has at least one *bad* fixture (a snippet the rule must
 flag) and one *good* fixture (a snippet it must leave alone); the
@@ -150,8 +150,17 @@ FIXTURES = {
                             "    pred.predict(op)\n"
                             "    pred.train_execute(op)")),
             ("missing-dispatch-target", MISSING_METHOD_CLASS),
+            ("trace-stream-drift",
+             dual_class(hot="for window in trace.chunks():\n"
+                            "    for op in window:\n        pass",
+                        ref="for op in trace:\n    pass")),
         ],
         "good": [
+            ("chunked-lockstep",
+             dual_class(hot="for window in trace.chunks():\n"
+                            "    for op in window:\n        pass",
+                        ref="for window in trace.chunks():\n"
+                            "    for op in window:\n        pass")),
             ("lockstep",
              dual_class(hot="cfg = self.config\npred = self.predictor\n"
                             "for op in trace:\n"
@@ -240,6 +249,38 @@ FIXTURES = {
             ("dynamic-name-skipped",
              "import os\n\n\ndef read(name):\n"
              "    return os.environ.get(name)\n"),
+        ],
+    },
+    "RL007": {
+        "bad": [
+            ("list-of-as-source",
+             "from repro.trace.source import as_source\n\n\n"
+             "def flatten(trace):\n    source = as_source(trace)\n"
+             "    return list(source)\n"),
+            ("subscript-on-annotated-source",
+             "from repro.trace.source import TraceSource\n\n\n"
+             "def first(source: TraceSource):\n    return source[0]\n"),
+            ("sorted-open-trace",
+             "from repro.trace.io import open_trace\n\n\n"
+             "def ordered(path):\n    src = open_trace(path)\n"
+             "    return sorted(src)\n"),
+        ],
+        "good": [
+            ("chunked-iteration",
+             "from repro.trace.source import as_source\n\n\n"
+             "def count(trace):\n    source = as_source(trace)\n"
+             "    total = 0\n"
+             "    for window in source.chunks():\n"
+             "        total += len(window)\n    return total\n"),
+            ("explicit-materialize-escape-hatch",
+             "from repro.trace.source import TraceSource\n\n\n"
+             "def analyse(source: TraceSource):\n"
+             "    ops = source.materialize()\n    return ops[0]\n"),
+            ("union-annotation-admits-lists",
+             "from typing import Sequence, Union\n\n"
+             "from repro.trace.source import TraceSource\n\n\n"
+             "def accept(trace: Union[TraceSource, Sequence]):\n"
+             "    return list(trace)\n"),
         ],
     },
 }

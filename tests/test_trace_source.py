@@ -1,0 +1,117 @@
+"""The TraceSource streaming protocol (docs/TRACES.md).
+
+Covers the base-class contract (bounded windows, PassStats accounting,
+deterministic replay, the materialize escape hatch) and the three
+concrete backings: ListSource (zero-copy adapter), ProfileSource
+(generate-on-the-fly) and FileSource (mmap replay — exercised in depth
+by tests/test_trace_io.py).
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace import build_trace, get_profile
+from repro.trace.builder import ProfileSource, stream_trace
+from repro.trace.source import (DEFAULT_CHUNK_OPS, ListSource, PassStats,
+                                TraceSource, as_source)
+
+FIELDS = ("pc", "op", "dest", "srcs", "value", "addr", "mem_size",
+          "taken", "target")
+
+
+def _key(uop):
+    # MicroOp has no __eq__ (identity compare); compare field-wise.
+    return tuple(getattr(uop, field) for field in FIELDS)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_trace(get_profile("astar"), 3000)
+
+
+class TestProtocol:
+    def test_windows_are_bounded_and_ordered(self, trace):
+        source = ListSource(trace, chunk_ops=256)
+        seen = []
+        for window in source.chunks():
+            assert 0 < len(window) <= 256
+            seen.extend(_key(uop) for uop in window)
+        assert seen == [_key(uop) for uop in trace]
+
+    def test_pass_stats_accounting(self, trace):
+        source = ListSource(trace, chunk_ops=1000)
+        assert source.last_pass == PassStats(0, 0, 0)
+        list(source.chunks())
+        n = len(trace)
+        expected = PassStats(-(-n // 1000), n, min(1000, n))
+        assert source.last_pass == expected
+        # A fresh pass resets and recounts.
+        list(source.chunks())
+        assert source.last_pass == expected
+
+    def test_replay_is_deterministic(self, trace):
+        source = ListSource(trace, chunk_ops=128)
+        assert [_key(u) for u in source.ops()] \
+            == [_key(u) for u in source.ops()]
+
+    def test_iter_flattens_one_pass(self, trace):
+        source = ListSource(trace)
+        assert [_key(u) for u in source] == [_key(u) for u in trace]
+
+    def test_materialize_escape_hatch(self, trace):
+        source = ListSource(trace)
+        assert source.materialize() is trace  # zero-copy for lists
+        assert as_source(tuple(trace)).materialize() == trace
+
+    def test_len_known_before_iteration(self, trace):
+        assert len(ListSource(trace)) == len(trace)
+
+    def test_chunk_ops_must_be_positive(self, trace):
+        for bad in (0, -1):
+            with pytest.raises(ConfigError, match="chunk_ops"):
+                ListSource(trace, chunk_ops=bad)
+
+    def test_base_class_is_abstract(self):
+        source = TraceSource()
+        with pytest.raises(NotImplementedError):
+            len(source)
+        with pytest.raises(NotImplementedError):
+            next(iter(source.chunks()))
+
+
+class TestAsSource:
+    def test_sequence_is_wrapped(self, trace):
+        source = as_source(trace)
+        assert isinstance(source, ListSource)
+        assert source.chunk_ops == DEFAULT_CHUNK_OPS
+
+    def test_source_passes_through(self, trace):
+        source = ListSource(trace, chunk_ops=7)
+        assert as_source(source) is source
+
+
+class TestProfileSource:
+    def test_matches_build_trace_exactly(self):
+        profile = get_profile("astar")
+        streamed = [_key(u) for u in ProfileSource(profile, 3000).ops()]
+        built = [_key(u) for u in build_trace(profile, 3000)]
+        assert streamed == built
+
+    def test_len_matches_delivery_with_kernel_overshoot(self):
+        source = ProfileSource(get_profile("mcf"), 5000)
+        n = len(source)
+        assert n >= 5000
+        assert sum(len(w) for w in source.chunks()) == n
+
+    def test_replay_regenerates_identically(self):
+        source = stream_trace(get_profile("gcc"), 2000, chunk_ops=333)
+        assert [_key(u) for u in source.ops()] \
+            == [_key(u) for u in source.ops()]
+
+    def test_windows_bounded(self):
+        source = ProfileSource(get_profile("astar"), 3000, chunk_ops=100)
+        assert all(len(w) <= 100 for w in source.chunks())
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ConfigError):
+            ProfileSource(get_profile("astar"), 0)
