@@ -12,9 +12,20 @@ Commands
 ``sweep``     — predictors × cores over the workload suite
 ``storage``   — print Table I
 ``report``    — write a full reproduction report
-``cache``     — inspect, clear, or prune the persistent result cache
+``cache``     — inspect, clear, prune, or evict the persistent result
+                cache (the shared cache tier; ``evict`` applies an
+                LRU size budget)
 ``doctor``    — environment self-check (exit 1 when the host cannot
-                run campaigns reliably)
+                run campaigns reliably) plus cache-tier hygiene:
+                stale sweep checkpoints, quarantine files, and dead
+                service sockets, removable with ``--fix``
+``serve``     — run the campaign service daemon: a job queue over a
+                unix socket (and optional localhost HTTP) backed by
+                the shared cache tier (docs/SERVICE.md)
+``submit``    — send a sweep to the daemon and stream its progress
+``watch``     — re-attach to a submission's event stream
+``jobs``      — daemon queue/record summary (``--stats`` adds the
+                service telemetry tree)
 ``bench``     — simulator performance benchmark: sim-KIPS over a fixed
                 (workload × predictor) matrix, fast-vs-slow-path
                 speedup, baseline comparison, the CI regression gate
@@ -49,8 +60,13 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.errors import ReproError
-from repro.experiments.campaign import JobEvent, ResultCache
+from repro.errors import ConfigError, ReproError
+from repro.experiments.campaign import (
+    Job,
+    JobEvent,
+    ResultCache,
+    parse_size,
+)
 from repro.experiments.runner import (
     DEFAULT_LENGTH,
     Runner,
@@ -74,7 +90,7 @@ def _trace_shape_parent(default_length: int = DEFAULT_LENGTH
                        help="trace length in micro-ops")
     shape.add_argument("--warmup", type=int, default=None,
                        help="warmup prefix excluded from statistics "
-                            "(default: 40%% of length, capped at 40k)")
+                            "(default: 40%% of length, capped at 100k)")
     shape.add_argument("--seed", type=int, default=None, metavar="N",
                        help="trace-generation seed override (default: "
                             "the workload's stable seed)")
@@ -433,7 +449,7 @@ def cmd_report(args) -> int:
 
 
 def cmd_cache(args) -> int:
-    """Inspect or clear the campaign result cache."""
+    """Inspect, clear, prune, or budget-evict the result cache."""
     cache = ResultCache(args.cache_dir)
     if args.action == "clear":
         removed = cache.clear()
@@ -448,19 +464,247 @@ def cmd_cache(args) -> int:
         print(f"pruned {removed} cached result(s) older than "
               f"{args.older_than:.0f}s from {cache.root}")
         return 0
+    if args.action == "evict":
+        if args.budget is None and not cache.budget_bytes:
+            print("cache evict requires --budget (e.g. 256M) or "
+                  "REPRO_CACHE_BUDGET", file=sys.stderr)
+            return 2
+        try:
+            budget = parse_size(args.budget) if args.budget else None
+        except ConfigError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        removed = cache.enforce_budget(budget)
+        cache.flush_stats(0)
+        print(f"evicted {removed} entr(y/ies) from {cache.root} "
+              f"(budget {budget or cache.budget_bytes} bytes, "
+              f"now {cache.size_bytes()} bytes)")
+        return 0
     stats = cache.load_stats()
     entries = cache.entries()
     last = stats["last_run"]
     print(f"cache directory: {cache.root}")
     print(f"entries: {len(entries)} ({cache.size_bytes() / 1024:.1f} KiB)")
+    if cache.budget_bytes:
+        print(f"eviction budget: {cache.budget_bytes} bytes")
     print(f"cumulative: {stats['hits']} hits, {stats['misses']} misses, "
-          f"{stats['simulated']} simulations executed")
+          f"{stats['simulated']} simulations executed, "
+          f"{stats['evicted']} evicted")
     print(f"last run: {last['hits']} hits, {last['misses']} misses, "
           f"{last['simulated']} simulations executed")
     bad = cache.quarantined_entries()
     if bad or stats.get("quarantined"):
         print(f"quarantined: {len(bad)} corrupt entr(y/ies) on disk "
               f"({stats.get('quarantined', 0)} lifetime; see *.bad files)")
+    return 0
+
+
+def _service_socket(args) -> str:
+    """The daemon rendezvous for this invocation: ``--socket`` wins,
+    else the cache-tier default (see repro.service.protocol)."""
+    from repro.service.protocol import socket_path
+
+    if getattr(args, "socket", None):
+        return args.socket
+    return socket_path(getattr(args, "cache_dir", None))
+
+
+def _render_service_event(frame) -> None:
+    """One stderr line per streamed service frame (mirrors the local
+    campaign ``_progress`` rendering)."""
+    kind = frame.get("event")
+    if kind == "accepted":
+        print(f"submission {frame['id']}: {frame['total']} job(s) — "
+              f"{frame['new']} new, {frame['deduped_inflight']} "
+              f"in-flight, {frame['deduped_cached']} cached",
+              file=sys.stderr)
+        return
+    if kind == "complete":
+        print(f"submission {frame['id']} complete: {frame['hits']} "
+              f"cache hit(s), {frame['simulated']} simulated, "
+              f"{frame['failed']} failed", file=sys.stderr)
+        return
+    if kind != "job" or frame.get("status") == "start":
+        return
+    status = frame["status"]
+    index = frame.get("index")
+    prefix = f"  [{index}/{frame.get('total')}] " \
+        if index is not None else "  "
+    if status == "retry":
+        print(f"{prefix}{frame['label']}: {frame.get('error')} after "
+              f"{frame.get('elapsed', 0.0):.2f}s, retrying",
+              file=sys.stderr)
+    elif status == "fail":
+        print(f"{prefix}{frame['label']}: FAILED "
+              f"({frame.get('error')})", file=sys.stderr)
+    elif status == "hit":
+        print(f"{prefix}{frame['label']}: cache hit", file=sys.stderr)
+    else:
+        print(f"{prefix}{frame['label']}: "
+              f"{frame.get('elapsed', 0.0):.2f}s", file=sys.stderr)
+
+
+def cmd_serve(args) -> int:
+    """Run (or, with ``--stop``, stop) the campaign service daemon."""
+    from repro.service import client as service_client
+    from repro.service.daemon import ServiceDaemon
+
+    path = _service_socket(args)
+    if args.stop:
+        try:
+            service_client.shutdown(path)
+        except ReproError as exc:
+            print(exc, file=sys.stderr)
+            return 1
+        print(f"daemon at {path} stopped")
+        return 0
+    cache = None
+    if not args.no_cache:
+        try:
+            budget = parse_size(args.cache_budget) \
+                if args.cache_budget else None
+            cache = ResultCache(args.cache_dir, budget_bytes=budget)
+        except ConfigError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    daemon = ServiceDaemon(path, cache=cache, jobs=args.jobs,
+                           timeout=args.timeout, retries=args.retries,
+                           http_port=args.http)
+    extra = f" (http 127.0.0.1:{args.http})" if args.http else ""
+    print(f"serving campaigns on {path}{extra}", file=sys.stderr)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:  # clean ^C shutdown
+        daemon.stop()
+    except ReproError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    return 0
+
+
+def _drain_service_stream(stream, output: Optional[str]) -> int:
+    """Render a submit/watch event stream, optionally writing the
+    collected results JSON; exit status reflects failed jobs."""
+    import json
+
+    complete = None
+    results = {}
+    failures = {}
+    try:
+        for frame in stream:
+            _render_service_event(frame)
+            kind = frame.get("event")
+            if kind == "complete":
+                complete = frame
+            elif kind == "job":
+                if frame["status"] in ("hit", "done"):
+                    results[frame["key"]] = frame.get("result")
+                elif frame["status"] == "fail":
+                    failures[frame["key"]] = frame.get("error")
+    except ReproError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    if output is not None:
+        payload = {"results": results, "failures": failures,
+                   "complete": complete}
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"wrote {output} ({len(results)} result(s))")
+    if complete is None:
+        print("stream ended before completion (daemon stopped?)",
+              file=sys.stderr)
+        return 1
+    return 1 if failures else 0
+
+
+def cmd_submit(args) -> int:
+    """Submit a predictors × cores × workloads sweep to the daemon."""
+    from repro.service import client as service_client
+
+    if args.trace_file is not None and len(args.workloads) != 1:
+        print("submit --trace-file requires exactly one --workloads "
+              "entry", file=sys.stderr)
+        return 2
+    jobs: List[Job] = []
+    for core in args.cores:
+        for predictor in args.predictors:
+            spec = None if predictor == "baseline" else predictor
+            for workload in args.workloads:
+                jobs.append(Job(workload, core, spec, args.length,
+                                _warmup(args), args.seed,
+                                args.trace_file))
+    path = _service_socket(args)
+    try:
+        stream = service_client.submit(path, jobs,
+                                       priority=args.priority,
+                                       watch=not args.no_watch)
+        if args.no_watch:
+            for frame in stream:
+                _render_service_event(frame)
+                if frame.get("event") == "accepted":
+                    print(f"{frame['id']} (follow with: repro watch "
+                          f"{frame['id']})")
+            return 0
+        return _drain_service_stream(stream, args.output)
+    except ReproError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+
+
+def cmd_watch(args) -> int:
+    """Re-attach to a submission's event stream by id."""
+    from repro.service import client as service_client
+
+    path = _service_socket(args)
+    try:
+        stream = service_client.watch(path, args.id)
+        return _drain_service_stream(stream, args.output)
+    except ReproError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+
+
+def _flatten_stat_payload(payload, prefix: str = "") -> List[tuple]:
+    """``(dotted path, value)`` rows from a ``StatGroup.to_dict``
+    payload, depth-first."""
+    rows: List[tuple] = []
+    for name, child in payload.get("children", {}).items():
+        dotted = f"{prefix}{name}"
+        if child.get("kind") == "group":
+            rows.extend(_flatten_stat_payload(child, dotted + "."))
+        else:
+            rows.append((dotted, child.get("value")))
+    return rows
+
+
+def cmd_jobs(args) -> int:
+    """Daemon queue/record summary, optionally with telemetry."""
+    from repro.analysis.reporting import format_table
+    from repro.service import client as service_client
+
+    path = _service_socket(args)
+    try:
+        summary = service_client.list_jobs(path)
+        stats = service_client.fetch_stats(path) if args.stats else None
+    except ReproError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    records = summary["records"]
+    print(f"service at {path}")
+    print(f"queued batches: {summary['queued_batches']}; records: "
+          + ", ".join(f"{records[state]} {state}"
+                      for state in ("pending", "running", "done",
+                                    "failed")))
+    rows = [(sub["id"], sub["priority"], sub["total"], sub["done"],
+             sub["failed"], "complete" if sub["complete"] else "open")
+            for sub in summary["submissions"]]
+    if rows:
+        print(format_table(("submission", "priority", "jobs", "done",
+                            "failed", "state"), rows))
+    if stats is not None:
+        print("telemetry (service.* / cache.*):")
+        for dotted, value in _flatten_stat_payload(stats["tree"]):
+            print(f"  {dotted:<28} {value}")
     return 0
 
 
@@ -562,11 +806,76 @@ def cmd_doctor(args) -> int:
     print(f"mypy --strict ratchet: {strict}/{total} modules "
           f"({typing_ratchet.coverage_percent():.0f}% of src/repro; "
           "see mypy.ini)")
+    _doctor_hygiene(args)
     if failures:
         print(f"{failures} check(s) failed", file=sys.stderr)
         return 1
     print("all checks passed")
     return 0
+
+
+def _doctor_hygiene(args) -> None:
+    """Cache-tier hygiene report: stale sweep checkpoints, quarantined
+    ``*.bad`` entries, and a dead service socket.  Findings are
+    advisory (they never fail ``doctor``); ``--fix`` removes them."""
+    import time
+
+    from repro.errors import ServiceUnavailable
+    from repro.experiments.campaign import (
+        CAMPAIGN_DIR,
+        DEFAULT_CACHE_DIR,
+        list_campaigns,
+    )
+    from repro.service import client as service_client
+    from repro.service.protocol import socket_path
+
+    root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR",
+                                            DEFAULT_CACHE_DIR)
+    findings: List[tuple] = []
+
+    cutoff = time.time() - args.stale_age
+    for manifest in list_campaigns(root):
+        if manifest.get("completed"):
+            continue
+        base = os.path.join(root, CAMPAIGN_DIR, manifest["id"])
+        try:
+            if os.path.getmtime(base + ".json") >= cutoff:
+                continue
+        except OSError:
+            continue
+        findings.append(("stale sweep checkpoint", base + ".json"))
+        if os.path.exists(base + ".journal"):
+            findings.append(("stale sweep journal", base + ".journal"))
+
+    cache = ResultCache(root)
+    for key in cache.quarantined_entries():
+        findings.append(("quarantined cache entry",
+                         cache.path(key) + cache.BAD_SUFFIX))
+
+    sock = socket_path(root)
+    if os.path.exists(sock):
+        try:
+            service_client.ping(sock, timeout=2.0)
+            print(f"  ok  service daemon live on {sock}")
+        except ServiceUnavailable:
+            findings.append(("dead service socket", sock))
+
+    if not findings:
+        print("cache hygiene: clean (no stale checkpoints, "
+              "quarantine files, or dead sockets)")
+        return
+    verb = "removed" if args.fix else "found"
+    print(f"cache hygiene: {len(findings)} finding(s)"
+          + ("" if args.fix else " (repro doctor --fix removes them)"))
+    for kind, target in findings:
+        if args.fix:
+            try:
+                os.remove(target)
+            except OSError as exc:
+                print(f"  FAILED to remove {kind}: {target} ({exc})",
+                      file=sys.stderr)
+                continue
+        print(f"  {verb} {kind}: {target}")
 
 
 def _doctor_worker(conn) -> None:
@@ -836,19 +1145,91 @@ def build_parser() -> argparse.ArgumentParser:
     p_tinspect.set_defaults(func=cmd_trace_inspect)
 
     p_cache = sub.add_parser(
-        "cache", help="inspect, clear, or prune the result cache")
-    p_cache.add_argument("action", choices=("stats", "clear", "prune"))
+        "cache", help="inspect, clear, prune, or evict the result cache")
+    p_cache.add_argument("action",
+                         choices=("stats", "clear", "prune", "evict"))
     p_cache.add_argument("--older-than", type=_parse_age, default=None,
                          metavar="AGE",
                          help="prune entries older than AGE "
                               "(e.g. 3600, 30m, 12h, 7d)")
+    p_cache.add_argument("--budget", default=None, metavar="SIZE",
+                         help="evict LRU entries until the cache fits "
+                              "SIZE (e.g. 268435456, 256M, 1G)")
     p_cache.add_argument("--cache-dir", default=None, metavar="DIR")
     p_cache.set_defaults(func=cmd_cache)
 
     p_doctor = sub.add_parser(
         "doctor", help="environment self-check for reliable campaigns")
     p_doctor.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_doctor.add_argument("--fix", action="store_true",
+                          help="remove the hygiene findings (stale "
+                               "checkpoints, *.bad files, dead "
+                               "service sockets)")
+    p_doctor.add_argument("--stale-age", type=_parse_age,
+                          default=7 * 86400.0, metavar="AGE",
+                          help="age past which an unfinished sweep "
+                               "checkpoint counts as stale "
+                               "(default: 7d)")
     p_doctor.set_defaults(func=cmd_doctor)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the campaign service daemon "
+                      "(docs/SERVICE.md)")
+    p_serve.add_argument("--socket", default=None, metavar="PATH",
+                         help="unix socket path (default: "
+                              "$REPRO_SERVICE_SOCKET or "
+                              "<cache-dir>/service.sock)")
+    p_serve.add_argument("--http", type=int, default=None,
+                         metavar="PORT",
+                         help="also serve ping/stats/jobs/submit on "
+                              "127.0.0.1:PORT")
+    p_serve.add_argument("--cache-budget", default=None, metavar="SIZE",
+                         help="cache-tier eviction budget (e.g. 256M; "
+                              "default: $REPRO_CACHE_BUDGET)")
+    p_serve.add_argument("--stop", action="store_true",
+                         help="ask the running daemon to drain and "
+                              "exit")
+    _add_campaign_args(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", parents=[shape],
+        help="submit a sweep to the service daemon")
+    p_submit.add_argument("predictors", nargs="+",
+                          help="predictor registry names "
+                               "('baseline' for the no-VP core)")
+    p_submit.add_argument("--workloads", nargs="+", required=True,
+                          help="workload names (see `repro list`)")
+    p_submit.add_argument("--cores", nargs="+", default=["skylake"],
+                          choices=("skylake", "skylake-2x"))
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="queue priority (higher runs first; "
+                               "default: 0)")
+    p_submit.add_argument("--no-watch", action="store_true",
+                          help="enqueue and detach (follow later "
+                               "with `repro watch`)")
+    p_submit.add_argument("--output", default=None, metavar="FILE",
+                          help="write the streamed results as JSON")
+    p_submit.add_argument("--socket", default=None, metavar="PATH")
+    p_submit.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_watch = sub.add_parser(
+        "watch", help="re-attach to a service submission's progress")
+    p_watch.add_argument("id", help="submission id (e.g. S0001)")
+    p_watch.add_argument("--output", default=None, metavar="FILE",
+                         help="write the streamed results as JSON")
+    p_watch.add_argument("--socket", default=None, metavar="PATH")
+    p_watch.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_watch.set_defaults(func=cmd_watch)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="service queue and job-record summary")
+    p_jobs.add_argument("--stats", action="store_true",
+                        help="also print the service telemetry tree")
+    p_jobs.add_argument("--socket", default=None, metavar="PATH")
+    p_jobs.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_jobs.set_defaults(func=cmd_jobs)
 
     p_lint = sub.add_parser(
         "lint", help="simulator-aware static analysis "
@@ -869,8 +1250,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
-    workload = getattr(args, "workload", None)
-    if workload is not None:
+    single = getattr(args, "workload", None)
+    workloads = [single] if single is not None else []
+    if args.command == "submit":
+        # bench --workloads stays unvalidated: with --trace-file the
+        # entry is a recording label, not a catalogue name.
+        workloads += list(args.workloads)
+    for workload in workloads:
         try:
             get_profile(workload)
         except KeyError:

@@ -46,12 +46,20 @@ REGISTRY: Dict[str, EnvVar] = {
         EnvVar("REPRO_CACHE_DIR",
                "result-cache directory for campaigns",
                ".repro-cache", "repro.experiments.campaign"),
+        EnvVar("REPRO_CACHE_BUDGET",
+               "cache-tier eviction budget (bytes; K/M/G suffixes)",
+               "0 (unbounded, no eviction)",
+               "repro.experiments.campaign"),
+        EnvVar("REPRO_SERVICE_SOCKET",
+               "unix socket path of the campaign service daemon",
+               ".repro-cache/service.sock", "repro.service.protocol"),
         EnvVar("REPRO_LENGTH",
                "default trace length in micro-ops",
-               "100000", "repro.experiments.runner"),
+               "250000", "repro.experiments.runner"),
         EnvVar("REPRO_WARMUP",
                "override the default warmup prefix outright",
-               "40% of length, capped at 40k", "repro.experiments.runner"),
+               "40% of length, capped at 100k",
+               "repro.experiments.runner"),
         EnvVar("REPRO_SLOW_PATH",
                "1 selects the readable reference timing loop",
                "0 (optimized hot path)", "repro.pipeline.engine"),

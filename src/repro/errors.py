@@ -15,7 +15,10 @@ taxonomy (see docs/ROBUSTNESS.md):
     ├── ``WorkerCrash``            — a worker process died without reporting
     ├── ``JobTimeout``             — a job exceeded its wall-clock budget
     ├── ``CacheCorruption``        — a cache entry failed to deserialise
-    └── ``CampaignError``          — a campaign finished with quarantined failures
+    ├── ``CampaignError``          — a campaign finished with quarantined failures
+    └── ``ServiceError``           — the campaign service layer failed
+          ├── ``ServiceUnavailable``  — no daemon behind the socket/endpoint
+          └── ``ProtocolError``       — malformed or incompatible wire frame
 
 :data:`RETRYABLE` lists the classes the campaign engine retries with
 exponential backoff; anything else fails the same way on every attempt
@@ -85,6 +88,22 @@ class CampaignError(ReproError):
         self.ledger = ledger
 
 
+class ServiceError(ReproError):
+    """The campaign service layer (``repro serve`` and its clients)
+    failed outside any individual simulation job."""
+
+
+class ServiceUnavailable(ServiceError):
+    """No live daemon answered on the service socket/endpoint (not
+    running, crashed, or a stale socket file left by a killed
+    daemon)."""
+
+
+class ProtocolError(ServiceError):
+    """A wire frame could not be parsed or named an unknown operation
+    or incompatible protocol version."""
+
+
 #: Error classes the campaign engine retries (with exponential
 #: backoff) before quarantining the job.
 RETRYABLE = (JobTimeout, WorkerCrash, TransientError)
@@ -106,8 +125,11 @@ __all__ = [
     "InvariantViolation",
     "JobTimeout",
     "NonTerminatingSimulation",
+    "ProtocolError",
     "RETRYABLE",
     "ReproError",
+    "ServiceError",
+    "ServiceUnavailable",
     "SimulationError",
     "TransientError",
     "WorkerCrash",

@@ -39,7 +39,7 @@ from repro.errors import SimulationError
 #: optimization helping only one op class shows up.
 DEFAULT_WORKLOADS = ("mcf", "gcc", "omnetpp")
 DEFAULT_PREDICTORS = ("baseline", "fvp", "mr-8kb")
-DEFAULT_LENGTH = 30_000
+DEFAULT_LENGTH = 100_000
 DEFAULT_REPEATS = 3
 
 #: Fractional tolerance of the --check regression gate.

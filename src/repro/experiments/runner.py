@@ -56,9 +56,9 @@ from repro.trace.workloads import CATALOGUE, get_profile, reseeded
 
 PredictorSpec = Union[str, Callable]
 
-DEFAULT_LENGTH = int(os.environ.get("REPRO_LENGTH", 100_000))
+DEFAULT_LENGTH = int(os.environ.get("REPRO_LENGTH", 250_000))
 #: Cap on the default warmup prefix (micro-ops).
-DEFAULT_WARMUP = 40_000
+DEFAULT_WARMUP = 100_000
 
 _CORES = {
     "skylake": CoreConfig.skylake,
@@ -68,9 +68,10 @@ _CORES = {
 
 def default_warmup(length: int) -> int:
     """The warmup prefix used when none is given: 40% of the trace,
-    capped at :data:`DEFAULT_WARMUP` micro-ops (valid for any length —
-    the shared rule for the CLI, the Runner, and the campaign engine).
-    The ``REPRO_WARMUP`` environment variable overrides it outright."""
+    capped at :data:`DEFAULT_WARMUP` (100k) micro-ops (valid for any
+    length — the shared rule for the CLI, the Runner, and the campaign
+    engine).  The ``REPRO_WARMUP`` environment variable overrides it
+    outright."""
     env = os.environ.get("REPRO_WARMUP")
     if env is not None:
         return int(env)

@@ -1,0 +1,285 @@
+"""In-memory job board: submissions, dedup, and event journals.
+
+The board is the daemon's single source of truth, shared by every
+connection thread and the scheduler under one lock:
+
+* **Records** — one :class:`JobRecord` per distinct job (keyed by the
+  campaign cache key, :func:`~repro.experiments.campaign.job_key`),
+  whatever number of submissions reference it.  A job simulates at
+  most once per daemon lifetime; later submissions *subscribe* to the
+  existing record instead of enqueueing a duplicate — the in-flight
+  half of the dedup contract (the on-disk half is the
+  :class:`~repro.experiments.campaign.ResultCache`, consulted by the
+  engine when the job actually runs).
+* **Submissions** — one :class:`Submission` per ``submit`` frame, with
+  an append-only event journal.  Watchers replay the journal from any
+  cursor and then follow live under the board condition variable, so
+  a client that connects late (or reconnects) sees exactly the same
+  event sequence as one that watched from the start — no races, no
+  gaps.
+* **Queue** — a priority heap of batches (higher ``priority`` first,
+  FIFO within a priority).  Only *new* records enter the queue; the
+  scheduler drains it one batch at a time through the campaign
+  engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.experiments.campaign import Job, JobEvent, job_key
+
+#: Job-record lifecycle states.
+STATES = ("pending", "running", "done", "failed")
+
+#: Journal statuses that end a job's participation in a submission.
+_TERMINAL = ("hit", "done", "fail")
+
+
+@dataclass
+class JobRecord:
+    """One distinct job's lifetime on the board."""
+
+    job: Job
+    key: str
+    state: str = "pending"
+    #: Whether the result came from the cache tier (vs a simulation).
+    from_cache: bool = False
+    #: ``SimResult.to_dict()`` wire form, set on completion.
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    #: Submission ids following this record.
+    subscribers: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class Submission:
+    """One ``submit`` frame's accounting and event journal."""
+
+    sid: str
+    keys: List[str]
+    priority: int
+    counts: Dict[str, int]
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    done: int = 0
+    hits: int = 0
+    simulated: int = 0
+    failed: int = 0
+    complete: bool = False
+
+    @property
+    def total(self) -> int:
+        """Distinct jobs in this submission."""
+        return len(self.keys)
+
+
+class JobBoard:
+    """Thread-safe submission/record registry with event streaming."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self.records: Dict[str, JobRecord] = {}
+        self.submissions: Dict[str, Submission] = {}
+        self._queue: List[Tuple[int, int, str, List[str]]] = []
+        self._seq = 0
+        self._closed = False
+
+    # -- submission ----------------------------------------------------
+    def submit(self, jobs: Sequence[Job],
+               priority: int = 0) -> Submission:
+        """Register a submission; returns its :class:`Submission`.
+
+        Incoming duplicates collapse first (a sweep that lists a job
+        twice costs one slot); each distinct job then either creates a
+        fresh pending record (queued for the scheduler), subscribes to
+        an in-flight record (``deduped_inflight``), or is answered
+        immediately from a completed record's held result
+        (``deduped_cached`` — a memory-tier cache hit, no queueing at
+        all).  Failed records are retried: a resubmission replaces
+        them with a fresh pending record."""
+        with self._cond:
+            self._seq += 1
+            sid = f"S{self._seq:04d}"
+            ordered: List[Tuple[str, Job]] = []
+            seen: Set[str] = set()
+            for job in jobs:
+                key = job_key(job)
+                if key not in seen:
+                    seen.add(key)
+                    ordered.append((key, job))
+            counts = {"new": 0, "deduped_inflight": 0,
+                      "deduped_cached": 0}
+            run_keys: List[str] = []
+            served: List[JobRecord] = []
+            for key, job in ordered:
+                record = self.records.get(key)
+                if record is None or record.state == "failed":
+                    record = JobRecord(job=job, key=key)
+                    self.records[key] = record
+                    counts["new"] += 1
+                    record.subscribers.add(sid)
+                    run_keys.append(key)
+                elif record.state in ("pending", "running"):
+                    counts["deduped_inflight"] += 1
+                    record.subscribers.add(sid)
+                else:  # done: answer from the memory tier, no queueing
+                    counts["deduped_cached"] += 1
+                    served.append(record)
+            submission = Submission(sid=sid,
+                                    keys=[key for key, _ in ordered],
+                                    priority=priority, counts=counts)
+            self.submissions[sid] = submission
+            for record in served:
+                self._journal(submission, record, "hit", None, None)
+            if run_keys:
+                heapq.heappush(self._queue,
+                               (-priority, self._seq, sid, run_keys))
+            self._finish_if_drained(submission)
+            self._cond.notify_all()
+            return submission
+
+    # -- scheduler side ------------------------------------------------
+    def next_batch(self) -> Optional[List[Job]]:
+        """Block until a batch is queued; ``None`` once the board is
+        closed *and* the queue has drained (scheduler exit signal)."""
+        with self._cond:
+            while True:
+                while self._queue:
+                    _, _, _, keys = heapq.heappop(self._queue)
+                    batch = [self.records[key].job for key in keys
+                             if key in self.records
+                             and self.records[key].state == "pending"]
+                    if batch:
+                        return batch
+                if self._closed:
+                    return None
+                self._cond.wait(timeout=0.5)
+
+    def on_event(self, event: JobEvent,
+                 result: Optional[Dict[str, Any]] = None) -> None:
+        """Apply one engine :class:`JobEvent` to the board: advance
+        the record's state and fan the event out to every subscribed
+        submission's journal."""
+        key = job_key(event.job)
+        with self._cond:
+            record = self.records.get(key)
+            if record is None:
+                return
+            if event.status == "start":
+                record.state = "running"
+            elif event.status == "hit":
+                record.state = "done"
+                record.from_cache = True
+                record.result = result
+            elif event.status == "done":
+                record.state = "done"
+                record.result = result
+            elif event.status == "fail":
+                record.state = "failed"
+                record.error = event.error
+            for sid in sorted(record.subscribers):
+                submission = self.submissions.get(sid)
+                if submission is None or submission.complete:
+                    continue
+                self._journal(submission, record, event.status,
+                              event.elapsed, event.error)
+                self._finish_if_drained(submission)
+            self._cond.notify_all()
+
+    def _journal(self, submission: Submission, record: JobRecord,
+                 status: str, elapsed: Optional[float],
+                 error: Optional[str]) -> None:
+        """Append one event to a submission's journal (lock held)."""
+        frame: Dict[str, Any] = {
+            "event": "job", "id": submission.sid, "status": status,
+            "label": record.job.label, "key": record.key,
+        }
+        if elapsed is not None:
+            frame["elapsed"] = elapsed
+        if error is not None:
+            frame["error"] = error
+        if status in ("hit", "done"):
+            frame["result"] = record.result
+        if status in _TERMINAL:
+            submission.done += 1
+            if status == "hit":
+                submission.hits += 1
+            elif status == "done":
+                submission.simulated += 1
+            else:
+                submission.failed += 1
+            frame["index"] = submission.done
+            frame["total"] = submission.total
+        submission.events.append(frame)
+
+    def _finish_if_drained(self, submission: Submission) -> None:
+        """Seal a submission whose every job reached a terminal state
+        (lock held): append the ``complete`` journal frame."""
+        if submission.complete or submission.done < submission.total:
+            return
+        submission.complete = True
+        submission.events.append({
+            "event": "complete", "id": submission.sid,
+            "total": submission.total, "hits": submission.hits,
+            "simulated": submission.simulated,
+            "failed": submission.failed,
+        })
+
+    # -- watcher side --------------------------------------------------
+    def events_since(self, sid: str, cursor: int,
+                     timeout: float = 0.5
+                     ) -> Tuple[List[Dict[str, Any]], int, bool]:
+        """Journal frames past ``cursor`` for submission ``sid``.
+
+        Blocks up to ``timeout`` seconds for news; returns
+        ``(frames, new_cursor, finished)`` where ``finished`` means
+        the journal is sealed (or the board closed) and the watcher
+        should stop after draining.  Raises :class:`KeyError` for an
+        unknown submission id."""
+        with self._cond:
+            submission = self.submissions[sid]
+            if cursor >= len(submission.events) \
+                    and not submission.complete and not self._closed:
+                self._cond.wait(timeout=timeout)
+            frames = submission.events[cursor:]
+            new_cursor = cursor + len(frames)
+            finished = (submission.complete
+                        and new_cursor >= len(submission.events)) \
+                or self._closed
+            return frames, new_cursor, finished
+
+    # -- introspection -------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """The ``jobs`` op's answer: queue depth, per-state record
+        counts, and one row per submission."""
+        with self._lock:
+            states = {state: 0 for state in STATES}
+            for record in self.records.values():
+                states[record.state] += 1
+            rows = [{"id": sub.sid, "total": sub.total,
+                     "done": sub.done, "failed": sub.failed,
+                     "priority": sub.priority,
+                     "complete": sub.complete}
+                    for sub in self.submissions.values()]
+            return {"queued_batches": len(self._queue),
+                    "records": states, "submissions": rows}
+
+    def close(self) -> None:
+        """Stop accepting work and wake every waiter; the scheduler
+        drains what is already queued, watchers drain and detach."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` was called."""
+        with self._lock:
+            return self._closed
+
+
+__all__ = ["JobBoard", "JobRecord", "STATES", "Submission"]

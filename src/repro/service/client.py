@@ -1,0 +1,173 @@
+"""Blocking client helpers for the campaign service.
+
+Thin wrappers over the socket protocol used by the ``repro submit`` /
+``watch`` / ``jobs`` subcommands and the test-suite.  Every helper
+connects, performs one operation, and returns plain frame dicts; a
+missing or dead daemon raises
+:class:`~repro.errors.ServiceUnavailable` with the socket path in the
+message, and an ``error`` event from the daemon is re-raised as the
+error class it names (:class:`~repro.errors.ProtocolError` for
+protocol violations, :class:`~repro.errors.ServiceError` otherwise).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import ProtocolError, ServiceError, ServiceUnavailable
+from repro.experiments.campaign import Job
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    encode_frame,
+    job_to_wire,
+    read_frames,
+)
+
+
+def _connect(path: str, timeout: Optional[float]) -> socket.socket:
+    """Open a connection to the daemon, or raise
+    :class:`ServiceUnavailable`."""
+    conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    conn.settimeout(timeout)
+    try:
+        conn.connect(path)
+    except OSError as exc:
+        conn.close()
+        raise ServiceUnavailable(
+            f"no campaign service at {path} ({exc}); start one with "
+            "`repro serve`") from exc
+    return conn
+
+
+def _raise_if_error(frame: Dict[str, Any]) -> Dict[str, Any]:
+    """Convert a daemon ``error`` event into the exception it names."""
+    if frame.get("event") == "error":
+        message = str(frame.get("error"))
+        if frame.get("kind") == "ProtocolError":
+            raise ProtocolError(message)
+        raise ServiceError(message)
+    return frame
+
+
+def _roundtrip(path: str, frame: Dict[str, Any],
+               timeout: Optional[float]) -> Dict[str, Any]:
+    """One request, one response frame."""
+    conn = _connect(path, timeout)
+    try:
+        conn.sendall(encode_frame(frame))
+        with conn.makefile("rb") as stream:
+            for reply in read_frames(stream):
+                return _raise_if_error(reply)
+    finally:
+        conn.close()
+    raise ServiceUnavailable(
+        f"daemon at {path} closed the connection without answering")
+
+
+def ping(path: str, timeout: Optional[float] = 5.0) -> Dict[str, Any]:
+    """Liveness probe; returns the ``pong`` frame."""
+    return _roundtrip(path, {"v": PROTOCOL_VERSION, "op": "ping"},
+                      timeout)
+
+
+def list_jobs(path: str,
+              timeout: Optional[float] = 5.0) -> Dict[str, Any]:
+    """Queue / submission / record summary (the ``jobs`` frame)."""
+    return _roundtrip(path, {"v": PROTOCOL_VERSION, "op": "jobs"},
+                      timeout)
+
+
+def fetch_stats(path: str,
+                timeout: Optional[float] = 5.0) -> Dict[str, Any]:
+    """The daemon's telemetry tree as a ``to_dict`` payload."""
+    return _roundtrip(path, {"v": PROTOCOL_VERSION, "op": "stats"},
+                      timeout)
+
+
+def shutdown(path: str,
+             timeout: Optional[float] = 5.0) -> Dict[str, Any]:
+    """Ask the daemon to drain and exit; returns the ``bye`` frame."""
+    return _roundtrip(path, {"v": PROTOCOL_VERSION, "op": "shutdown"},
+                      timeout)
+
+
+def submit(path: str, jobs: Sequence[Job], priority: int = 0,
+           watch: bool = True,
+           timeout: Optional[float] = None
+           ) -> Iterator[Dict[str, Any]]:
+    """Submit jobs; yields the ``accepted`` frame, then (with
+    ``watch``) every journal event through ``complete``.
+
+    The iterator owns the connection: consume it fully (or close the
+    generator) to release the socket.  ``timeout`` bounds each frame
+    *gap*, not the whole campaign — ``None`` (default) waits as long
+    as the daemon keeps streaming."""
+    request = {"v": PROTOCOL_VERSION, "op": "submit",
+               "jobs": [job_to_wire(job) for job in jobs],
+               "priority": priority, "watch": watch}
+    conn = _connect(path, timeout)
+    try:
+        conn.sendall(encode_frame(request))
+        with conn.makefile("rb") as stream:
+            for frame in read_frames(stream):
+                yield _raise_if_error(frame)
+                if not watch and frame.get("event") == "accepted":
+                    return
+                if frame.get("event") == "complete":
+                    return
+    finally:
+        conn.close()
+
+
+def watch(path: str, submission_id: str,
+          timeout: Optional[float] = None
+          ) -> Iterator[Dict[str, Any]]:
+    """Replay + follow an existing submission's journal through its
+    ``complete`` frame."""
+    request = {"v": PROTOCOL_VERSION, "op": "watch",
+               "id": submission_id}
+    conn = _connect(path, timeout)
+    try:
+        conn.sendall(encode_frame(request))
+        with conn.makefile("rb") as stream:
+            for frame in read_frames(stream):
+                yield _raise_if_error(frame)
+                if frame.get("event") == "complete":
+                    return
+    finally:
+        conn.close()
+
+
+def collect_results(frames: Iterator[Dict[str, Any]]
+                    ) -> Dict[str, Any]:
+    """Drain a :func:`submit` / :func:`watch` stream into
+    ``{"accepted": ..., "complete": ..., "results": {job key:
+    result}, "failures": {job key: error}}`` — the shape the CLI and
+    tests consume.  Results are keyed by the content-hash job key
+    (labels are not unique across trace shapes)."""
+    out: Dict[str, Any] = {"accepted": None, "complete": None,
+                           "results": {}, "failures": {}}
+    for frame in frames:
+        kind = frame.get("event")
+        if kind == "accepted":
+            out["accepted"] = frame
+        elif kind == "complete":
+            out["complete"] = frame
+        elif kind == "job":
+            if frame.get("status") in ("hit", "done"):
+                out["results"][frame["key"]] = frame.get("result")
+            elif frame.get("status") == "fail":
+                out["failures"][frame["key"]] = frame.get("error")
+    return out
+
+
+__all__ = [
+    "collect_results",
+    "fetch_stats",
+    "list_jobs",
+    "ping",
+    "shutdown",
+    "submit",
+    "watch",
+]

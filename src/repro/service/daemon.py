@@ -1,0 +1,485 @@
+"""The campaign service daemon behind ``repro serve``.
+
+One process, three kinds of thread:
+
+* the **accept loop** (:meth:`ServiceDaemon.serve_forever`) owns the
+  unix listening socket and spawns one handler thread per client
+  connection;
+* **handler threads** parse request frames
+  (:mod:`repro.service.protocol`), mutate the
+  :class:`~repro.service.board.JobBoard`, and stream journal events
+  back to watching clients;
+* the **scheduler thread** drains the board's priority queue one
+  batch at a time through a single non-strict
+  :class:`~repro.experiments.campaign.CampaignEngine` — so every
+  fault-tolerance behaviour of batch campaigns (watchdog pool,
+  retries, quarantine, cache locking per batch) carries over to the
+  service unchanged.
+
+Crash safety is inherited, not reimplemented: results persist through
+the cache tier's atomic writes, so a SIGKILL'd daemon restarts into a
+consistent cache — resubmitted work is served as cache hits and
+``*.bad`` quarantine files survive untouched (the restart guarantees
+in docs/SERVICE.md).
+
+An optional localhost HTTP shim mirrors ``ping`` / ``stats`` /
+``jobs`` / ``submit`` for curl-friendly monitoring; the unix socket
+remains the primary, streaming interface.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ProtocolError, ReproError, ServiceError
+from repro.experiments.campaign import (
+    CampaignEngine,
+    Job,
+    JobEvent,
+    ResultCache,
+)
+from repro.service.board import JobBoard
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    check_request,
+    encode_frame,
+    job_from_wire,
+    read_frames,
+)
+from repro.telemetry.stats import StatGroup
+
+
+def _claim_socket(path: str) -> socket.socket:
+    """Bind the daemon's unix socket, taking over a stale path.
+
+    A socket file with no listener behind it (daemon SIGKILL'd) is
+    unlinked and reclaimed; a *live* listener raises
+    :class:`ServiceError` — two daemons must never share a cache
+    tier's socket."""
+    if os.path.exists(path):
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            probe.settimeout(1.0)
+            probe.connect(path)
+        except OSError:
+            os.unlink(path)  # dead socket: previous daemon is gone
+        else:
+            probe.close()
+            raise ServiceError(f"a daemon is already serving {path}")
+        finally:
+            probe.close()
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    listener.bind(path)
+    listener.listen(16)
+    # Closing a socket does not reliably wake a thread blocked in
+    # accept(); a short timeout lets the accept loop notice stop().
+    listener.settimeout(1.0)
+    return listener
+
+
+class ServiceDaemon:
+    """The ``repro serve`` server: socket lifecycle, request dispatch,
+    scheduling, and telemetry.
+
+    Parameters mirror the campaign flags: ``jobs`` is the worker-pool
+    width, ``timeout``/``retries`` the per-job fault policy, and
+    ``cache`` the shared :class:`ResultCache` tier (budget included).
+    ``http_port`` additionally serves the read-side ops over
+    ``127.0.0.1:<port>``.
+    """
+
+    def __init__(self, socket_path: str,
+                 cache: Optional[ResultCache] = None,
+                 jobs: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 retries: int = 2,
+                 http_port: Optional[int] = None) -> None:
+        self.socket_path = socket_path
+        self.cache = cache
+        self.board = JobBoard()
+        self.engine = CampaignEngine(jobs=jobs, cache=cache,
+                                     progress=self._on_engine_event,
+                                     timeout=timeout, retries=retries,
+                                     strict=False)
+        self.http_port = http_port
+        self.started = time.time()
+        self.requests = 0
+        self.submissions = 0
+        self.accepted = 0
+        self.deduped_inflight = 0
+        self.deduped_cached = 0
+        self._stats_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._cleanup_lock = threading.Lock()
+        self._cleaned = False
+        self._listener: Optional[socket.socket] = None
+        self._http_server: Any = None
+        self._scheduler: Optional[threading.Thread] = None
+        self._conns: List[socket.socket] = []
+
+    # -- lifecycle -----------------------------------------------------
+    def serve_forever(self) -> None:
+        """Claim the socket and serve until ``shutdown`` (or
+        :meth:`stop`).  Blocks; run it on the main thread."""
+        self._listener = _claim_socket(self.socket_path)
+        self._scheduler = threading.Thread(target=self._run_scheduler,
+                                           name="repro-scheduler",
+                                           daemon=True)
+        self._scheduler.start()
+        if self.http_port is not None:
+            self._start_http()
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _ = self._listener.accept()
+                except socket.timeout:
+                    continue  # poll the stop flag
+                except OSError:
+                    break  # listener closed by stop()
+                self._conns.append(conn)
+                threading.Thread(target=self._serve_connection,
+                                 args=(conn,), daemon=True).start()
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Drain and shut down: close the board (the scheduler
+        finishes what is queued, then exits), the listener, and every
+        client connection; remove the socket file."""
+        self._stop.set()
+        # The shutdown op sets the flag before the accept loop's own
+        # stop() call, so idempotence needs a separate cleanup latch.
+        with self._cleanup_lock:
+            if self._cleaned:
+                return
+            self._cleaned = True
+        self.board.close()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        if self._scheduler is not None:
+            self._scheduler.join(timeout=60)
+        if self._http_server is not None:
+            self._http_server.shutdown()
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - client already gone
+                pass
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+
+    # -- scheduler -----------------------------------------------------
+    def _run_scheduler(self) -> None:
+        """Drain the board's queue batch-by-batch through the engine
+        until the board closes."""
+        while True:
+            batch = self.board.next_batch()
+            if batch is None:
+                return
+            try:
+                self.engine.run_campaign(batch)
+            # The scheduler must outlive any single campaign: an
+            # engine bug would otherwise wedge every queued client.
+            # Failures surface per-job via the board's fail events.
+            # reprolint: disable=RL004
+            except Exception as exc:  # noqa: BLE001 - thread boundary
+                for job in batch:
+                    self.board.on_event(JobEvent(
+                        job, "fail", 0, len(batch), None,
+                        type(exc).__name__))
+
+    def _on_engine_event(self, event: JobEvent) -> None:
+        """Engine progress hook: attach the result (the ledger is
+        populated before the event fires) and forward to the board."""
+        result: Optional[Dict[str, Any]] = None
+        if event.status in ("hit", "done") \
+                and self.engine.ledger is not None:
+            sim = self.engine.ledger.results.get(event.job)
+            if sim is not None:
+                result = sim.to_dict()
+        self.board.on_event(event, result)
+
+    # -- connection handling -------------------------------------------
+    def _serve_connection(self, conn: socket.socket) -> None:
+        """Handle one client: a sequence of request frames, each
+        answered by one or more event frames."""
+        stream = conn.makefile("rb")
+        try:
+            frames = read_frames(stream)
+            while True:
+                try:
+                    frame = next(frames)
+                except StopIteration:
+                    break
+                except ProtocolError as exc:
+                    # Undecodable line: answer, then drop the client —
+                    # framing is lost, resync is impossible.
+                    self._send(conn, {"event": "error",
+                                      "kind": "ProtocolError",
+                                      "error": str(exc)})
+                    break
+                self._bump("requests")
+                try:
+                    op = check_request(frame)
+                    if self._dispatch(op, frame, conn):
+                        break  # shutdown: stop reading this client
+                except ProtocolError as exc:
+                    self._send(conn, {"event": "error",
+                                      "kind": "ProtocolError",
+                                      "error": str(exc)})
+                except ReproError as exc:
+                    self._send(conn, {"event": "error",
+                                      "kind": type(exc).__name__,
+                                      "error": str(exc)})
+        except (OSError, ValueError, ReproError):
+            pass  # client hung up (or sent junk) mid-frame; nothing
+            # left to answer — per-request errors were handled above
+        finally:
+            stream.close()
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def _dispatch(self, op: str, frame: Dict[str, Any],
+                  conn: socket.socket) -> bool:
+        """Execute one request; returns True when the daemon should
+        shut down."""
+        if op == "ping":
+            self._send(conn, {"event": "pong", "v": PROTOCOL_VERSION,
+                              "pid": os.getpid(),
+                              "uptime": time.time() - self.started})
+        elif op == "submit":
+            self._handle_submit(frame, conn)
+        elif op == "watch":
+            sid = frame.get("id")
+            if not isinstance(sid, str) \
+                    or sid not in self.board.submissions:
+                raise ProtocolError(f"unknown submission id {sid!r}")
+            self._stream_events(conn, sid, 0)
+        elif op == "jobs":
+            self._send(conn, {"event": "jobs",
+                              **self.board.summary()})
+        elif op == "stats":
+            self._send(conn, {"event": "stats",
+                              "tree": self.stats_tree().to_dict()})
+        else:  # shutdown
+            self._send(conn, {"event": "bye"})
+            self._stop.set()
+            self.board.close()
+            if self._listener is not None:
+                self._listener.close()  # unblocks the accept loop
+            return True
+        return False
+
+    def _handle_submit(self, frame: Dict[str, Any],
+                       conn: socket.socket) -> None:
+        """Validate, enqueue, acknowledge, and (optionally) stream."""
+        jobs = self._parse_jobs(frame)
+        priority = frame.get("priority", 0)
+        if not isinstance(priority, int):
+            raise ProtocolError("'priority' must be an int")
+        if self.board.closed:
+            raise ServiceError("daemon is shutting down")
+        self._bump("submissions")
+        submission = self.board.submit(jobs, priority)
+        with self._stats_lock:
+            self.accepted += submission.counts["new"]
+            self.deduped_inflight += \
+                submission.counts["deduped_inflight"]
+            self.deduped_cached += submission.counts["deduped_cached"]
+        self._send(conn, {"event": "accepted", "id": submission.sid,
+                          "total": submission.total,
+                          **submission.counts})
+        if frame.get("watch", True):
+            self._stream_events(conn, submission.sid, 0)
+
+    def _parse_jobs(self, frame: Dict[str, Any]) -> List[Job]:
+        """Decode and validate the submission's job list against the
+        live registries — the daemon rejects what it cannot run."""
+        from repro.experiments.runner import core_config
+        from repro.predictors import make_predictor
+        from repro.trace.workloads import get_profile
+
+        wire_jobs = frame.get("jobs")
+        if not isinstance(wire_jobs, list) or not wire_jobs:
+            raise ProtocolError("'jobs' must be a non-empty list")
+        jobs = [job_from_wire(wire) for wire in wire_jobs]
+        for job in jobs:
+            try:
+                get_profile(job.workload)
+            except KeyError:
+                raise ProtocolError(
+                    f"unknown workload {job.workload!r}") from None
+            try:
+                core_config(job.core)
+            except ReproError:
+                raise ProtocolError(
+                    f"unknown core {job.core!r}") from None
+            if isinstance(job.spec, str):
+                try:
+                    make_predictor(job.spec)
+                except ValueError:
+                    raise ProtocolError(
+                        f"unknown predictor {job.spec!r}") from None
+            if job.trace_file is not None \
+                    and not os.path.exists(job.trace_file):
+                raise ProtocolError(
+                    f"trace file {job.trace_file!r} not found on the "
+                    "daemon host")
+        return jobs
+
+    def _stream_events(self, conn: socket.socket, sid: str,
+                       cursor: int) -> None:
+        """Replay + follow a submission's journal to one client."""
+        while not self._stop.is_set():
+            frames, cursor, finished = self.board.events_since(
+                sid, cursor)
+            for event_frame in frames:
+                self._send(conn, event_frame)
+            if finished:
+                return
+
+    def _send(self, conn: socket.socket,
+              frame: Dict[str, Any]) -> None:
+        """Write one frame; a vanished client ends its stream only."""
+        try:
+            conn.sendall(encode_frame(frame))
+        except OSError as exc:
+            raise ReproError("client connection lost") from exc
+
+    def _bump(self, counter: str) -> None:
+        with self._stats_lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
+    # -- telemetry -----------------------------------------------------
+    def stats_tree(self) -> StatGroup:
+        """The daemon's telemetry tree, shaped by
+        :data:`repro.telemetry.schema.SERVICE_SCHEMA` (the ``stats``
+        op and ``repro jobs --stats`` render it)."""
+        board = self.board.summary()
+        root = StatGroup("daemon")
+        service = root.group("service", "campaign service daemon")
+        service.counter("requests", "request frames handled",
+                        self.requests)
+        service.counter("submissions", "submit frames accepted",
+                        self.submissions)
+        jobs = service.group("jobs", "job-record accounting")
+        jobs.counter("accepted", "distinct new jobs enqueued",
+                     self.accepted)
+        jobs.counter("deduped-inflight",
+                     "submissions joined to in-flight records",
+                     self.deduped_inflight)
+        jobs.counter("deduped-cached",
+                     "submissions answered from completed records",
+                     self.deduped_cached)
+        jobs.counter("completed", "records in the done state",
+                     board["records"]["done"])
+        jobs.counter("failed", "records quarantined as failed",
+                     board["records"]["failed"])
+        tier = root.group("cache", "shared result-cache tier")
+        cache = self.cache
+        tier.counter("hits", "result-cache hits (daemon lifetime)",
+                     cache.hits if cache else 0)
+        tier.counter("misses", "result-cache misses",
+                     cache.misses if cache else 0)
+        tier.counter("stores", "results persisted",
+                     cache.stores if cache else 0)
+        tier.counter("evictions", "entries evicted by the budget",
+                     cache.evicted if cache else 0)
+        tier.counter("quarantined", "corrupt entries quarantined",
+                     cache.quarantined if cache else 0)
+        tier.counter("entries", "current entries on disk",
+                     len(cache.entries()) if cache else 0)
+        tier.counter("size-bytes", "current entry bytes on disk",
+                     cache.size_bytes() if cache else 0)
+        return root
+
+    # -- HTTP shim -----------------------------------------------------
+    def _start_http(self) -> None:
+        """Serve ping/stats/jobs/submit over localhost HTTP (read
+        mirror + non-streaming submit; monitoring convenience only)."""
+        from http.server import (
+            BaseHTTPRequestHandler,
+            ThreadingHTTPServer,
+        )
+
+        daemon = self
+
+        class Handler(BaseHTTPRequestHandler):
+            """Maps a few fixed paths onto the socket ops."""
+
+            def log_message(self, *args: Any) -> None:
+                """Silence per-request stderr noise."""
+
+            def _reply(self, status: int,
+                       payload: Dict[str, Any]) -> None:
+                body = json.dumps(payload).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                """Read-side mirror: /ping, /stats, /jobs."""
+                daemon._bump("requests")
+                if self.path == "/ping":
+                    self._reply(200, {"event": "pong",
+                                      "pid": os.getpid()})
+                elif self.path == "/stats":
+                    self._reply(200, {
+                        "event": "stats",
+                        "tree": daemon.stats_tree().to_dict()})
+                elif self.path == "/jobs":
+                    self._reply(200, {"event": "jobs",
+                                      **daemon.board.summary()})
+                else:
+                    self._reply(404, {"event": "error",
+                                      "error": "unknown path"})
+
+            def do_POST(self) -> None:  # noqa: N802 - http.server API
+                """Non-streaming /submit: returns the accepted frame;
+                progress is then available via the socket ops."""
+                daemon._bump("requests")
+                if self.path != "/submit":
+                    self._reply(404, {"event": "error",
+                                      "error": "unknown path"})
+                    return
+                length = int(self.headers.get("Content-Length", "0"))
+                try:
+                    frame = json.loads(
+                        self.rfile.read(length).decode("utf-8"))
+                    jobs = daemon._parse_jobs(frame)
+                    daemon._bump("submissions")
+                    submission = daemon.board.submit(
+                        jobs, frame.get("priority", 0))
+                except (ValueError, ReproError) as exc:
+                    self._reply(400, {"event": "error",
+                                      "error": str(exc)})
+                    return
+                self._reply(200, {"event": "accepted",
+                                  "id": submission.sid,
+                                  "total": submission.total,
+                                  **submission.counts})
+
+        self._http_server = ThreadingHTTPServer(
+            ("127.0.0.1", self.http_port), Handler)
+        threading.Thread(target=self._http_server.serve_forever,
+                         name="repro-http", daemon=True).start()
+
+
+__all__ = ["ServiceDaemon"]

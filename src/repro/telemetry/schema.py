@@ -24,7 +24,7 @@ version.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 #: Dotted-path pattern → leaf/group kind (``counter`` / ``histogram``
 #: / ``group``).  Paths are relative to the per-run ``sim`` root.
@@ -70,6 +70,36 @@ TELEMETRY_SCHEMA: Dict[str, str] = {
     "predictor.**": "counter",               # predictor-internal stats()
 }
 
+#: The campaign-service daemon's own telemetry tree (``repro serve``
+#: publishes it under a ``service`` root; clients fetch it with the
+#: ``stats`` op and ``repro jobs --stats``).  Kept separate from
+#: :data:`TELEMETRY_SCHEMA` because these paths describe the daemon,
+#: not a simulation run — the runtime sim-tree validation must not
+#: expect them, but the RL005 vocabulary covers both (see
+#: :func:`concrete_segments`).
+SERVICE_SCHEMA: Dict[str, str] = {
+    # Request accounting (repro.service.daemon).
+    "service": "group",
+    "service.requests": "counter",
+    "service.submissions": "counter",
+    "service.jobs": "group",
+    "service.jobs.accepted": "counter",
+    "service.jobs.deduped-inflight": "counter",
+    "service.jobs.deduped-cached": "counter",
+    "service.jobs.completed": "counter",
+    "service.jobs.failed": "counter",
+    # Shared cache tier (repro.experiments.campaign.ResultCache
+    # counters rendered by the daemon and ``repro cache stats``).
+    "cache": "group",
+    "cache.hits": "counter",
+    "cache.misses": "counter",
+    "cache.stores": "counter",
+    "cache.evictions": "counter",
+    "cache.quarantined": "counter",
+    "cache.entries": "counter",
+    "cache.size-bytes": "counter",
+}
+
 
 def match(path: str, pattern: str) -> bool:
     """Whether dotted ``path`` matches dotted ``pattern``."""
@@ -84,11 +114,15 @@ def match(path: str, pattern: str) -> bool:
     return len(parts) == len(want)
 
 
-def kind_of(path: str) -> str:
-    """The declared kind for ``path`` (most specific pattern wins), or
+def kind_of(path: str,
+            schema: Optional[Dict[str, str]] = None) -> str:
+    """The declared kind for ``path`` under ``schema`` (default
+    :data:`TELEMETRY_SCHEMA`; most specific pattern wins), or
     ``"undeclared"`` when no pattern matches."""
+    if schema is None:
+        schema = TELEMETRY_SCHEMA
     best: Tuple[int, str] = (-1, "undeclared")
-    for pattern, kind in TELEMETRY_SCHEMA.items():
+    for pattern, kind in schema.items():
         if match(path, pattern):
             concrete = sum(1 for seg in pattern.split(".")
                            if seg not in ("*", "**"))
@@ -98,30 +132,35 @@ def kind_of(path: str) -> str:
 
 
 def concrete_segments() -> Tuple[str, ...]:
-    """Every non-wildcard segment appearing in the schema, sorted —
-    the vocabulary the RL005 static check validates against."""
+    """Every non-wildcard segment appearing in *any* schema (sim tree
+    and service tree), sorted — the vocabulary the RL005 static check
+    validates against."""
     names = {segment
-             for pattern in TELEMETRY_SCHEMA
+             for schema in (TELEMETRY_SCHEMA, SERVICE_SCHEMA)
+             for pattern in schema
              for segment in pattern.split(".")
              if segment not in ("*", "**")}
     return tuple(sorted(names))
 
 
-def validate_paths(paths: Iterable[Tuple[str, str]]) -> List[str]:
+def validate_paths(paths: Iterable[Tuple[str, str]],
+                   schema: Optional[Dict[str, str]] = None) -> List[str]:
     """Check ``(dotted path, kind)`` pairs from a real telemetry tree
-    against the schema; returns human-readable problem strings (empty
-    when the tree conforms)."""
+    against ``schema`` (default :data:`TELEMETRY_SCHEMA`); returns
+    human-readable problem strings (empty when the tree conforms)."""
+    if schema is None:
+        schema = TELEMETRY_SCHEMA
     problems: List[str] = []
     seen: Set[str] = set()
     for path, kind in paths:
         seen.add(path)
-        declared = kind_of(path)
+        declared = kind_of(path, schema)
         if declared == "undeclared":
             problems.append(f"undeclared stat path: {path}")
         elif declared != kind:
             problems.append(f"{path}: published as {kind}, "
                             f"schema says {declared}")
-    for pattern, kind in TELEMETRY_SCHEMA.items():
+    for pattern, kind in schema.items():
         if "*" in pattern or kind == "group":
             continue
         if pattern not in seen:
@@ -130,6 +169,7 @@ def validate_paths(paths: Iterable[Tuple[str, str]]) -> List[str]:
 
 
 __all__ = [
+    "SERVICE_SCHEMA",
     "TELEMETRY_SCHEMA",
     "concrete_segments",
     "kind_of",
