@@ -72,6 +72,7 @@ from repro.experiments.runner import (
     Runner,
     default_warmup,
 )
+from repro.pipeline.engine import BACKENDS
 from repro.predictors import make_predictor
 from repro.telemetry.trace import DEFAULT_CAPACITY
 from repro.trace.workloads import CATALOGUE, CATEGORIES, get_profile
@@ -99,6 +100,19 @@ def _trace_shape_parent(default_length: int = DEFAULT_LENGTH
                             "trace build`) instead of generating the "
                             "trace; --length is then taken from the "
                             "file header")
+    return parent
+
+
+def _backend_parent() -> argparse.ArgumentParser:
+    """Shared ``--backend`` flag for every simulating subcommand: pins
+    the engine timing-loop backend (docs/VECTOR.md) instead of letting
+    ``REPRO_ENGINE_BACKEND`` / the numpy autodetect decide."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="engine timing-loop backend (default: "
+                             "$REPRO_ENGINE_BACKEND, else 'vector' "
+                             "when numpy is available; all backends "
+                             "are bit-identical — docs/VECTOR.md)")
     return parent
 
 
@@ -155,6 +169,7 @@ def _progress(event: JobEvent) -> None:
 def _runner(args, workloads: Optional[List[str]] = None) -> Runner:
     trace_file = getattr(args, "trace_file", None)
     seed = getattr(args, "seed", None)
+    backend = getattr(args, "backend", None)
     if trace_file is not None:
         # The whole file is replayed: its header supplies the length,
         # so --length is ignored on this path.
@@ -162,12 +177,12 @@ def _runner(args, workloads: Optional[List[str]] = None) -> Runner:
                       jobs=args.jobs, use_cache=not args.no_cache,
                       cache_dir=args.cache_dir, progress=_progress,
                       timeout=args.timeout, retries=args.retries,
-                      seed=seed, trace_file=trace_file)
+                      seed=seed, trace_file=trace_file, backend=backend)
     return Runner(length=args.length, warmup=_warmup(args),
                   workloads=workloads, jobs=args.jobs,
                   use_cache=not args.no_cache, cache_dir=args.cache_dir,
                   progress=_progress, timeout=args.timeout,
-                  retries=args.retries, seed=seed)
+                  retries=args.retries, seed=seed, backend=backend)
 
 
 def _reject_trace_file(args, command: str) -> bool:
@@ -280,7 +295,8 @@ def _export_event_trace(args, runner) -> None:
     config = core_config(args.core)
     predictor = build_predictor(args.predictor, trace, config)
     engine = Engine(config, predictor, collect_events=True,
-                    event_capacity=args.trace_events)
+                    event_capacity=args.trace_events,
+                    backend=getattr(args, "backend", None))
     result = engine.run(trace, workload=args.workload,
                         warmup=_warmup(args))
     label = f"{args.workload}/{args.core}/{args.predictor}"
@@ -318,7 +334,8 @@ def cmd_figure(args) -> int:
                                     timeout=args.timeout,
                                     retries=args.retries,
                                     strict=False,
-                                    seed=args.seed)
+                                    seed=args.seed,
+                                    backend=args.backend)
     print(renderer(driver(runner)))
     return _report_failures(runner)
 
@@ -377,6 +394,7 @@ def cmd_sweep(args) -> int:
         args.warmup = meta["warmup"]
         args.per_category = meta["per_category"]
         args.seed = meta.get("seed")
+        args.backend = meta.get("backend")
         args.no_cache = False
 
     runner = _default_runner_for(args, strict=False)
@@ -386,7 +404,7 @@ def cmd_sweep(args) -> int:
                 "cores": list(args.cores), "length": args.length,
                 "warmup": _warmup(args),
                 "per_category": args.per_category,
-                "seed": args.seed}
+                "seed": args.seed, "backend": args.backend}
         cid = save_campaign(cache_root, meta)
         print(f"campaign {cid} (resume with: repro sweep --resume {cid})",
               file=sys.stderr)
@@ -424,7 +442,8 @@ def _default_runner_for(args, strict: bool = True) -> Runner:
                           jobs=args.jobs, use_cache=not args.no_cache,
                           cache_dir=args.cache_dir, progress=_progress,
                           timeout=args.timeout, retries=args.retries,
-                          strict=strict, seed=getattr(args, "seed", None))
+                          strict=strict, seed=getattr(args, "seed", None),
+                          backend=getattr(args, "backend", None))
 
 
 def cmd_storage(_args) -> int:
@@ -632,7 +651,7 @@ def cmd_submit(args) -> int:
             for workload in args.workloads:
                 jobs.append(Job(workload, core, spec, args.length,
                                 _warmup(args), args.seed,
-                                args.trace_file))
+                                args.trace_file, args.backend))
     path = _service_socket(args)
     try:
         stream = service_client.submit(path, jobs,
@@ -958,6 +977,7 @@ def cmd_bench(args) -> int:
         workloads=args.workloads, predictors=args.predictors,
         length=args.length, warmup=args.warmup, repeats=args.repeats,
         core=args.core, measure_slow=not args.no_slow,
+        measure_vector=False if args.no_vector else None,
         seed=args.seed, trace_file=args.trace_file,
         progress=lambda line: print(f"  {line}", file=sys.stderr))
 
@@ -987,7 +1007,8 @@ def cmd_bench(args) -> int:
             print(f"no baseline at {args.baseline} to check against",
                   file=sys.stderr)
             return 2
-        failures = perfbench.check_regression(comparison, args.tolerance)
+        failures = perfbench.check_regression(comparison, args.tolerance,
+                                              report=report)
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         if failures:
@@ -1003,19 +1024,20 @@ def build_parser() -> argparse.ArgumentParser:
         description="Focused Value Prediction (ISCA 2020) reproduction")
     sub = parser.add_subparsers(dest="command", required=True)
     shape = _trace_shape_parent()
+    backend = _backend_parent()
 
     p_list = sub.add_parser("list", help="list workloads")
     p_list.add_argument("--category", choices=CATEGORIES)
     p_list.set_defaults(func=cmd_list)
 
-    p_run = sub.add_parser("run", parents=[shape],
+    p_run = sub.add_parser("run", parents=[shape, backend],
                            help="simulate one workload")
     p_run.add_argument("workload")
     p_run.add_argument("--predictor", default="fvp")
     _add_scale_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
-    p_cmp = sub.add_parser("compare", parents=[shape],
+    p_cmp = sub.add_parser("compare", parents=[shape, backend],
                            help="compare predictors")
     p_cmp.add_argument("workload")
     p_cmp.add_argument("predictors", nargs="+")
@@ -1023,7 +1045,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.set_defaults(func=cmd_compare)
 
     p_prof = sub.add_parser(
-        "profile", parents=[shape],
+        "profile", parents=[shape, backend],
         help="per-bucket CPI breakdown and delta vs another predictor")
     p_prof.add_argument("workload")
     p_prof.add_argument("--predictor", default="fvp")
@@ -1041,7 +1063,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_args(p_prof)
     p_prof.set_defaults(func=cmd_profile)
 
-    p_fig = sub.add_parser("figure", parents=[shape],
+    p_fig = sub.add_parser("figure", parents=[shape, backend],
                            help="regenerate a paper figure")
     p_fig.add_argument("number", type=_figure_number,
                        choices=range(6, 14), metavar="{6..13|fig06..fig13}")
@@ -1050,7 +1072,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.set_defaults(func=cmd_figure)
 
     p_sweep = sub.add_parser(
-        "sweep", parents=[shape],
+        "sweep", parents=[shape, backend],
         help="sweep predictors × cores over the suite")
     p_sweep.add_argument("predictors", nargs="*",
                          help="predictor registry names (omit when "
@@ -1069,7 +1091,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_storage = sub.add_parser("storage", help="print Table I")
     p_storage.set_defaults(func=cmd_storage)
 
-    p_report = sub.add_parser("report", parents=[shape],
+    p_report = sub.add_parser("report", parents=[shape, backend],
                               help="write a full reproduction report")
     p_report.add_argument("--output", default="report.md")
     p_report.add_argument("--figures", type=int, nargs="+",
@@ -1107,6 +1129,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--no-slow", action="store_true",
                          help="skip the slow-path runs (no speedup "
                               "column; faster)")
+    p_bench.add_argument("--no-vector", action="store_true",
+                         help="skip the vector-backend runs (no vec "
+                              "KIPS column; faster)")
     p_bench.add_argument("--output", default=None, metavar="FILE",
                          help="report path (default: BENCH_<date>.json)")
     p_bench.add_argument("--no-output", action="store_true",
@@ -1193,7 +1218,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
-        "submit", parents=[shape],
+        "submit", parents=[shape, backend],
         help="submit a sweep to the service daemon")
     p_submit.add_argument("predictors", nargs="+",
                           help="predictor registry names "

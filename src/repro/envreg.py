@@ -63,6 +63,10 @@ REGISTRY: Dict[str, EnvVar] = {
         EnvVar("REPRO_SLOW_PATH",
                "1 selects the readable reference timing loop",
                "0 (optimized hot path)", "repro.pipeline.engine"),
+        EnvVar("REPRO_ENGINE_BACKEND",
+               "timing-loop backend: vector, scalar or reference",
+               "vector (scalar when numpy is unavailable)",
+               "repro.pipeline.engine"),
         EnvVar("REPRO_CHECK_INVARIANTS",
                "1 arms the post-run pipeline-invariant audit",
                "0 (audit off, zero-cost)", "repro.pipeline.engine"),

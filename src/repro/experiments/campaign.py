@@ -139,6 +139,11 @@ class Job:
     from a v2 trace file referenced by ``trace_file`` — in which case
     ``length`` is ignored and the file's content hash joins the cache
     key.
+
+    ``backend`` pins the engine timing-loop backend (docs/VECTOR.md);
+    ``None`` lets the engine resolve it (env var, then default).  It
+    deliberately does NOT join the cache key: the three backends are
+    bit-identical by contract, so their results are interchangeable.
     """
 
     workload: str
@@ -148,6 +153,7 @@ class Job:
     warmup: int = 40_000
     seed: Optional[int] = None
     trace_file: Optional[str] = None
+    backend: Optional[str] = None
 
     @property
     def distributable(self) -> bool:
@@ -355,7 +361,7 @@ def execute_job(job: Job, trace: Optional[List[MicroOp]] = None,
     config = core_config(job.core)
     predictor = build_predictor(job.spec, source, config)
     _claim_predictor(predictor)
-    engine = Engine(config, predictor)
+    engine = Engine(config, predictor, backend=job.backend)
     try:
         return engine.run(source, workload=job.workload, warmup=job.warmup)
     finally:
@@ -369,17 +375,19 @@ class _PoolUnavailable(Exception):
 
 
 def _pool_worker(payload: Tuple[str, str, Optional[str], int, int,
-                                Optional[int], Optional[str]],
+                                Optional[int], Optional[str],
+                                Optional[str]],
                  attempt: int, conn) -> None:
     """Worker-process entry point: rebuild everything locally and send
     ``("ok", result, elapsed)`` or ``("err", taxonomy, message)`` back
     over the pipe.  A crash (or injected ``os._exit``) sends nothing —
     the parent watchdog classifies that as a ``WorkerCrash``."""
     try:
-        workload, core, spec, length, warmup, seed, trace_file = payload
+        (workload, core, spec, length, warmup, seed, trace_file,
+         backend) = payload
         start = time.perf_counter()
         result = execute_job(Job(workload, core, spec, length, warmup,
-                                 seed, trace_file),
+                                 seed, trace_file, backend),
                              attempt=attempt)
         conn.send(("ok", result, time.perf_counter() - start))
     # Crash-isolation boundary: the worker must classify *anything* and
@@ -1159,7 +1167,7 @@ class CampaignEngine:
                     job, attempt, _ = queue.pop(ready)
                     payload = (job.workload, job.core, job.spec,
                                job.length, job.warmup, job.seed,
-                               job.trace_file)
+                               job.trace_file, job.backend)
                     parent_conn, child_conn = ctx.Pipe(duplex=False)
                     proc = ctx.Process(target=_pool_worker,
                                        args=(payload, attempt, child_conn),

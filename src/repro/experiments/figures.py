@@ -247,7 +247,8 @@ def default_runner(*legacy,
                    progress: Optional[Callable[[JobEvent], None]] = None,
                    timeout: Optional[float] = None, retries: int = 2,
                    strict: bool = True,
-                   seed: Optional[int] = None) -> Runner:
+                   seed: Optional[int] = None,
+                   backend: Optional[str] = None) -> Runner:
     """Runner over the full 60-workload suite, optionally subsampled to
     ``per_category`` workloads per category (benchmark scaling).
     ``jobs``/``use_cache`` configure the campaign engine and
@@ -255,7 +256,8 @@ def default_runner(*legacy,
     :class:`repro.experiments.Runner`); with ``strict=False`` a figure
     rendered from a partial campaign carries explicit gap
     annotations instead of aborting.  ``seed`` reseeds every generated
-    trace (run-to-run variation studies).  Everything is keyword-only;
+    trace (run-to-run variation studies) and ``backend`` pins the
+    engine timing loop (docs/VECTOR.md).  Everything is keyword-only;
     old positional call sites still work for one release behind a
     :class:`DeprecationWarning`."""
     if legacy:
@@ -292,7 +294,7 @@ def default_runner(*legacy,
     return Runner(length=length, warmup=warmup, workloads=workloads,
                   jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
                   progress=progress, timeout=timeout, retries=retries,
-                  strict=strict, seed=seed)
+                  strict=strict, seed=seed, backend=backend)
 
 
 __all__ = [

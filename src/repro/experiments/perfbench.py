@@ -5,20 +5,32 @@ reports *simulator* throughput — sim-kilo-instructions per second
 (sim-KIPS) — plus peak RSS, seeding the repo's performance trajectory
 (the ``BENCH_<date>.json`` files; see docs/PERF.md).
 
-Two throughput numbers are measured per cell:
+Three throughput numbers are measured per cell — one per engine
+timing-loop backend (docs/VECTOR.md):
 
-* ``sim_kips`` — the optimized engine hot path (the default).
-* ``slow_kips`` — the same job under ``REPRO_SLOW_PATH=1``, i.e. the
-  reference per-op loop the optimized path is verified against.
+* ``sim_kips`` — the fast scalar loop (``backend="scalar"``), the
+  historical hot path every baseline was recorded against.
+* ``slow_kips`` — the reference per-op loop (``backend="reference"``)
+  the optimized paths are verified against.
+* ``vector_kips`` — the numpy SoA batch loop (``backend="vector"``);
+  skipped automatically when numpy is unavailable.
 
-Their ratio (``speedup``) is machine-*independent*: both sides run in
-the same process on the same machine moments apart, so it survives CI
-runner variance where raw KIPS would not.  The regression gate
-(``repro bench --check``) therefore compares the geomean speedup and
-the simulated cycle counts against the committed baseline
-(``benchmarks/perf_baseline.json``) — a >20% speedup regression or
-*any* cycle-count drift fails the check.  Raw KIPS are recorded for
-trend reading but never gated on.
+The ratios are machine-*independent*: all sides run in the same
+process on the same machine moments apart, so they survive CI runner
+variance where raw KIPS would not.  ``speedup`` is scalar-vs-reference
+(gated against the committed baseline as before) and
+``vector_speedup`` is vector-vs-scalar.  The regression gate
+(``repro bench --check``) compares the geomean speedup and the
+simulated cycle counts against ``benchmarks/perf_baseline.json`` —
+a >20% speedup regression or *any* cycle-count drift fails — and
+additionally applies two absolute vector gates: cells the vector
+backend actually vectorizes (``vectorized: true``) must keep a
+geomean ``vector_speedup`` of at least :data:`VECTOR_MIN_SPEEDUP`,
+and the all-cells geomean (which includes fully-delegated and
+fallback-heavy cells) must stay above
+:data:`VECTOR_OVERHEAD_FLOOR` — the vector backend may fall back to
+the scalar loop, but falling back must stay nearly free.  Raw KIPS
+are recorded for trend reading but never gated on.
 """
 
 from __future__ import annotations
@@ -45,6 +57,17 @@ DEFAULT_REPEATS = 3
 #: Fractional tolerance of the --check regression gate.
 CHECK_TOLERANCE = 0.20
 
+#: Geomean vector-vs-scalar floor over cells the vector backend
+#: actually vectorizes.  Conservative: measured speedups on
+#: vector-eligible workloads are 1.2-1.3x in-memory (higher on file
+#: replay), but CI runners are noisy.
+VECTOR_MIN_SPEEDUP = 1.05
+
+#: Geomean vector-vs-scalar floor over *all* cells, including
+#: fully-delegated (predictor-overriding) and fallback-heavy ones —
+#: bounds the cost of taking the vector path and falling back.
+VECTOR_OVERHEAD_FLOOR = 0.90
+
 #: Default location of the committed baseline, relative to the repo root.
 BASELINE_PATH = os.path.join("benchmarks", "perf_baseline.json")
 
@@ -70,61 +93,76 @@ def _peak_rss_kb() -> Optional[int]:
 
 
 def _run_once(trace, config, predictor_spec: str, workload: str,
-              warmup: int, slow: bool) -> Tuple[float, int]:
-    """One timed simulation; returns ``(seconds, cycles)``.
+              warmup: int, backend: str) -> Tuple[float, int, int]:
+    """One timed simulation under ``backend``; returns
+    ``(seconds, cycles, vectorized_ops)``.
 
     A fresh predictor is built per run (predictor instances are
     single-simulation; see ``ValuePredictor``) and only the engine run
     is timed — trace construction is deterministic and not part of
-    simulator throughput.
+    simulator throughput.  The explicit ``backend=`` pin outranks
+    ``REPRO_SLOW_PATH`` and ``REPRO_ENGINE_BACKEND``, so the bench
+    measures what it says regardless of the environment.
     """
     from repro.experiments.campaign import build_predictor
     from repro.pipeline.engine import Engine
 
-    saved = os.environ.get("REPRO_SLOW_PATH")
-    os.environ["REPRO_SLOW_PATH"] = "1" if slow else "0"
-    try:
-        predictor = build_predictor(predictor_spec, trace, config)
-        engine = Engine(config, predictor)
-        start = time.perf_counter()
-        result = engine.run(trace, workload=workload, warmup=warmup)
-        return time.perf_counter() - start, result.cycles
-    finally:
-        if saved is None:
-            del os.environ["REPRO_SLOW_PATH"]
-        else:
-            os.environ["REPRO_SLOW_PATH"] = saved
+    predictor = build_predictor(predictor_spec, trace, config)
+    engine = Engine(config, predictor, backend=backend)
+    start = time.perf_counter()
+    result = engine.run(trace, workload=workload, warmup=warmup)
+    return time.perf_counter() - start, result.cycles, engine._vec_ops
 
 
 def _time_cell(trace, config, predictor_spec: str, workload: str,
-               warmup: int, repeats: int,
-               measure_slow: bool) -> Tuple[float, Optional[float], int]:
+               warmup: int, repeats: int, measure_slow: bool,
+               measure_vector: bool
+               ) -> Tuple[float, Optional[float], Optional[float],
+                          int, int]:
     """Best-of-``repeats`` wall time for one cell.
 
-    Returns ``(fast_seconds, slow_seconds_or_None, cycles)``.  Fast and
-    slow runs are *interleaved* so machine-load drift hits both sides
-    equally — the speedup ratio is what the regression gate consumes,
-    and back-to-back pairing is what keeps it stable.
-    """
-    best_fast = math.inf
+    Returns ``(scalar_seconds, slow_seconds_or_None,
+    vector_seconds_or_None, cycles, vectorized_ops)``.  The backends
+    are *interleaved* within each repeat so machine-load drift hits
+    every side equally — the speedup ratios are what the regression
+    gate consumes, and back-to-back pairing is what keeps them stable.
+    Any cycle-count divergence between backends is a fatal identity
+    violation (the three-loop contract, docs/VECTOR.md)."""
+    best_scalar = math.inf
     best_slow = math.inf
+    best_vector = math.inf
     cycles = 0
+    vec_ops = 0
     for _ in range(repeats):
-        fast_s, fast_cycles = _run_once(
-            trace, config, predictor_spec, workload, warmup, slow=False)
-        best_fast = min(best_fast, fast_s)
-        cycles = fast_cycles
+        scalar_s, cycles, _ = _run_once(
+            trace, config, predictor_spec, workload, warmup, "scalar")
+        best_scalar = min(best_scalar, scalar_s)
         if measure_slow:
-            slow_s, slow_cycles = _run_once(
-                trace, config, predictor_spec, workload, warmup, slow=True)
+            slow_s, slow_cycles, _ = _run_once(
+                trace, config, predictor_spec, workload, warmup,
+                "reference")
             best_slow = min(best_slow, slow_s)
-            if slow_cycles != fast_cycles:
+            if slow_cycles != cycles:
                 raise SimulationError(
                     f"result divergence on {workload}/{predictor_spec}: "
-                    f"fast path {fast_cycles} cycles vs slow path "
-                    f"{slow_cycles} — the engine paths are no longer "
+                    f"scalar loop {cycles} cycles vs reference loop "
+                    f"{slow_cycles} — the engine loops are no longer "
                     "result-neutral")
-    return best_fast, best_slow if measure_slow else None, cycles
+        if measure_vector:
+            vector_s, vector_cycles, vec_ops = _run_once(
+                trace, config, predictor_spec, workload, warmup,
+                "vector")
+            best_vector = min(best_vector, vector_s)
+            if vector_cycles != cycles:
+                raise SimulationError(
+                    f"result divergence on {workload}/{predictor_spec}: "
+                    f"scalar loop {cycles} cycles vs vector loop "
+                    f"{vector_cycles} — the engine loops are no longer "
+                    "result-neutral")
+    return (best_scalar,
+            best_slow if measure_slow else None,
+            best_vector if measure_vector else None,
+            cycles, vec_ops)
 
 
 def geomean(values: Sequence[float]) -> float:
@@ -141,6 +179,7 @@ def run_bench(workloads: Sequence[str] = DEFAULT_WORKLOADS,
               repeats: int = DEFAULT_REPEATS,
               core: str = "skylake",
               measure_slow: bool = True,
+              measure_vector: Optional[bool] = None,
               progress=None,
               seed: Optional[int] = None,
               trace_file: Optional[str] = None) -> Dict:
@@ -159,6 +198,10 @@ def run_bench(workloads: Sequence[str] = DEFAULT_WORKLOADS,
     measure_slow:
         Also time each cell under the reference slow path and report
         the machine-independent speedup ratio.
+    measure_vector:
+        Also time each cell under the vector (numpy SoA) backend and
+        report ``vector_kips``/``vector_speedup``; ``None`` (the
+        default) auto-detects numpy and skips the column without it.
     progress:
         Optional callable invoked with a one-line message per cell.
     seed:
@@ -171,10 +214,13 @@ def run_bench(workloads: Sequence[str] = DEFAULT_WORKLOADS,
     """
     from repro.errors import ConfigError
     from repro.experiments.runner import core_config
+    from repro.pipeline.engine import _HAVE_NUMPY
     from repro.trace import build_trace
     from repro.trace.io import open_trace, trace_file_length
     from repro.trace.workloads import get_profile, reseeded
 
+    if measure_vector is None:
+        measure_vector = _HAVE_NUMPY
     if trace_file is not None:
         if len(workloads) != 1:
             raise ConfigError(
@@ -196,9 +242,9 @@ def run_bench(workloads: Sequence[str] = DEFAULT_WORKLOADS,
             trace = build_trace(profile, length)
         n = len(trace)
         for predictor in predictors:
-            fast_s, slow_s, cycles = _time_cell(
+            fast_s, slow_s, vector_s, cycles, vec_ops = _time_cell(
                 trace, config, predictor, workload, warmup, repeats,
-                measure_slow=measure_slow)
+                measure_slow=measure_slow, measure_vector=measure_vector)
             cell = {
                 "workload": workload,
                 "predictor": predictor,
@@ -209,18 +255,26 @@ def run_bench(workloads: Sequence[str] = DEFAULT_WORKLOADS,
             if measure_slow:
                 cell["slow_kips"] = round(n / slow_s / 1e3, 2)
                 cell["speedup"] = round(slow_s / fast_s, 3)
+            if measure_vector:
+                cell["vector_kips"] = round(n / vector_s / 1e3, 2)
+                cell["vector_speedup"] = round(fast_s / vector_s, 3)
+                cell["vectorized"] = vec_ops > 0
             cells.append(cell)
             if progress is not None:
                 line = (f"{workload}/{predictor}: "
                         f"{cell['sim_kips']:.0f} KIPS")
                 if measure_slow:
                     line += (f" ({cell['speedup']:.2f}x vs slow path)")
+                if measure_vector:
+                    line += (f" (vector {cell['vector_speedup']:.2f}x"
+                             + ("" if cell["vectorized"]
+                                else ", fell back") + ")")
                 progress(line)
         if trace_file is not None:
             trace.close()
 
     report = {
-        "schema": 1,
+        "schema": 2,
         "date": time.strftime("%Y-%m-%d"),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -241,6 +295,14 @@ def run_bench(workloads: Sequence[str] = DEFAULT_WORKLOADS,
     if measure_slow:
         report["geomean_speedup"] = round(
             geomean([c["speedup"] for c in cells]), 3)
+    if measure_vector:
+        report["geomean_vector_speedup"] = round(
+            geomean([c["vector_speedup"] for c in cells]), 3)
+        vectorized = [c["vector_speedup"] for c in cells
+                      if c["vectorized"]]
+        if vectorized:
+            report["geomean_vector_speedup_vectorized"] = round(
+                geomean(vectorized), 3)
     return report
 
 
@@ -290,12 +352,17 @@ def compare_to_baseline(report: Dict, baseline: Dict) -> Dict:
 
 
 def check_regression(comparison: Dict,
-                     tolerance: float = CHECK_TOLERANCE) -> List[str]:
+                     tolerance: float = CHECK_TOLERANCE,
+                     report: Optional[Dict] = None) -> List[str]:
     """Failure messages for the CI gate (empty = pass).
 
     Gates on the machine-independent speedup ratio and on cycle-count
     drift; raw KIPS are reported but never gated (CI runners vary far
-    more than any real regression).
+    more than any real regression).  When the fresh ``report`` is
+    supplied and carries vector numbers, the two absolute vector gates
+    apply as well: :data:`VECTOR_MIN_SPEEDUP` over vectorized cells
+    and :data:`VECTOR_OVERHEAD_FLOOR` over all cells (both
+    vector-vs-scalar, so no baseline entry is needed).
     """
     failures: List[str] = []
     if comparison["cycle_mismatches"]:
@@ -306,6 +373,19 @@ def check_regression(comparison: Dict,
         failures.append(
             f"fast-path speedup regressed to {ratio:.2f}x of the "
             f"baseline (tolerance {1 - tolerance:.2f}x)")
+    if report is not None:
+        vectorized = report.get("geomean_vector_speedup_vectorized")
+        if vectorized is not None and vectorized < VECTOR_MIN_SPEEDUP:
+            failures.append(
+                f"vector backend geomean speedup {vectorized:.2f}x on "
+                f"vectorized cells is below the "
+                f"{VECTOR_MIN_SPEEDUP:.2f}x floor")
+        overall = report.get("geomean_vector_speedup")
+        if overall is not None and overall < VECTOR_OVERHEAD_FLOOR:
+            failures.append(
+                f"vector backend geomean {overall:.2f}x across all "
+                f"cells is below the {VECTOR_OVERHEAD_FLOOR:.2f}x "
+                "floor — fallback/delegation overhead regressed")
     return failures
 
 
@@ -339,19 +419,37 @@ def write_report(report: Dict, output: Optional[str] = None) -> str:
 def format_report(report: Dict, comparison: Optional[Dict] = None) -> str:
     """Human-readable bench table for the CLI."""
     lines = [f"{'workload':<12} {'predictor':<12} {'sim KIPS':>10} "
-             f"{'slow KIPS':>10} {'speedup':>8}"]
+             f"{'slow KIPS':>10} {'speedup':>8} {'vec KIPS':>10} "
+             f"{'vec spd':>8}"]
     for cell in report["cells"]:
         slow = cell.get("slow_kips")
         speed = cell.get("speedup")
+        vec = cell.get("vector_kips")
+        vec_speed = cell.get("vector_speedup")
+        vec_col = "-" if vec_speed is None else (
+            f"{vec_speed:.2f}x" + ("" if cell.get("vectorized") else "*"))
         lines.append(
             f"{cell['workload']:<12} {cell['predictor']:<12} "
             f"{cell['sim_kips']:>10.1f} "
             f"{slow if slow is not None else '-':>10} "
-            f"{f'{speed:.2f}x' if speed is not None else '-':>8}")
+            f"{f'{speed:.2f}x' if speed is not None else '-':>8} "
+            f"{vec if vec is not None else '-':>10} "
+            f"{vec_col:>8}")
+    if any("vectorized" in c and not c["vectorized"]
+           for c in report["cells"]):
+        lines.append("  (* = vector backend fell back to the scalar "
+                     "loop for every window)")
     lines.append(f"geomean sim throughput: {report['geomean_kips']:.1f} KIPS")
     if "geomean_speedup" in report:
         lines.append("geomean fast-path speedup: "
                      f"{report['geomean_speedup']:.2f}x vs slow path")
+    if "geomean_vector_speedup" in report:
+        line = ("geomean vector speedup: "
+                f"{report['geomean_vector_speedup']:.2f}x vs scalar")
+        if "geomean_vector_speedup_vectorized" in report:
+            line += (f" ({report['geomean_vector_speedup_vectorized']:.2f}x"
+                     " on vectorized cells)")
+        lines.append(line)
     if report.get("peak_rss_kb") is not None:
         lines.append(f"peak RSS: {report['peak_rss_kb'] / 1024:.1f} MiB")
     if comparison is not None:

@@ -118,6 +118,11 @@ class Runner:
         (mmap-backed, bounded RSS).  Requires exactly one explicit
         workload — the label the replayed trace is recorded under —
         and defaults ``length`` to the file's op count.
+    backend:
+        Optional engine timing-loop backend (``"vector"``,
+        ``"scalar"`` or ``"reference"`` — docs/VECTOR.md) pinned on
+        every job this runner creates; ``None`` defers to
+        ``REPRO_ENGINE_BACKEND`` and the engine default.
 
     Everything is keyword-only; old positional call sites still work
     for one release behind a :class:`DeprecationWarning`.
@@ -138,7 +143,8 @@ class Runner:
                  timeout: Optional[float] = None, retries: int = 2,
                  strict: bool = True,
                  seed: Optional[int] = None,
-                 trace_file: Optional[str] = None) -> None:
+                 trace_file: Optional[str] = None,
+                 backend: Optional[str] = None) -> None:
         if legacy:
             if len(legacy) > len(self._LEGACY_ORDER):
                 raise TypeError(
@@ -163,6 +169,7 @@ class Runner:
                 tuple(legacy) + current[len(legacy):]
         self.seed = seed
         self.trace_file = trace_file
+        self.backend = backend
         if trace_file is not None:
             if workloads is None or len(list(workloads)) != 1:
                 raise ConfigError(
@@ -207,7 +214,7 @@ class Runner:
             predictor: Optional[PredictorSpec]) -> Job:
         """The campaign job this runner would execute for the triple."""
         return Job(workload, core, predictor, self.length, self.warmup,
-                   self.seed, self.trace_file)
+                   self.seed, self.trace_file, self.backend)
 
     def _build_predictor(self, spec, trace, config):
         # Retained for API compatibility; construction lives in

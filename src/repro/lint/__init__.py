@@ -11,14 +11,17 @@ suppression syntax.
 
 from repro.lint.core import (Finding, LintError, Rule, lint_files,
                              lint_paths, lint_source)
-from repro.lint.rules import default_rules, find_dual_dispatch
+from repro.lint.rules import (LoopDispatch, default_rules,
+                              find_dual_dispatch, find_loop_dispatch)
 
 __all__ = [
     "Finding",
     "LintError",
+    "LoopDispatch",
     "Rule",
     "default_rules",
     "find_dual_dispatch",
+    "find_loop_dispatch",
     "lint_files",
     "lint_paths",
     "lint_source",

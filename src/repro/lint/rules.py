@@ -11,7 +11,7 @@ with ``# reprolint: disable=RLxxx`` where the rule is wrong.
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from repro.lint.core import (Finding, Rule, dotted_name, import_map,
                              iter_parents, module_constants, resolve_dotted)
@@ -141,24 +141,46 @@ def _call_signature(call: ast.Call) -> str:
         ctx=ast.Load()))
 
 
-def find_dual_dispatch(tree: ast.Module
-                       ) -> Optional[Tuple[str, str, ast.ClassDef]]:
-    """Locate the fast/slow dual dispatch *structurally*.
+class LoopDispatch(NamedTuple):
+    """The timing-loop dispatch located by :func:`find_loop_dispatch`."""
 
-    The engine's ``run()`` selects between the optimized and the
-    reference timing loop with::
+    #: Optimized scalar loop method (the ``elif``/``else`` hot arm).
+    hot_name: str
+    #: Readable reference loop method (the opt-in ``if`` arm).
+    ref_name: str
+    #: Vector backend method (the trailing ``else`` arm of a three-way
+    #: chain), or ``None`` for the legacy two-way shape.
+    vector_name: Optional[str]
+    #: The enclosing class.
+    cls: ast.ClassDef
+
+
+def find_loop_dispatch(tree: ast.Module) -> Optional[LoopDispatch]:
+    """Locate the timing-loop dispatch *structurally*.
+
+    The engine's ``run()`` selects a timing loop either with the
+    legacy two-way shape::
 
         if _slow_path_requested():
             self._time_trace_reference(trace, warmup, result, gap_hist)
         else:
             self._time_trace(trace, warmup, result, gap_hist)
 
+    or the three-way backend chain (docs/VECTOR.md)::
+
+        if (backend := self._resolve_backend()) == "reference":
+            self._time_trace_reference(trace, warmup, result, gap_hist)
+        elif backend == "scalar":
+            self._time_trace(trace, warmup, result, gap_hist)
+        else:
+            self._time_trace_vector(trace, warmup, result, gap_hist)
+
     so the shape we look for — independent of any method naming — is
-    an ``if`` whose test involves a call and whose two branches each
+    an ``if`` whose test involves a call and whose branches each
     consist of exactly one ``self.<method>(...)`` call with identical
-    arguments.  The ``if`` branch is the opt-in slow/reference loop,
-    the ``else`` branch the default hot path.  Returns ``(hot method
-    name, reference method name, enclosing class)`` or ``None``.
+    arguments: the ``if`` branch is the opt-in slow/reference loop,
+    the next arm the optimized scalar loop, and the trailing ``else``
+    of a three-way chain the vector backend.
     """
     for cls in ast.walk(tree):
         if not isinstance(cls, ast.ClassDef):
@@ -170,19 +192,50 @@ def find_dual_dispatch(tree: ast.Module
                        for sub in ast.walk(node.test)):
                 continue
             ref_call = _sole_self_call(node.body)
-            hot_call = _sole_self_call(node.orelse)
-            if ref_call is None or hot_call is None:
+            if ref_call is None:
                 continue
             assert isinstance(ref_call.func, ast.Attribute)
-            assert isinstance(hot_call.func, ast.Attribute)
             ref_name = ref_call.func.attr
+            if len(node.orelse) == 1 \
+                    and isinstance(node.orelse[0], ast.If):
+                # elif chain: scalar arm, then the vector else arm.
+                inner = node.orelse[0]
+                hot_call = _sole_self_call(inner.body)
+                vec_call = _sole_self_call(inner.orelse)
+                if hot_call is None or vec_call is None:
+                    continue
+                assert isinstance(hot_call.func, ast.Attribute)
+                assert isinstance(vec_call.func, ast.Attribute)
+                hot_name = hot_call.func.attr
+                vec_name = vec_call.func.attr
+                if len({ref_name, hot_name, vec_name}) != 3:
+                    continue
+                if len({_call_signature(c) for c in
+                        (ref_call, hot_call, vec_call)}) != 1:
+                    continue
+                return LoopDispatch(hot_name, ref_name, vec_name, cls)
+            hot_call = _sole_self_call(node.orelse)
+            if hot_call is None:
+                continue
+            assert isinstance(hot_call.func, ast.Attribute)
             hot_name = hot_call.func.attr
             if ref_name == hot_name:
                 continue
             if _call_signature(ref_call) != _call_signature(hot_call):
                 continue
-            return hot_name, ref_name, cls
+            return LoopDispatch(hot_name, ref_name, None, cls)
     return None
+
+
+def find_dual_dispatch(tree: ast.Module
+                       ) -> Optional[Tuple[str, str, ast.ClassDef]]:
+    """The scalar pair of :func:`find_loop_dispatch` — ``(hot method
+    name, reference method name, enclosing class)`` or ``None``
+    (RL002's interface; the vector arm has no per-op hot loop here)."""
+    found = find_loop_dispatch(tree)
+    if found is None:
+        return None
+    return found.hot_name, found.ref_name, found.cls
 
 
 def _method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
@@ -389,13 +442,13 @@ class HotPathPurityRule(Rule):
 # RL003 — dual-loop drift
 # ----------------------------------------------------------------------
 class DualLoopDriftRule(Rule):
-    """The optimized and reference timing loops read the same model.
+    """The timing-loop implementations read the same model.
 
-    For the pair of methods selected by :func:`find_dual_dispatch`,
-    the *effective* set of core-config attributes, the set of
-    predictor hooks, and the set of trace-stream reads must match.
-    "Effective" folds in ``__init__``: the hot path may precompute a
-    config attribute into a dispatch table at construction time (e.g.
+    For the scalar pair selected by :func:`find_loop_dispatch`, the
+    *effective* set of core-config attributes, the set of predictor
+    hooks, and the set of trace-stream reads must match.  "Effective"
+    folds in ``__init__``: the hot path may precompute a config
+    attribute into a dispatch table at construction time (e.g.
     ``ports``), so each loop's set is its own direct reads unioned
     with the constructor's — drift is a config attribute one path can
     see and the other cannot.  The trace-stream comparison covers the
@@ -403,31 +456,55 @@ class DualLoopDriftRule(Rule):
     same :class:`~repro.trace.source.TraceSource` surface (e.g. both
     via ``.chunks()``), or one path's window boundaries silently
     diverge from the other's.
+
+    When the dispatch has a vector arm (docs/VECTOR.md), the vector
+    loop lives in its own module, so its checks run cross-file in
+    :meth:`finish` once both sides were scanned: the vector loop's
+    effective config reads must equal the scalar hot loop's, its
+    hook *delegation probe* (``is not ValuePredictor.<hook>``
+    comparisons) must cover every predictor hook the scalar loop
+    calls, and it must consume the trace through a declared streaming
+    surface (``chunks``/``soa_windows``).
     """
 
     code = "RL003"
     name = "dual-loop-drift"
-    description = ("optimized and reference timing loops must read the "
-                   "same config attributes, predictor hooks, and "
-                   "trace-stream surface")
+    description = ("optimized, reference, and vector timing loops must "
+                   "read the same config attributes, predictor hooks, "
+                   "and trace-stream surface")
     scope = (("repro", "pipeline"),)
+
+    #: TraceSource streaming surfaces a timing loop may consume.
+    STREAM_SURFACES: Tuple[str, ...] = ("chunks", "soa_windows")
+
+    def __init__(self) -> None:
+        #: Engine-side record when a three-way dispatch was located.
+        self._dispatch: Optional[Dict[str, object]] = None
+        #: Vector-loop records (module-level functions with
+        #: ``ValuePredictor`` identity probes).
+        self._vector_loops: List[Dict[str, object]] = []
 
     def check(self, tree: ast.Module, source: str,
               path: str) -> List[Finding]:
-        dispatch = find_dual_dispatch(tree)
+        findings: List[Finding] = []
+        self._scan_vector_loops(tree, path)
+        dispatch = find_loop_dispatch(tree)
         if dispatch is None:
-            return []
-        hot_name, ref_name, cls = dispatch
+            return findings
+        hot_name, ref_name, vec_name, cls = dispatch
         hot = _method(cls, hot_name)
         ref = _method(cls, ref_name)
-        if hot is None or ref is None:
-            missing = hot_name if hot is None else ref_name
+        arms = [(hot_name, hot), (ref_name, ref)]
+        if vec_name is not None:
+            arms.append((vec_name, _method(cls, vec_name)))
+        missing = [name for name, method in arms if method is None]
+        if missing:
             return [Finding(
                 self.code, path, cls.lineno, cls.col_offset,
-                f"dual dispatch targets missing method {missing}",
-                "keep both timing-loop methods defined in the class")]
+                f"dispatch targets missing method {missing[0]}",
+                "keep every timing-loop method defined in the class")]
+        assert hot is not None and ref is not None
         init_reads = self._init_config_reads(cls)
-        findings: List[Finding] = []
 
         hot_cfg = self._config_reads(hot) | init_reads
         ref_cfg = self._config_reads(ref) | init_reads
@@ -453,6 +530,111 @@ class DualLoopDriftRule(Rule):
             "consume the trace through the same TraceSource surface "
             "in both loops — the chunk-refill seam is part of the "
             "bit-identity contract"))
+
+        if vec_name is not None:
+            self._dispatch = {
+                "path": path,
+                "hot_name": hot_name,
+                "hot_cfg": hot_cfg,
+                "hot_hooks": hot_hooks,
+                "init_reads": init_reads,
+            }
+        return findings
+
+    # -- cross-file vector-loop half -----------------------------------
+    @staticmethod
+    def _hook_probes(func: ast.FunctionDef) -> Set[str]:
+        """Predictor hooks probed by identity against the
+        ``ValuePredictor`` base (``<x> is not ValuePredictor.<hook>``)
+        — the vector backend's delegation test."""
+        probes: Set[str] = set()
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Compare):
+                continue
+            for comparator in node.comparators:
+                if isinstance(comparator, ast.Attribute) \
+                        and isinstance(comparator.value, ast.Name) \
+                        and comparator.value.id == "ValuePredictor":
+                    probes.add(comparator.attr)
+        return probes
+
+    def _scan_vector_loops(self, tree: ast.Module, path: str) -> None:
+        for func in tree.body:
+            if not isinstance(func, ast.FunctionDef):
+                continue
+            probes = self._hook_probes(func)
+            if not probes:
+                continue
+            args = func.args.args
+            engine_arg = args[0].arg if args else ""
+            trace_arg = args[1].arg if len(args) > 1 else ""
+            aliases = _aliases_of(func, engine_arg, "config")
+            self._vector_loops.append({
+                "path": path,
+                "line": func.lineno,
+                "name": func.name,
+                "cfg": _attr_reads_on(func, engine_arg, "config",
+                                      aliases),
+                "probes": probes,
+                "stream": _attr_reads_on(func, "", None, {trace_arg}),
+            })
+
+    def finish(self) -> List[Finding]:
+        dispatch, self._dispatch = self._dispatch, None
+        loops, self._vector_loops = self._vector_loops, []
+        if dispatch is None or not loops:
+            return []  # partial run: no cross-file ground truth
+        findings: List[Finding] = []
+        hot_name = dispatch["hot_name"]
+        assert isinstance(hot_name, str)
+        hot_cfg = dispatch["hot_cfg"]
+        hot_hooks = dispatch["hot_hooks"]
+        init_reads = dispatch["init_reads"]
+        assert isinstance(hot_cfg, set) and isinstance(hot_hooks, set) \
+            and isinstance(init_reads, set)
+        for loop in loops:
+            path, line = loop["path"], loop["line"]
+            name = loop["name"]
+            assert isinstance(path, str) and isinstance(line, int) \
+                and isinstance(name, str)
+            cfg = loop["cfg"]
+            probes = loop["probes"]
+            stream = loop["stream"]
+            assert isinstance(cfg, set) and isinstance(probes, set) \
+                and isinstance(stream, set)
+            vec_cfg = cfg | init_reads
+            for only, where in ((sorted(vec_cfg - hot_cfg), name),
+                                (sorted(hot_cfg - vec_cfg), hot_name)):
+                if only:
+                    findings.append(Finding(
+                        self.code, path, line, 0,
+                        f"config attribute drift: {', '.join(only)} "
+                        f"read by {where} but not the other loop",
+                        "read the same config attributes in the "
+                        "vector loop as in the scalar hot loop"))
+            unprobed = sorted(hot_hooks - probes)
+            if unprobed:
+                findings.append(Finding(
+                    self.code, path, line, 0,
+                    f"delegation-probe drift: scalar loop calls "
+                    f"predictor hook(s) {', '.join(unprobed)} that "
+                    f"{name} never probes before taking the vector "
+                    "path",
+                    "compare every hook the scalar loop calls against "
+                    "its ValuePredictor default (`is not "
+                    "ValuePredictor.<hook>`) and delegate when "
+                    "overridden"))
+            stray = sorted(stream - set(self.STREAM_SURFACES))
+            if not stream or stray:
+                what = ", ".join(stray) if stray else "nothing"
+                findings.append(Finding(
+                    self.code, path, line, 0,
+                    f"trace-stream drift: {name} consumes the trace "
+                    f"via {what}, not a declared streaming surface",
+                    "consume the trace through "
+                    f"{' or '.join(self.STREAM_SURFACES)} — the "
+                    "window seam is part of the bit-identity "
+                    "contract"))
         return findings
 
     def _drift(self, path: str, anchor: ast.FunctionDef, what: str,

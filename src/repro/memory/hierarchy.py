@@ -9,7 +9,7 @@ L2 and LLC, as in the baseline core.
 
 from __future__ import annotations
 
-from typing import NamedTuple
+from typing import NamedTuple, Optional
 
 from repro.memory.cache import Cache
 from repro.memory.dram import Dram, DramConfig
@@ -101,6 +101,27 @@ class MemoryHierarchy:
         the timing model, but they still move lines and train
         prefetchers).
         """
+        front = self.access_front(pc, addr, is_store=is_store)
+        if front is not None:
+            return front
+        latency = self.config.llc_latency + self.dram.access(addr, cycle)
+        return AccessResult(latency, DRAM)
+
+    def access_front(self, pc: int, addr: int,
+                     is_store: bool = False) -> Optional[AccessResult]:
+        """The cache-side half of :meth:`access`: prefetcher training,
+        L1/L2/LLC lookups and level accounting — everything whose state
+        evolution depends only on the program-order access stream,
+        never on issue cycles.  Returns ``None`` when the access misses
+        all the way to DRAM; the caller owes exactly one
+        ``dram.access(addr, cycle)`` call for it (DRAM bank queueing is
+        the one timing-coupled piece of the hierarchy).
+
+        The vector engine backend (docs/VECTOR.md) pre-passes whole
+        windows through this front half in program order and defers
+        only the DRAM tail calls into its timestamp recurrence, which
+        keeps results bit-identical to the one-call-per-op loops.
+        """
         cfg = self.config
         prefetch = cfg.enable_prefetch
         if prefetch:
@@ -124,8 +145,7 @@ class MemoryHierarchy:
             counts[LLC] += 1
             return self._llc_result
         counts[DRAM] += 1
-        latency = cfg.llc_latency + self.dram.access(addr, cycle)
-        return AccessResult(latency, DRAM)
+        return None
 
     def _prefetch_fill(self, addr: int, into_l1: bool) -> None:
         """Install a prefetched line: stride prefetches fill L1+L2,

@@ -21,25 +21,38 @@ held it back.  The per-bucket totals partition the run's cycles
 exactly, and every component publishes its statistics into one
 :class:`~repro.telemetry.stats.StatGroup` tree on the result.
 
-Two implementations of the per-op loop coexist (docs/PERF.md):
+Three implementations of the per-op loop coexist (docs/PERF.md,
+docs/VECTOR.md):
 
-* :meth:`Engine._time_trace` — the optimized hot path used by default.
-  It precomputes op-class dispatch tables, inlines the bandwidth
-  machines and the fetch-line check, keeps headline counters in
-  locals, and skips engine→predictor calls that resolve to the
-  no-op base-class implementations.
-* :meth:`Engine._time_trace_reference` — the readable reference
-  implementation, selected by setting ``REPRO_SLOW_PATH=1`` in the
-  environment.
+* the **vector** backend (:mod:`repro.pipeline.engine_vector`) — the
+  default when numpy is importable.  It consumes structure-of-arrays
+  windows, batches the program-order machines into per-window
+  pre-passes, and falls back per window (store→load aliasing) or per
+  run (predictor hooks, event collection) to the scalar loop.
+* the **scalar** backend, :meth:`Engine._time_trace` — the optimized
+  per-op hot path.  It precomputes op-class dispatch tables, inlines
+  the bandwidth machines and the fetch-line check, keeps headline
+  counters in locals, and skips engine→predictor calls that resolve
+  to the no-op base-class implementations.
+* the **reference** backend, :meth:`Engine._time_trace_reference` —
+  the readable specification loop.
 
-Both produce **bit-identical** :class:`~repro.pipeline.results.SimResult`
-objects for any (trace, config, predictor) — asserted across the
-workload catalogue by ``tests/test_perf_neutrality.py``.
+Selection: the ``backend=`` engine/CLI parameter wins, then the legacy
+``REPRO_SLOW_PATH=1`` (→ ``reference``), then the registered
+``REPRO_ENGINE_BACKEND`` environment variable, then the default
+(``vector``, or ``scalar`` without numpy).
+
+All three produce **bit-identical**
+:class:`~repro.pipeline.results.SimResult` objects for any
+(trace, config, predictor) — asserted across the workload catalogue by
+``tests/test_perf_neutrality.py`` and policed statically by reprolint
+RL003.
 """
 
 from __future__ import annotations
 
 import heapq
+import importlib.util
 import os
 import warnings
 from bisect import bisect_right
@@ -109,9 +122,31 @@ _ADDR_ALIGN = ~0x7  # store→load forwarding tracked at 8-byte granularity
 _NO_CYCLE_LIMIT = 1 << 62
 
 
+#: The three timing-loop implementations (docs/VECTOR.md), in the
+#: order of their telemetry codes (``engine.backend``).
+BACKENDS = ("reference", "scalar", "vector")
+
+#: Whether the vector backend's numpy dependency is importable (probed
+#: without importing, so scalar-only runs never pay the import).
+_HAVE_NUMPY = importlib.util.find_spec("numpy") is not None
+
+
 def _slow_path_requested() -> bool:
     """True when ``REPRO_SLOW_PATH`` selects the reference loop."""
     return os.environ.get("REPRO_SLOW_PATH", "") not in ("", "0")
+
+
+def _backend_requested() -> Optional[str]:
+    """The ``REPRO_ENGINE_BACKEND`` environment selection, or ``None``
+    when unset/empty."""
+    text = os.environ.get("REPRO_ENGINE_BACKEND", "")
+    if not text:
+        return None
+    if text not in BACKENDS:
+        raise ConfigError(
+            f"REPRO_ENGINE_BACKEND must be one of {BACKENDS}, "
+            f"got {text!r}")
+    return text
 
 
 def _invariants_requested() -> bool:
@@ -188,6 +223,14 @@ class Engine:
         environment variable; unset/0 disarms the watchdog, which then
         costs one integer comparison per op against an unreachable
         sentinel.  See docs/ROBUSTNESS.md.
+    backend:
+        Which timing-loop implementation runs (docs/VECTOR.md):
+        ``"vector"``, ``"scalar"`` or ``"reference"``.  ``None`` (the
+        default) defers to ``REPRO_SLOW_PATH``, then
+        ``REPRO_ENGINE_BACKEND``, then ``vector`` when numpy is
+        importable (``scalar`` otherwise).  All backends are
+        bit-identical; an explicit ``"vector"`` without numpy raises
+        :class:`~repro.errors.ConfigError` at run time.
     """
 
     def __init__(self, config: CoreConfig,
@@ -196,12 +239,17 @@ class Engine:
                  collect_events: bool = False,
                  event_capacity: int = DEFAULT_CAPACITY,
                  collect_stalls: bool = True,
-                 max_cycles: Optional[int] = None) -> None:
+                 max_cycles: Optional[int] = None,
+                 backend: Optional[str] = None) -> None:
         if max_cycles is None:
             max_cycles = _default_max_cycles()
         elif max_cycles <= 0:
             raise ConfigError(
                 f"max_cycles must be positive, got {max_cycles}")
+        if backend is not None and backend not in BACKENDS:
+            raise ConfigError(
+                f"backend must be one of {BACKENDS}, got {backend!r}")
+        self.backend = backend
         self.max_cycles = max_cycles
         self.config = config
         self.predictor = predictor or NoPredictor()
@@ -248,6 +296,14 @@ class Engine:
         self._store_by_pc = None
         self._store_records = None
         self._now_alloc = 0
+
+        # Vector-backend coverage counters, published as the
+        # ``engine.*`` telemetry group (zero on the scalar backends).
+        self._vec_windows = 0
+        self._vec_ops = 0
+        self._vec_fallback_windows = 0
+        self._vec_fallback_ops = 0
+        self._vec_delegated = False
 
     # ------------------------------------------------------------------
     # Store-tracking callables exposed through the context.
@@ -302,8 +358,9 @@ class Engine:
             Cycles, IPC, prediction/branch/memory counters, the exact
             stall-cycle partition, and the per-component telemetry
             tree.  Deterministic: the same inputs always produce a
-            bit-identical result, whichever loop implementation runs
-            (``REPRO_SLOW_PATH=1`` selects the reference loop).
+            bit-identical result, whichever backend runs
+            (docs/VECTOR.md documents the three-loop identity
+            contract).
         """
         source = as_source(trace)
         result = SimResult(workload, self.config.name, self.predictor.name)
@@ -317,17 +374,25 @@ class Engine:
         forced_timing = audit and not self.collect_timing
         if forced_timing:
             self.collect_timing = True
+        self._vec_windows = 0
+        self._vec_ops = 0
+        self._vec_fallback_windows = 0
+        self._vec_fallback_ops = 0
+        self._vec_delegated = False
         try:
             if n:
                 pipeline_group = telemetry.group(
                     "pipeline", "cycle accounting and stall attribution")
                 gap_hist = pipeline_group.histogram(
                     "stall-gaps", "non-retiring gap lengths (post-warmup)")
-                if _slow_path_requested():
+                if (backend := self._resolve_backend()) == "reference":
                     self._time_trace_reference(source, warmup, result,
                                                gap_hist)
-                else:
+                elif backend == "scalar":
                     self._time_trace(source, warmup, result, gap_hist)
+                else:
+                    self._time_trace_vector(source, warmup, result,
+                                            gap_hist)
                 # Capture delivery stats before the audit's second pass
                 # overwrites them.
                 stream = source.last_pass
@@ -339,6 +404,40 @@ class Engine:
                 result.timing = None
         result.telemetry = self._publish(result, telemetry, stream)
         return result
+
+    # ------------------------------------------------------------------
+    def _resolve_backend(self) -> str:
+        """Which timing loop this run uses (docs/VECTOR.md).
+
+        Precedence: the explicit ``backend=`` constructor argument,
+        then the legacy ``REPRO_SLOW_PATH=1`` reference-loop switch,
+        then the registered ``REPRO_ENGINE_BACKEND`` environment
+        variable, then the default — ``vector`` when numpy is
+        importable, ``scalar`` otherwise.  An explicit ``vector``
+        request without numpy is a :class:`ConfigError` rather than a
+        silent downgrade."""
+        backend = self.backend
+        if backend is None:
+            if _slow_path_requested():
+                return "reference"
+            backend = _backend_requested()
+        if backend is None:
+            return "vector" if _HAVE_NUMPY else "scalar"
+        if backend == "vector" and not _HAVE_NUMPY:
+            raise ConfigError(
+                "the vector engine backend requires numpy, which is not "
+                "importable here; select backend='scalar' instead")
+        return backend
+
+    def _time_trace_vector(self, trace: TraceSource, warmup: int,
+                           result: SimResult, gap_hist) -> None:
+        """Vectorized structure-of-arrays loop (the ``vector``
+        backend).  Thin delegator: the implementation lives in
+        :mod:`repro.pipeline.engine_vector`, imported lazily so the
+        scalar backends never pay the numpy import."""
+        from repro.pipeline import engine_vector
+        engine_vector.time_trace_vector(self, trace, warmup, result,
+                                        gap_hist)
 
     # ------------------------------------------------------------------
     def _time_trace(self, trace: TraceSource, warmup: int,
@@ -1333,6 +1432,27 @@ class Engine:
         source_group.counter("peak-window",
                              "largest resident window (micro-ops)",
                              stream.peak_window)
+        engine_group = telemetry.group(
+            "engine", "timing-loop backend and vector coverage")
+        engine_group.counter(
+            "backend", "backend code (0=reference 1=scalar 2=vector)",
+            BACKENDS.index(self._resolve_backend()))
+        engine_group.counter("vector-windows",
+                             "windows timed by the vector recurrence",
+                             self._vec_windows)
+        engine_group.counter("vector-ops",
+                             "micro-ops timed by the vector recurrence",
+                             self._vec_ops)
+        engine_group.counter("fallback-windows",
+                             "windows timed by the scalar fallback",
+                             self._vec_fallback_windows)
+        engine_group.counter("fallback-ops",
+                             "micro-ops timed by the scalar fallback",
+                             self._vec_fallback_ops)
+        engine_group.counter(
+            "delegated",
+            "vector run delegated whole to the scalar loop (0/1)",
+            int(self._vec_delegated))
         pipeline_group = telemetry.group(
             "pipeline", "cycle accounting and stall attribution")
         pipeline_group.counter("cycles", "post-warmup cycles",
@@ -1385,7 +1505,8 @@ def simulate(trace: Union[TraceSource, Sequence[MicroOp]], *legacy,
              collect_timing: bool = False,
              collect_events: bool = False,
              collect_stalls: bool = True,
-             max_cycles: Optional[int] = None) -> SimResult:
+             max_cycles: Optional[int] = None,
+             backend: Optional[str] = None) -> SimResult:
     """One-call convenience wrapper: build an engine and run a trace.
 
     Everything beyond the trace is keyword-only.  Old positional call
@@ -1410,6 +1531,10 @@ def simulate(trace: Union[TraceSource, Sequence[MicroOp]], *legacy,
         Optional telemetry switches — see :class:`Engine`.
     max_cycles:
         Optional non-termination watchdog budget — see :class:`Engine`.
+    backend:
+        Timing-loop backend pin (``"reference"`` / ``"scalar"`` /
+        ``"vector"``; ``None`` defers to the environment and the
+        numpy autodetect — docs/VECTOR.md).
 
     >>> from repro.isa import alu
     >>> r = simulate([alu(0x400000 + 4 * i, dest=0, value=i)
@@ -1442,5 +1567,5 @@ def simulate(trace: Union[TraceSource, Sequence[MicroOp]], *legacy,
                     collect_timing=collect_timing,
                     collect_events=collect_events,
                     collect_stalls=collect_stalls,
-                    max_cycles=max_cycles)
+                    max_cycles=max_cycles, backend=backend)
     return engine.run(trace, workload=workload, warmup=warmup)

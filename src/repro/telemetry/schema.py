@@ -35,6 +35,16 @@ TELEMETRY_SCHEMA: Dict[str, str] = {
     "source.ops": "counter",
     "source.chunks": "counter",
     "source.peak-window": "counter",
+    # Timing-loop backend coverage (repro.pipeline.engine._publish):
+    # which of the three loops ran, and how much of the run the vector
+    # recurrence covered vs its scalar fallback (docs/VECTOR.md).
+    "engine": "group",
+    "engine.backend": "counter",
+    "engine.vector-windows": "counter",
+    "engine.vector-ops": "counter",
+    "engine.fallback-windows": "counter",
+    "engine.fallback-ops": "counter",
+    "engine.delegated": "counter",
     # Engine cycle accounting (repro.pipeline.engine._publish).
     "pipeline": "group",
     "pipeline.cycles": "counter",

@@ -41,9 +41,13 @@ import json
 import mmap
 import os
 import struct
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+from typing import (TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Union)
 
 from repro.isa.instruction import MicroOp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids numpy import)
+    from repro.trace.soa import SoaWindow
 from repro.trace.source import (DEFAULT_CHUNK_OPS, TraceSource,
                                 as_source)
 
@@ -235,6 +239,19 @@ class FileSource(TraceSource):
             stop = min(start + self.chunk_ops, self._count)
             raw = view[start * width:stop * width]
             yield [decode(fields) for fields in record.iter_unpack(raw)]
+
+    def _soa_windows(self) -> Iterator["SoaWindow"]:
+        """Columnar decode straight from the mapping: each window's
+        record bytes become numpy-backed columns without ever building
+        :class:`MicroOp` objects — the vector backend's file-replay
+        fast path (docs/VECTOR.md)."""
+        from repro.trace.soa import SoaWindow
+        width = _RECORD.size
+        view = self._view
+        for start in range(0, self._count, self.chunk_ops):
+            stop = min(start + self.chunk_ops, self._count)
+            yield SoaWindow.from_records(bytes(view[start * width:
+                                                    stop * width]))
 
     def close(self) -> None:
         """Release the memoryview and the underlying mapping."""

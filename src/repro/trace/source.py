@@ -30,10 +30,13 @@ materialize` escape hatch, which is greppable and reviewed.
 
 from __future__ import annotations
 
-from typing import Iterator, List, NamedTuple, Sequence, Union
+from typing import TYPE_CHECKING, Iterator, List, NamedTuple, Sequence, Union
 
 from repro.errors import ConfigError
 from repro.isa.instruction import MicroOp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids numpy import)
+    from repro.trace.soa import SoaWindow
 
 #: Default bounded-window size, in micro-ops.  4096 ops ≈ 1–2 MB of
 #: resident MicroOp objects — small enough to keep million-op replays
@@ -87,6 +90,15 @@ class TraceSource:
         call replays the identical op stream."""
         raise NotImplementedError
 
+    def _soa_windows(self) -> Iterator["SoaWindow"]:
+        """One fresh pass of program-order windows in
+        structure-of-arrays form (docs/VECTOR.md).  The default wraps
+        :meth:`_windows`; sources with a columnar backing (the v2 trace
+        file) override it to decode straight into columns."""
+        from repro.trace.soa import SoaWindow
+        for window in self._windows():
+            yield SoaWindow.from_microops(window)
+
     # -- protocol ------------------------------------------------------
     def chunks(self) -> Iterator[Sequence[MicroOp]]:
         """Iterate one pass of bounded windows, updating
@@ -95,6 +107,23 @@ class TraceSource:
         self.last_pass = PassStats(0, 0, 0)
         for window in self._windows():
             size = len(window)
+            count += 1
+            ops += size
+            if size > peak:
+                peak = size
+            self.last_pass = PassStats(count, ops, peak)
+            yield window
+
+    def soa_windows(self) -> Iterator["SoaWindow"]:
+        """Iterate one pass of bounded structure-of-arrays windows
+        (:class:`~repro.trace.soa.SoaWindow`), updating
+        :attr:`last_pass` with the same accounting as :meth:`chunks` —
+        the published ``source.*`` delivery telemetry is identical
+        whichever representation the engine backend consumed."""
+        count = ops = peak = 0
+        self.last_pass = PassStats(0, 0, 0)
+        for window in self._soa_windows():
+            size = window.n
             count += 1
             ops += size
             if size > peak:

@@ -1,6 +1,7 @@
 """Documentation consistency checks: the numbers and names the docs
 promise must match the code."""
 
+import argparse
 import pathlib
 import re
 
@@ -55,6 +56,83 @@ class TestDesignDoc:
         for name in dir(kernels_module):
             if name.endswith("Kernel") and name != "Kernel":
                 assert name in doc, name
+
+
+def all_docs_text():
+    parts = [read("README.md")]
+    for page in sorted((REPO / "docs").glob("*.md")):
+        parts.append(page.read_text(encoding="utf-8"))
+    return "\n".join(parts)
+
+
+class TestFlagsAndEnvVars:
+    """Every flag and environment variable the docs promise must exist
+    in the code — and the other way around (docs/LINTING.md RL006)."""
+
+    def test_every_registered_env_var_is_documented(self):
+        from repro.envreg import REGISTRY
+
+        text = all_docs_text()
+        for name in REGISTRY:
+            assert name in text, f"{name} is registered but undocumented"
+
+    def test_every_documented_env_var_is_consumed(self):
+        # A REPRO_* name in the docs must be either in the envreg
+        # registry (read by src/repro — RL006 guarantees the read) or
+        # read by the pytest bench harness under benchmarks/, which
+        # sits outside the linted tree.
+        from repro.envreg import REGISTRY
+
+        bench_text = "\n".join(
+            path.read_text(encoding="utf-8")
+            for path in (REPO / "benchmarks").glob("*.py"))
+        for name in sorted(set(re.findall(r"\bREPRO_[A-Z_]+\b",
+                                          all_docs_text()))):
+            assert name in REGISTRY or name in bench_text, (
+                f"{name} is documented but neither registered in "
+                f"repro.envreg nor read by the pytest bench harness")
+
+    def test_backend_flag_on_every_simulating_subcommand(self):
+        from repro.cli import build_parser
+        from repro.pipeline.engine import BACKENDS
+
+        parser = build_parser()
+        sub = next(action for action in parser._actions
+                   if isinstance(action, argparse._SubParsersAction))
+        for command in ("run", "compare", "profile", "figure",
+                        "sweep", "report", "submit"):
+            flags = {flag for action in sub.choices[command]._actions
+                     for flag in action.option_strings}
+            assert "--backend" in flags, f"{command} lost --backend"
+        backend = next(action for action in sub.choices["run"]._actions
+                       if "--backend" in action.option_strings)
+        assert tuple(backend.choices) == BACKENDS
+        bench_flags = {flag for action in sub.choices["bench"]._actions
+                       for flag in action.option_strings}
+        assert "--no-vector" in bench_flags
+
+    def test_backend_names_documented(self):
+        from repro.pipeline.engine import BACKENDS
+
+        vector_doc = read("docs/VECTOR.md")
+        traces_doc = read("docs/TRACES.md")
+        for backend in BACKENDS:
+            assert f"`{backend}`" in vector_doc, backend
+            assert backend in traces_doc, backend
+
+    def test_vector_doc_is_cross_linked(self):
+        assert (REPO / "docs" / "VECTOR.md").exists()
+        for page in ("README.md", "docs/ENGINE.md", "docs/PERF.md",
+                     "docs/TRACES.md", "docs/ARCHITECTURE.md"):
+            assert "VECTOR.md" in read(page), page
+
+    def test_documented_vector_gates_match_code(self):
+        from repro.experiments import perfbench
+
+        for page in ("docs/PERF.md", "docs/VECTOR.md"):
+            text = read(page)
+            assert f"({perfbench.VECTOR_MIN_SPEEDUP})" in text, page
+            assert f"({perfbench.VECTOR_OVERHEAD_FLOOR:.2f})" in text, page
 
 
 class TestBenchmarkInventory:

@@ -1,21 +1,28 @@
-"""Result-neutrality of the optimized engine hot path.
+"""The three-loop identity contract (docs/VECTOR.md, docs/PERF.md).
 
-The engine keeps two per-op loop implementations (docs/PERF.md):
+The engine keeps three per-op loop implementations:
 
-* ``_time_trace`` — the optimized default,
-* ``_time_trace_reference`` — the readable reference, selected with
-  ``REPRO_SLOW_PATH=1``.
+* ``_time_trace_reference`` — the readable reference
+  (``backend="reference"``, or ``REPRO_SLOW_PATH=1``),
+* ``_time_trace`` — the optimized scalar loop (``backend="scalar"``),
+* ``engine_vector.time_trace_vector`` — the vectorized
+  structure-of-arrays loop (``backend="vector"``, the default when
+  numpy is importable).
 
 Every optimization must be invisible in results: the same trace under
 the same predictor must produce bit-identical ``SimResult.to_dict()``
-output on both paths, with telemetry collection on or off.  This test
-is the contract the perf work is held to — see also ``repro bench
---check``, which enforces cycle-equality continuously in CI.
+output on all three, with telemetry collection on or off.  The single
+permitted difference is the ``engine.*`` telemetry group, which
+*truthfully* reports which backend ran and its vector/fallback
+coverage — :func:`_strip_engine_group` removes it before comparing.
+This test is the contract the perf work is held to — see also ``repro
+bench --check``, which enforces cycle-equality continuously in CI.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import subprocess
 import sys
 import textwrap
@@ -24,8 +31,9 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.campaign import build_predictor
+from repro.isa import instruction as I
 from repro.pipeline.config import CoreConfig
-from repro.pipeline.engine import Engine
+from repro.pipeline.engine import BACKENDS, Engine
 from repro.trace import build_trace
 from repro.trace.workloads import get_profile
 
@@ -44,77 +52,83 @@ MATRIX = [
 ]
 
 
-def _simulate(workload: str, predictor_spec: str, slow: bool,
+def _strip_engine_group(out: dict) -> dict:
+    """Drop the ``engine.*`` telemetry group — the one tree node that
+    legitimately differs across backends (it reports which loop ran)."""
+    out["telemetry"]["children"].pop("engine", None)
+    return out
+
+
+def _simulate(workload: str, predictor_spec: str, backend: str,
               collect_stalls: bool = True, collect_events: bool = False,
               collect_timing: bool = False, source=None) -> dict:
-    saved = os.environ.get("REPRO_SLOW_PATH")
-    os.environ["REPRO_SLOW_PATH"] = "1" if slow else "0"
-    try:
-        trace = build_trace(get_profile(workload), LENGTH)
-        config = CoreConfig.skylake()
-        predictor = build_predictor(predictor_spec, trace, config)
-        engine = Engine(config, predictor, collect_stalls=collect_stalls,
-                        collect_events=collect_events,
-                        collect_timing=collect_timing)
-        result = engine.run(trace if source is None else source(trace),
-                            workload=workload, warmup=WARMUP)
-        out = result.to_dict()
-        if collect_timing:
-            out["_timing"] = result.timing
-        if collect_events:
-            out["_events"] = result.events.to_dict()
-        return out
-    finally:
-        if saved is None:
-            del os.environ["REPRO_SLOW_PATH"]
-        else:
-            os.environ["REPRO_SLOW_PATH"] = saved
+    trace = build_trace(get_profile(workload), LENGTH)
+    config = CoreConfig.skylake()
+    predictor = build_predictor(predictor_spec, trace, config)
+    engine = Engine(config, predictor, collect_stalls=collect_stalls,
+                    collect_events=collect_events,
+                    collect_timing=collect_timing, backend=backend)
+    result = engine.run(trace if source is None else source(trace),
+                        workload=workload, warmup=WARMUP)
+    out = _strip_engine_group(result.to_dict())
+    if collect_timing:
+        out["_timing"] = result.timing
+    if collect_events:
+        out["_events"] = result.events.to_dict()
+    return out
 
 
 @pytest.mark.parametrize("workload,predictor", MATRIX)
-def test_fast_path_matches_slow_path(workload, predictor):
-    """Optimized and reference loops produce identical SimResults."""
-    fast = _simulate(workload, predictor, slow=False)
-    slow = _simulate(workload, predictor, slow=True)
-    assert fast == slow
+def test_three_loops_match(workload, predictor):
+    """All three loops produce identical SimResults."""
+    reference = _simulate(workload, predictor, "reference")
+    for backend in ("scalar", "vector"):
+        assert _simulate(workload, predictor, backend) == reference, \
+            backend
 
 
-@pytest.mark.parametrize("slow", [False, True])
-def test_stall_collection_does_not_change_results(slow):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_stall_collection_does_not_change_results(backend):
     """Telemetry stall attribution off vs on: identical timing results.
 
     The stall buckets themselves are zeroed when collection is off, so
     they are excluded; everything else — cycles, instruction counts,
     predictor outcomes — must match exactly.
     """
-    on = _simulate("mcf", "fvp", slow=slow, collect_stalls=True)
-    off = _simulate("mcf", "fvp", slow=slow, collect_stalls=False)
+    on = _simulate("mcf", "fvp", backend, collect_stalls=True)
+    off = _simulate("mcf", "fvp", backend, collect_stalls=False)
     for skip in ("stall_cycles", "warmup_stall_cycles", "telemetry"):
         on.pop(skip, None)
         off.pop(skip, None)
     assert on == off
 
 
-def test_fast_path_timing_and_events_match_slow_path():
-    """Per-op timing arrays and the event trace are also identical."""
-    fast = _simulate("mcf", "fvp", slow=False,
-                     collect_events=True, collect_timing=True)
-    slow = _simulate("mcf", "fvp", slow=True,
-                     collect_events=True, collect_timing=True)
-    assert fast["_timing"] == slow["_timing"]
-    assert fast["_events"] == slow["_events"]
-    assert fast == slow
+def test_timing_and_events_match_across_backends():
+    """Per-op timing arrays and the event trace are also identical.
+
+    Event collection makes the vector backend delegate to the scalar
+    loop (fallback rule 1), so this also pins the delegation seam.
+    """
+    reference = _simulate("mcf", "fvp", "reference",
+                          collect_events=True, collect_timing=True)
+    for backend in ("scalar", "vector"):
+        out = _simulate("mcf", "fvp", backend,
+                        collect_events=True, collect_timing=True)
+        assert out["_timing"] == reference["_timing"], backend
+        assert out["_events"] == reference["_events"], backend
+        assert out == reference, backend
 
 
 # ----------------------------------------------------------------------
 # Streaming neutrality: the TraceSource chunk seam must be invisible.
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("slow", [False, True])
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("chunk_ops", [1, 7, 4096])
-def test_streaming_matches_list_path(chunk_ops, slow):
-    """Any chunk size, either loop: identical to the plain-list path.
+def test_streaming_matches_list_path(chunk_ops, backend):
+    """Any chunk size, any loop: identical to the plain-list path.
 
-    Chunk size 1 maximises refill-seam crossings, 7 puts the seam at
+    Chunk size 1 maximises refill-seam crossings (and, on the vector
+    backend, makes every window trivially small), 7 puts the seam at
     awkward offsets, 4096 is the default window — all three must be
     bit-identical to handing the engine the raw list.  The only
     permitted difference is the ``source.*`` telemetry group, which
@@ -124,8 +138,8 @@ def test_streaming_matches_list_path(chunk_ops, slow):
     """
     from repro.trace.source import DEFAULT_CHUNK_OPS, ListSource
 
-    plain = _simulate("mcf", "fvp", slow=slow)
-    chunked = _simulate("mcf", "fvp", slow=slow,
+    plain = _simulate("mcf", "fvp", backend)
+    chunked = _simulate("mcf", "fvp", backend,
                         source=lambda t: ListSource(t, chunk_ops))
     if chunk_ops == DEFAULT_CHUNK_OPS:
         assert chunked == plain
@@ -138,9 +152,13 @@ def test_streaming_matches_list_path(chunk_ops, slow):
     assert stream["children"]["peak-window"]["value"] <= chunk_ops
 
 
-@pytest.mark.parametrize("slow", [False, True])
-def test_file_replay_matches_list_path(slow, tmp_path):
-    """build -> write -> mmap replay produces an identical SimResult."""
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_file_replay_matches_list_path(backend, tmp_path):
+    """build -> write -> mmap replay produces an identical SimResult.
+
+    On the vector backend this exercises the zero-object
+    ``SoaWindow.from_records`` decode path against the MicroOp path.
+    """
     from repro.trace.io import open_trace, write_trace_file
 
     path = str(tmp_path / "mcf.rvt")
@@ -149,9 +167,113 @@ def test_file_replay_matches_list_path(slow, tmp_path):
         write_trace_file(trace, path)
         return open_trace(path)
 
-    plain = _simulate("mcf", "fvp", slow=slow)
-    replayed = _simulate("mcf", "fvp", slow=slow, source=replay)
+    plain = _simulate("mcf", "fvp", backend)
+    replayed = _simulate("mcf", "fvp", backend, source=replay)
     assert replayed == plain
+
+
+# ----------------------------------------------------------------------
+# Randomized three-loop identity properties.  Adversarial trace shapes
+# aimed at the vector backend's seams: store→load aliasing (fallback
+# rule 2 firing mid-run), flush-heavy control (redirect state carried
+# across the window boundary), and warmup edges landing mid-window.
+# ----------------------------------------------------------------------
+_RANDOM_SEEDS = (11, 23, 47)
+
+
+def _random_trace(seed: int, length: int, *, branch_frac: float,
+                  load_frac: float, store_frac: float,
+                  addr_pool_size: int) -> list:
+    """A seeded random MicroOp stream.  A small ``addr_pool_size``
+    forces 8-byte-block collisions between loads and in-flight stores
+    (aliasing windows); a large one keeps windows vector-eligible."""
+    rng = random.Random(seed)
+    pool = [0x10000 + 8 * rng.randrange(addr_pool_size)
+            for _ in range(max(4, addr_pool_size))]
+    ops = []
+    pc = 0x1000
+    for _ in range(length):
+        roll = rng.random()
+        if roll < branch_frac:
+            taken = rng.random() < 0.5
+            target = 0x1000 + 4 * rng.randrange(512)
+            ops.append(I.branch(pc, taken=taken, target=target,
+                                srcs=(rng.randrange(16),)))
+            pc = target if taken else pc + 4
+        elif roll < branch_frac + load_frac:
+            ops.append(I.load(pc, dest=rng.randrange(16),
+                              addr=rng.choice(pool),
+                              srcs=(rng.randrange(16),)))
+            pc += 4
+        elif roll < branch_frac + load_frac + store_frac:
+            ops.append(I.store(pc, addr=rng.choice(pool),
+                               srcs=(rng.randrange(16),),
+                               value=rng.randrange(1 << 32)))
+            pc += 4
+        else:
+            ops.append(I.alu(pc, dest=rng.randrange(16),
+                             srcs=(rng.randrange(16), rng.randrange(16)),
+                             value=rng.randrange(1 << 16)))
+            pc += 4
+    return ops
+
+
+_TRACE_SHAPES = {
+    # Dense loads+stores over 32 blocks: most windows alias and fall
+    # back, some don't — the carried-state handoff is exercised hard.
+    "aliasing": dict(branch_frac=0.05, load_frac=0.35, store_frac=0.25,
+                     addr_pool_size=32),
+    # Random-target branches every ~3 ops: mispredict redirects pile
+    # up across window seams.
+    "flush-heavy": dict(branch_frac=0.35, load_frac=0.10,
+                        store_frac=0.05, addr_pool_size=4096),
+    # Sparse addresses: almost everything stays on the vector path.
+    "vector-friendly": dict(branch_frac=0.10, load_frac=0.30,
+                            store_frac=0.10, addr_pool_size=1 << 20),
+}
+
+
+@pytest.mark.parametrize("shape", sorted(_TRACE_SHAPES))
+@pytest.mark.parametrize("seed", _RANDOM_SEEDS)
+def test_three_loop_identity_on_random_traces(shape, seed):
+    """Property: random traces of every shape are bit-identical across
+    the three loops, with the warmup edge at an awkward offset."""
+    from repro.trace.source import ListSource
+
+    ops = _random_trace(seed, 5000, **_TRACE_SHAPES[shape])
+    # 1111 lands mid-window for both chunk sizes below.
+    warmup = 1111
+    reference = None
+    for backend in BACKENDS:
+        for chunk_ops in (1024, 999):
+            engine = Engine(CoreConfig.skylake(), None, backend=backend)
+            result = engine.run(ListSource(ops, chunk_ops),
+                                warmup=warmup)
+            out = _strip_engine_group(result.to_dict())
+            out["telemetry"]["children"].pop("source")
+            if reference is None:
+                reference = out
+            else:
+                assert out == reference, (backend, chunk_ops)
+
+
+@pytest.mark.parametrize("predictor_spec", ["fvp", "vtage"])
+def test_three_loop_identity_on_predictor_heavy_random_trace(
+        predictor_spec):
+    """Property: with a hosted predictor (vector delegates, rule 1),
+    random aliasing-heavy traces still agree across all backends."""
+    ops = _random_trace(7, 4000, **_TRACE_SHAPES["aliasing"])
+    config = CoreConfig.skylake()
+    reference = None
+    for backend in BACKENDS:
+        predictor = build_predictor(predictor_spec, ops, config)
+        result = Engine(config, predictor, backend=backend).run(
+            ops, warmup=1000)
+        out = _strip_engine_group(result.to_dict())
+        if reference is None:
+            reference = out
+        else:
+            assert out == reference, backend
 
 
 def test_million_op_streaming_run_is_rss_bounded(tmp_path):

@@ -54,6 +54,37 @@ def dual_class(hot="pass", ref="pass", init_extra=""):
     )
 
 
+def tri_class(hot="pass", ref="pass", vec="pass"):
+    """A minimal class exhibiting the three-way backend dispatch chain
+    (docs/VECTOR.md) that ``find_loop_dispatch`` must also locate."""
+    def block(code):
+        lines = [ln for ln in code.strip("\n").splitlines()] or ["pass"]
+        return "\n".join("        " + ln if ln else "" for ln in lines)
+
+    return (
+        "class Engine:\n"
+        "    def __init__(self, config):\n"
+        "        self.config = config\n"
+        "\n"
+        "    def run(self, trace):\n"
+        "        if (backend := self._resolve()) == 'reference':\n"
+        "            self._loop_reference(trace)\n"
+        "        elif backend == 'scalar':\n"
+        "            self._loop_hot(trace)\n"
+        "        else:\n"
+        "            self._loop_vector(trace)\n"
+        "\n"
+        "    def _resolve(self):\n"
+        "        return 'vector'\n"
+        "\n"
+        "    def _loop_hot(self, trace):\n" + block(hot) + "\n"
+        "\n"
+        "    def _loop_reference(self, trace):\n" + block(ref) + "\n"
+        "\n"
+        "    def _loop_vector(self, trace):\n" + block(vec) + "\n"
+    )
+
+
 MISSING_METHOD_CLASS = (
     "class Engine:\n"
     "    def run(self, trace):\n"
@@ -150,12 +181,22 @@ FIXTURES = {
                             "    pred.predict(op)\n"
                             "    pred.train_execute(op)")),
             ("missing-dispatch-target", MISSING_METHOD_CLASS),
+            ("three-way-config-drift",
+             tri_class(hot="cfg = self.config\nwidth = cfg.fetch_width",
+                       ref="cfg = self.config\nwidth = cfg.fetch_width\n"
+                           "depth = cfg.rob_size")),
+            ("three-way-missing-vector-target",
+             tri_class().replace("    def _loop_vector(self, trace):\n"
+                                 "        pass\n", "")),
             ("trace-stream-drift",
              dual_class(hot="for window in trace.chunks():\n"
                             "    for op in window:\n        pass",
                         ref="for op in trace:\n    pass")),
         ],
         "good": [
+            ("three-way-lockstep",
+             tri_class(hot="cfg = self.config\nwidth = cfg.fetch_width",
+                       ref="cfg = self.config\nwidth = cfg.fetch_width")),
             ("chunked-lockstep",
              dual_class(hot="for window in trace.chunks():\n"
                             "    for op in window:\n        pass",
@@ -364,16 +405,99 @@ def test_suppression_is_per_code():
 
 
 # ----------------------------------------------------------------------
-# The structural dual-dispatch locator against the real engine.
+# The structural dispatch locator against the real engine.
 # ----------------------------------------------------------------------
 def test_locator_finds_engine_dual_dispatch():
     engine_py = REPO / "src" / "repro" / "pipeline" / "engine.py"
-    located = find_dual_dispatch(ast.parse(engine_py.read_text()))
+    tree = ast.parse(engine_py.read_text())
+    located = find_dual_dispatch(tree)
     assert located is not None
     hot_name, ref_name, cls = located
     assert hot_name == "_time_trace"
     assert ref_name == "_time_trace_reference"
     assert cls.name == "Engine"
+
+    from repro.lint import find_loop_dispatch
+    loop = find_loop_dispatch(tree)
+    assert loop is not None
+    assert loop.vector_name == "_time_trace_vector"
+
+
+# ----------------------------------------------------------------------
+# RL003's cross-file vector-loop half (finish() pass, like RL005/6).
+# ----------------------------------------------------------------------
+_LOCKSTEP_BODY = ("cfg = self.config\nwidth = cfg.fetch_width\n"
+                  "pred = self.predictor\n"
+                  "for window in trace.chunks():\n"
+                  "    pred.predict(window)\n"
+                  "    pred.train_execute(window)")
+
+VECTOR_LOOP_SRC = (
+    "from repro.pipeline.vp_interface import ValuePredictor\n"
+    "\n"
+    "\n"
+    "def time_trace_vector(engine, trace):\n"
+    "    pcls = type(engine.predictor)\n"
+    "    if (pcls.predict is not ValuePredictor.predict\n"
+    "            or pcls.train_execute is not "
+    "ValuePredictor.train_execute):\n"
+    "        engine._loop_hot(trace)\n"
+    "        return\n"
+    "    cfg = engine.config\n"
+    "    width = cfg.fetch_width\n"
+    "    for window in trace.soa_windows():\n"
+    "        pass\n")
+
+
+def _rl003_cross_file(vector_src):
+    from repro.lint.rules import DualLoopDriftRule
+
+    engine_src = tri_class(hot=_LOCKSTEP_BODY, ref=_LOCKSTEP_BODY)
+    rule = DualLoopDriftRule()
+    assert rule.check(ast.parse(engine_src), engine_src,
+                      "src/repro/pipeline/engine.py") == []
+    assert rule.check(ast.parse(vector_src), vector_src,
+                      "src/repro/pipeline/engine_vector.py") == []
+    return rule.finish()
+
+
+def test_rl003_vector_lockstep_is_clean():
+    assert _rl003_cross_file(VECTOR_LOOP_SRC) == []
+
+
+def test_rl003_vector_config_drift():
+    drifted = VECTOR_LOOP_SRC.replace(
+        "width = cfg.fetch_width",
+        "width = cfg.fetch_width\n    depth = cfg.rob_size")
+    findings = _rl003_cross_file(drifted)
+    assert findings and all(f.code == "RL003" for f in findings)
+    assert any("config attribute drift" in f.message
+               and "rob_size" in f.message for f in findings)
+
+
+def test_rl003_vector_missing_delegation_probe():
+    unprobed = VECTOR_LOOP_SRC.replace(
+        "\n            or pcls.train_execute is not "
+        "ValuePredictor.train_execute", "")
+    findings = _rl003_cross_file(unprobed)
+    assert any("delegation-probe drift" in f.message
+               and "train_execute" in f.message for f in findings)
+
+
+def test_rl003_vector_undeclared_stream_surface():
+    off_surface = VECTOR_LOOP_SRC.replace("soa_windows", "windows")
+    findings = _rl003_cross_file(off_surface)
+    assert any("trace-stream drift" in f.message for f in findings)
+
+
+def test_rl003_vector_partial_run_is_silent():
+    # Only one side scanned: no cross-file ground truth, no findings.
+    from repro.lint.rules import DualLoopDriftRule
+
+    rule = DualLoopDriftRule()
+    assert rule.check(ast.parse(VECTOR_LOOP_SRC), VECTOR_LOOP_SRC,
+                      "src/repro/pipeline/engine_vector.py") == []
+    assert rule.finish() == []
 
 
 # ----------------------------------------------------------------------
