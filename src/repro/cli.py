@@ -588,7 +588,8 @@ def cmd_serve(args) -> int:
             return 2
     daemon = ServiceDaemon(path, cache=cache, jobs=args.jobs,
                            timeout=args.timeout, retries=args.retries,
-                           http_port=args.http)
+                           http_port=args.http,
+                           max_pending=args.max_pending)
     extra = f" (http 127.0.0.1:{args.http})" if args.http else ""
     print(f"serving campaigns on {path}{extra}", file=sys.stderr)
     try:
@@ -722,8 +723,21 @@ def cmd_jobs(args) -> int:
                             "failed", "state"), rows))
     if stats is not None:
         print("telemetry (service.* / cache.*):")
-        for dotted, value in _flatten_stat_payload(stats["tree"]):
+        flat = dict(_flatten_stat_payload(stats["tree"]))
+        for dotted, value in sorted(flat.items()):
             print(f"  {dotted:<28} {value}")
+        busy = flat.get("service.scheduler.busy")
+        age = flat.get("service.scheduler.activity-age")
+        if busy is not None and age is not None:
+            state = "busy" if busy else "idle"
+            backlog = summary["queued_batches"] \
+                + records["pending"] + records["running"]
+            verdict = ""
+            if backlog and age > 300:
+                verdict = (" — WEDGED? work is queued but the "
+                           "scheduler has been silent")
+            print(f"scheduler: {state}, last activity {age:.1f}s "
+                  f"ago{verdict}")
     return 0
 
 
@@ -835,8 +849,12 @@ def cmd_doctor(args) -> int:
 
 def _doctor_hygiene(args) -> None:
     """Cache-tier hygiene report: stale sweep checkpoints, quarantined
-    ``*.bad`` entries, and a dead service socket.  Findings are
-    advisory (they never fail ``doctor``); ``--fix`` removes them."""
+    ``*.bad`` entries, a dead service socket, and service-tier debris —
+    orphaned/corrupt WAL segments and a stale heartbeat sidecar (only
+    scanned when no daemon is live, so an active WAL is never touched).
+    Findings are advisory (they never fail ``doctor``); ``--fix``
+    removes them.  Also reports the daemon's last WAL-recovery stats
+    and, for a live daemon, its heartbeat (wedged vs busy)."""
     import time
 
     from repro.errors import ServiceUnavailable
@@ -846,6 +864,7 @@ def _doctor_hygiene(args) -> None:
         list_campaigns,
     )
     from repro.service import client as service_client
+    from repro.service import wal as wal_mod
     from repro.service.protocol import socket_path
 
     root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR",
@@ -871,17 +890,57 @@ def _doctor_hygiene(args) -> None:
         findings.append(("quarantined cache entry",
                          cache.path(key) + cache.BAD_SUFFIX))
 
+    wal_root = os.path.join(root, wal_mod.WAL_DIRNAME)
+    live = False
     sock = socket_path(root)
     if os.path.exists(sock):
         try:
             service_client.ping(sock, timeout=2.0)
-            print(f"  ok  service daemon live on {sock}")
+            live = True
         except ServiceUnavailable:
             findings.append(("dead service socket", sock))
+    if live:
+        beat = wal_mod.read_heartbeat(wal_root)
+        if beat is None:
+            print(f"  ok  service daemon live on {sock}")
+        else:
+            age = max(0.0, time.time() - float(beat.get("ts", 0.0)))
+            quiet = max(0.0, time.time()
+                        - float(beat.get("activity", 0.0)))
+            state = str(beat.get("state", "idle"))
+            print(f"  ok  service daemon live on {sock} (heartbeat "
+                  f"{age:.1f}s ago, scheduler {state}, last activity "
+                  f"{quiet:.1f}s ago)")
+            if state == "busy" and quiet > 300:
+                print(f"  WARN scheduler busy but silent for "
+                      f"{quiet:.0f}s — wedged? (`repro jobs --stats` "
+                      "for queue depth)", file=sys.stderr)
+    else:
+        # No live daemon: WAL debris is safe to report/clean.  Intact
+        # segments are NOT findings — they hold queue state the next
+        # daemon start will recover.
+        if os.path.exists(wal_mod.heartbeat_path(wal_root)):
+            findings.append(("stale service heartbeat",
+                             wal_mod.heartbeat_path(wal_root)))
+        for orphan in wal_mod.orphan_files(wal_root):
+            findings.append(("orphaned WAL temporary", orphan))
+        for corrupt in wal_mod.corrupt_segments(wal_root):
+            findings.append(("corrupt WAL segment (no decodable "
+                             "records)", corrupt))
+    recovery = wal_mod.read_recovery(wal_root)
+    if recovery is not None:
+        when = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(
+            float(recovery.get("ts", 0.0))))
+        print(f"last WAL recovery ({when}): "
+              f"{recovery.get('records', 0)} record(s) replayed, "
+              f"{recovery.get('submissions', 0)} submission(s) "
+              f"rebuilt, {recovery.get('requeued', 0)} job(s) "
+              f"requeued, {recovery.get('torn', 0)} torn record(s) "
+              "dropped")
 
     if not findings:
         print("cache hygiene: clean (no stale checkpoints, "
-              "quarantine files, or dead sockets)")
+              "quarantine files, dead sockets, or WAL debris)")
         return
     verb = "removed" if args.fix else "found"
     print(f"cache hygiene: {len(findings)} finding(s)"
@@ -1214,6 +1273,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--stop", action="store_true",
                          help="ask the running daemon to drain and "
                               "exit")
+    p_serve.add_argument("--max-pending", type=int, default=None,
+                         metavar="N",
+                         help="backpressure bound: reject submissions "
+                              "once N job records are pending/running "
+                              "(default: $REPRO_SERVICE_MAX_PENDING "
+                              "or 0 = unbounded)")
     _add_campaign_args(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 

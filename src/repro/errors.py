@@ -18,6 +18,8 @@ taxonomy (see docs/ROBUSTNESS.md):
     ├── ``CampaignError``          — a campaign finished with quarantined failures
     └── ``ServiceError``           — the campaign service layer failed
           ├── ``ServiceUnavailable``  — no daemon behind the socket/endpoint
+          ├── ``ServiceOverloaded``   — the daemon's bounded queue rejected a
+          │                             submission (backpressure)
           └── ``ProtocolError``       — malformed or incompatible wire frame
 
 :data:`RETRYABLE` lists the classes the campaign engine retries with
@@ -99,6 +101,13 @@ class ServiceUnavailable(ServiceError):
     daemon)."""
 
 
+class ServiceOverloaded(ServiceError):
+    """The daemon's job board is at its bounded queue depth
+    (``--max-pending`` / ``REPRO_SERVICE_MAX_PENDING``) and rejected
+    the submission instead of growing without bound.  Clients should
+    back off and resubmit once in-flight work drains."""
+
+
 class ProtocolError(ServiceError):
     """A wire frame could not be parsed or named an unknown operation
     or incompatible protocol version."""
@@ -129,6 +138,7 @@ __all__ = [
     "RETRYABLE",
     "ReproError",
     "ServiceError",
+    "ServiceOverloaded",
     "ServiceUnavailable",
     "SimulationError",
     "TransientError",

@@ -14,19 +14,27 @@ Layout
     The wire format: newline-delimited JSON frames, the request/event
     vocabulary, job (de)serialisation, and socket-path resolution.
 ``board``
-    The in-memory job board: submissions, per-job records, dedup
-    against in-flight *and* completed work, and the per-submission
-    event journals watchers replay.
+    The job board: submissions, per-job records, dedup against
+    in-flight *and* completed work, the per-submission event journals
+    watchers replay, bounded queue depth (backpressure), and WAL
+    snapshot/restore.
+``wal``
+    The write-ahead log that makes the board durable: append-only
+    fsync'd records, torn-write-tolerant replay, compaction, and the
+    heartbeat/recovery sidecars ``repro doctor`` reads.
 ``daemon``
     The server: socket lifecycle (including stale-socket takeover),
-    connection handling, the scheduler thread driving the engine, and
-    ``service.*`` / ``cache.*`` telemetry.
+    WAL recovery on start, graceful SIGTERM drain, connection
+    handling, the scheduler thread driving the engine, heartbeats,
+    and ``service.*`` / ``cache.*`` telemetry.
 ``client``
     Blocking client helpers used by ``repro submit`` / ``watch`` /
-    ``jobs`` and the test-suite.
+    ``jobs`` and the test-suite — with finite default timeouts and
+    cursor-resuming reconnects (bounded exponential backoff).
 """
 
 from repro.service.board import JobBoard, JobRecord, Submission
+from repro.service.wal import WriteAheadLog
 from repro.service.client import (
     fetch_stats,
     list_jobs,
@@ -49,6 +57,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ServiceDaemon",
     "Submission",
+    "WriteAheadLog",
     "fetch_stats",
     "job_from_wire",
     "job_to_wire",

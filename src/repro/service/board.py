@@ -1,4 +1,4 @@
-"""In-memory job board: submissions, dedup, and event journals.
+"""Job board: submissions, dedup, event journals — now WAL-durable.
 
 The board is the daemon's single source of truth, shared by every
 connection thread and the scheduler under one lock:
@@ -21,6 +21,20 @@ connection thread and the scheduler under one lock:
   FIFO within a priority).  Only *new* records enter the queue; the
   scheduler drains it one batch at a time through the campaign
   engine.
+
+Durability (PR 9, docs/SERVICE.md §Durability): when constructed with
+a :class:`~repro.service.wal.WriteAheadLog`, every submission and
+engine event is appended to the log *before* the in-memory mutation
+(log-then-apply), and :meth:`restore` rebuilds the whole board —
+records, journals, queue order, priorities — by replaying the log
+through the very same apply paths.  Result payloads are never logged;
+:meth:`restore` rehydrates them from the result cache by job key, and
+any terminal record whose cached result has vanished is downgraded to
+pending and requeued, so the dedup contract survives eviction too.
+
+Backpressure: ``max_pending`` bounds the pending+running record count;
+a submission that would exceed it is rejected atomically (no partial
+state, nothing logged) with :class:`~repro.errors.ServiceOverloaded`.
 """
 
 from __future__ import annotations
@@ -28,9 +42,13 @@ from __future__ import annotations
 import heapq
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Set,
+                    Tuple)
 
+from repro.errors import ServiceOverloaded
 from repro.experiments.campaign import Job, JobEvent, job_key
+from repro.service.protocol import job_from_wire, job_to_wire
+from repro.service.wal import WriteAheadLog
 
 #: Job-record lifecycle states.
 STATES = ("pending", "running", "done", "failed")
@@ -76,10 +94,32 @@ class Submission:
         return len(self.keys)
 
 
-class JobBoard:
-    """Thread-safe submission/record registry with event streaming."""
+def _strip_result(frame: Dict[str, Any]) -> Dict[str, Any]:
+    """A journal frame without its result payload (snapshot form)."""
+    if "result" not in frame:
+        return frame
+    slim = dict(frame)
+    del slim["result"]
+    return slim
 
-    def __init__(self) -> None:
+
+def _sid_seq(sid: str) -> int:
+    """The sequence number embedded in a submission id (``S0012`` →
+    12); 0 for foreign ids."""
+    try:
+        return int(sid.lstrip("S"))
+    except ValueError:
+        return 0
+
+
+class JobBoard:
+    """Thread-safe submission/record registry with event streaming.
+
+    ``wal`` makes the board durable (log-then-apply + :meth:`restore`);
+    ``max_pending`` bounds queue depth (0 = unbounded)."""
+
+    def __init__(self, wal: Optional[WriteAheadLog] = None,
+                 max_pending: int = 0) -> None:
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self.records: Dict[str, JobRecord] = {}
@@ -87,6 +127,15 @@ class JobBoard:
         self._queue: List[Tuple[int, int, str, List[str]]] = []
         self._seq = 0
         self._closed = False
+        self.wal = wal
+        self.max_pending = max_pending
+        self._replaying = False
+
+    def _log(self, record: Dict[str, Any]) -> None:
+        """Durably log one record before applying it (lock held); a
+        no-op without a WAL or during :meth:`restore` replay."""
+        if self.wal is not None and not self._replaying:
+            self.wal.append(record)
 
     # -- submission ----------------------------------------------------
     def submit(self, jobs: Sequence[Job],
@@ -100,10 +149,12 @@ class JobBoard:
         immediately from a completed record's held result
         (``deduped_cached`` — a memory-tier cache hit, no queueing at
         all).  Failed records are retried: a resubmission replaces
-        them with a fresh pending record."""
+        them with a fresh pending record.
+
+        Raises :class:`~repro.errors.ServiceOverloaded` — atomically,
+        before any state change or WAL append — when the new records
+        would push the pending+running count past ``max_pending``."""
         with self._cond:
-            self._seq += 1
-            sid = f"S{self._seq:04d}"
             ordered: List[Tuple[str, Job]] = []
             seen: Set[str] = set()
             for job in jobs:
@@ -111,36 +162,62 @@ class JobBoard:
                 if key not in seen:
                     seen.add(key)
                     ordered.append((key, job))
-            counts = {"new": 0, "deduped_inflight": 0,
-                      "deduped_cached": 0}
-            run_keys: List[str] = []
-            served: List[JobRecord] = []
-            for key, job in ordered:
-                record = self.records.get(key)
-                if record is None or record.state == "failed":
-                    record = JobRecord(job=job, key=key)
-                    self.records[key] = record
-                    counts["new"] += 1
-                    record.subscribers.add(sid)
-                    run_keys.append(key)
-                elif record.state in ("pending", "running"):
-                    counts["deduped_inflight"] += 1
-                    record.subscribers.add(sid)
-                else:  # done: answer from the memory tier, no queueing
-                    counts["deduped_cached"] += 1
-                    served.append(record)
-            submission = Submission(sid=sid,
-                                    keys=[key for key, _ in ordered],
-                                    priority=priority, counts=counts)
-            self.submissions[sid] = submission
-            for record in served:
-                self._journal(submission, record, "hit", None, None)
-            if run_keys:
-                heapq.heappush(self._queue,
-                               (-priority, self._seq, sid, run_keys))
-            self._finish_if_drained(submission)
+            if self.max_pending > 0:
+                fresh = sum(
+                    1 for key, _ in ordered
+                    if key not in self.records
+                    or self.records[key].state == "failed")
+                inflight = sum(
+                    1 for record in self.records.values()
+                    if record.state in ("pending", "running"))
+                if inflight + fresh > self.max_pending:
+                    raise ServiceOverloaded(
+                        f"job board at capacity: {inflight} in flight "
+                        f"+ {fresh} new > max_pending="
+                        f"{self.max_pending}; back off and resubmit")
+            self._seq += 1
+            sid = f"S{self._seq:04d}"
+            self._log({"t": "submit", "sid": sid, "priority": priority,
+                       "jobs": [job_to_wire(job) for _, job in ordered]})
+            submission = self._apply_submit(ordered, priority, sid,
+                                            self._seq)
             self._cond.notify_all()
             return submission
+
+    def _apply_submit(self, ordered: Sequence[Tuple[str, Job]],
+                      priority: int, sid: str,
+                      seq: int) -> Submission:
+        """Dedup/subscribe/queue one submission (lock held) — the
+        single apply path shared by live ``submit`` and WAL replay."""
+        counts = {"new": 0, "deduped_inflight": 0,
+                  "deduped_cached": 0}
+        run_keys: List[str] = []
+        served: List[JobRecord] = []
+        for key, job in ordered:
+            record = self.records.get(key)
+            if record is None or record.state == "failed":
+                record = JobRecord(job=job, key=key)
+                self.records[key] = record
+                counts["new"] += 1
+                record.subscribers.add(sid)
+                run_keys.append(key)
+            elif record.state in ("pending", "running"):
+                counts["deduped_inflight"] += 1
+                record.subscribers.add(sid)
+            else:  # done: answer from the memory tier, no queueing
+                counts["deduped_cached"] += 1
+                served.append(record)
+        submission = Submission(sid=sid,
+                                keys=[key for key, _ in ordered],
+                                priority=priority, counts=counts)
+        self.submissions[sid] = submission
+        for record in served:
+            self._journal(submission, record, "hit", None, None)
+        if run_keys:
+            heapq.heappush(self._queue,
+                           (-priority, seq, sid, run_keys))
+        self._finish_if_drained(submission)
+        return submission
 
     # -- scheduler side ------------------------------------------------
     def next_batch(self) -> Optional[List[Job]]:
@@ -161,34 +238,49 @@ class JobBoard:
 
     def on_event(self, event: JobEvent,
                  result: Optional[Dict[str, Any]] = None) -> None:
-        """Apply one engine :class:`JobEvent` to the board: advance
-        the record's state and fan the event out to every subscribed
-        submission's journal."""
+        """Apply one engine :class:`JobEvent` to the board: log it,
+        advance the record's state, and fan the event out to every
+        subscribed submission's journal."""
         key = job_key(event.job)
         with self._cond:
             record = self.records.get(key)
             if record is None:
                 return
-            if event.status == "start":
-                record.state = "running"
-            elif event.status == "hit":
-                record.state = "done"
-                record.from_cache = True
-                record.result = result
-            elif event.status == "done":
-                record.state = "done"
-                record.result = result
-            elif event.status == "fail":
-                record.state = "failed"
-                record.error = event.error
-            for sid in sorted(record.subscribers):
-                submission = self.submissions.get(sid)
-                if submission is None or submission.complete:
-                    continue
-                self._journal(submission, record, event.status,
-                              event.elapsed, event.error)
-                self._finish_if_drained(submission)
+            logged: Dict[str, Any] = {"t": "event", "key": key,
+                                      "status": event.status,
+                                      "label": record.job.label}
+            if event.elapsed is not None:
+                logged["elapsed"] = event.elapsed
+            if event.error is not None:
+                logged["error"] = event.error
+            self._log(logged)
+            self._apply_event(record, event.status, event.elapsed,
+                              event.error, result)
             self._cond.notify_all()
+
+    def _apply_event(self, record: JobRecord, status: str,
+                     elapsed: Optional[float], error: Optional[str],
+                     result: Optional[Dict[str, Any]]) -> None:
+        """State transition + journal fan-out (lock held) — the single
+        apply path shared by live ``on_event`` and WAL replay."""
+        if status == "start":
+            record.state = "running"
+        elif status == "hit":
+            record.state = "done"
+            record.from_cache = True
+            record.result = result
+        elif status == "done":
+            record.state = "done"
+            record.result = result
+        elif status == "fail":
+            record.state = "failed"
+            record.error = error
+        for sid in sorted(record.subscribers):
+            submission = self.submissions.get(sid)
+            if submission is None or submission.complete:
+                continue
+            self._journal(submission, record, status, elapsed, error)
+            self._finish_if_drained(submission)
 
     def _journal(self, submission: Submission, record: JobRecord,
                  status: str, elapsed: Optional[float],
@@ -228,6 +320,207 @@ class JobBoard:
             "simulated": submission.simulated,
             "failed": submission.failed,
         })
+
+    # -- durability: snapshot + restore --------------------------------
+    def snapshot_records(self) -> List[Dict[str, Any]]:
+        """The board's full live state as WAL snapshot records, in
+        replay order (seq, records, submissions, queue).  Journal
+        frames are stored without result payloads — :meth:`restore`
+        rehydrates them from the result cache."""
+        with self._lock:
+            out: List[Dict[str, Any]] = [
+                {"t": "seq", "value": self._seq}]
+            for key in sorted(self.records):
+                record = self.records[key]
+                out.append({"t": "rec", "key": key,
+                            "job": job_to_wire(record.job),
+                            "state": record.state,
+                            "from_cache": record.from_cache,
+                            "error": record.error,
+                            "subscribers": sorted(record.subscribers)})
+            for sid in sorted(self.submissions):
+                sub = self.submissions[sid]
+                out.append({"t": "sub", "sid": sid,
+                            "priority": sub.priority,
+                            "keys": list(sub.keys),
+                            "counts": dict(sub.counts),
+                            "done": sub.done, "hits": sub.hits,
+                            "simulated": sub.simulated,
+                            "failed": sub.failed,
+                            "complete": sub.complete,
+                            "frames": [_strip_result(frame)
+                                       for frame in sub.events]})
+            if self._queue:
+                out.append({"t": "queue",
+                            "entries": [[pri, seq, sid, list(keys)]
+                                        for pri, seq, sid, keys
+                                        in sorted(self._queue)]})
+            return out
+
+    def restore(self, records: Sequence[Dict[str, Any]],
+                load_result: Callable[[str], Optional[Dict[str, Any]]],
+                ) -> Dict[str, int]:
+        """Rebuild the board from replayed WAL records.
+
+        ``load_result`` maps a job key to its cached
+        ``SimResult.to_dict()`` payload (or ``None``); terminal
+        records whose result has vanished from the cache are
+        downgraded to pending.  After replay, every pending/running
+        record that is no longer queued (its batch was popped before
+        the crash, or its tail was torn off the log) is reset to
+        pending and requeued in one deterministic recovery batch.
+        Returns recovery stats (records/submissions/events applied,
+        jobs requeued, whether a clean-shutdown seal was seen)."""
+        stats = {"records": 0, "submissions": 0, "events": 0,
+                 "requeued": 0, "sealed": 0}
+        with self._cond:
+            self._replaying = True
+            try:
+                for record in records:
+                    kind = record.get("t")
+                    stats["records"] += 1
+                    if kind == "submit":
+                        if self._restore_submit(record):
+                            stats["submissions"] += 1
+                    elif kind == "event":
+                        if self._restore_event(record, load_result):
+                            stats["events"] += 1
+                    elif kind == "seal":
+                        stats["sealed"] = 1
+                    elif kind == "seq":
+                        self._seq = max(self._seq,
+                                        int(record.get("value", 0)))
+                    elif kind == "rec":
+                        self._restore_record(record, load_result)
+                    elif kind == "sub":
+                        if self._restore_submission(record):
+                            stats["submissions"] += 1
+                    elif kind == "queue":
+                        for pri, seq, sid, keys in record.get(
+                                "entries", []):
+                            heapq.heappush(
+                                self._queue,
+                                (int(pri), int(seq), str(sid),
+                                 [str(key) for key in keys]))
+                    # unknown record types: skip (forward compat)
+            finally:
+                self._replaying = False
+            stats["requeued"] = self._requeue_incomplete()
+            self._cond.notify_all()
+        return stats
+
+    def _restore_submit(self, record: Dict[str, Any]) -> bool:
+        """Replay one incremental ``submit`` record (lock held)."""
+        sid = str(record.get("sid", ""))
+        if not sid or sid in self.submissions:
+            return False
+        jobs = [job_from_wire(wire) for wire in record.get("jobs", [])]
+        ordered: List[Tuple[str, Job]] = []
+        seen: Set[str] = set()
+        for job in jobs:
+            key = job_key(job)
+            if key not in seen:
+                seen.add(key)
+                ordered.append((key, job))
+        seq = _sid_seq(sid)
+        self._seq = max(self._seq, seq)
+        self._apply_submit(ordered, int(record.get("priority", 0)),
+                           sid, seq)
+        return True
+
+    def _restore_event(self, record: Dict[str, Any],
+                       load_result: Callable[
+                           [str], Optional[Dict[str, Any]]]) -> bool:
+        """Replay one incremental ``event`` record (lock held)."""
+        key = record.get("key")
+        job_record = self.records.get(key) if key else None
+        if job_record is None:
+            return False
+        status = str(record.get("status", ""))
+        result = None
+        if status in ("hit", "done"):
+            result = load_result(key)
+            if result is None:
+                # The cached result this terminal event relied on is
+                # gone (evicted/corrupt): pretend the job never
+                # finished — it stays pending and gets requeued, and
+                # its subscribers' journals stay open until the rerun.
+                job_record.state = "pending"
+                return False
+        self._apply_event(job_record, status, record.get("elapsed"),
+                          record.get("error"), result)
+        return True
+
+    def _restore_record(self, record: Dict[str, Any],
+                        load_result: Callable[
+                            [str], Optional[Dict[str, Any]]]) -> None:
+        """Replay one snapshot ``rec`` record (lock held)."""
+        key = record.get("key")
+        if not key or key in self.records:
+            return
+        job_record = JobRecord(
+            job=job_from_wire(record.get("job", {})), key=key,
+            state=str(record.get("state", "pending")),
+            from_cache=bool(record.get("from_cache", False)),
+            error=record.get("error"),
+            subscribers=set(record.get("subscribers", [])))
+        if job_record.state == "done":
+            job_record.result = load_result(key)
+            if job_record.result is None:
+                job_record.state = "pending"
+                job_record.from_cache = False
+        self.records[key] = job_record
+
+    def _restore_submission(self, record: Dict[str, Any]) -> bool:
+        """Replay one snapshot ``sub`` record (lock held)."""
+        sid = str(record.get("sid", ""))
+        if not sid or sid in self.submissions:
+            return False
+        submission = Submission(
+            sid=sid, keys=[str(key) for key in record.get("keys", [])],
+            priority=int(record.get("priority", 0)),
+            counts=dict(record.get("counts", {})),
+            done=int(record.get("done", 0)),
+            hits=int(record.get("hits", 0)),
+            simulated=int(record.get("simulated", 0)),
+            failed=int(record.get("failed", 0)),
+            complete=bool(record.get("complete", False)))
+        for frame in record.get("frames", []):
+            frame = dict(frame)
+            if frame.get("event") == "job" \
+                    and frame.get("status") in ("hit", "done"):
+                job_record = self.records.get(frame.get("key"))
+                if job_record is not None \
+                        and job_record.result is not None:
+                    frame["result"] = job_record.result
+            submission.events.append(frame)
+        self.submissions[sid] = submission
+        self._seq = max(self._seq, _sid_seq(sid))
+        return True
+
+    def _requeue_incomplete(self) -> int:
+        """Reset running records to pending and requeue every
+        unqueued pending record in one deterministic batch (lock
+        held); returns the requeued count."""
+        queued = {key for _, _, _, keys in self._queue for key in keys}
+        missing: List[str] = []
+        for key in sorted(self.records):
+            record = self.records[key]
+            if record.state == "running":
+                record.state = "pending"
+            if record.state == "pending" and key not in queued:
+                missing.append(key)
+        if missing:
+            priority = 0
+            for key in missing:
+                for sid in self.records[key].subscribers:
+                    submission = self.submissions.get(sid)
+                    if submission is not None:
+                        priority = max(priority, submission.priority)
+            self._seq += 1
+            heapq.heappush(self._queue,
+                           (-priority, self._seq, "recovery", missing))
+        return len(missing)
 
     # -- watcher side --------------------------------------------------
     def events_since(self, sid: str, cursor: int,

@@ -16,11 +16,25 @@ One process, three kinds of thread:
   retries, quarantine, cache locking per batch) carries over to the
   service unchanged.
 
-Crash safety is inherited, not reimplemented: results persist through
-the cache tier's atomic writes, so a SIGKILL'd daemon restarts into a
-consistent cache — resubmitted work is served as cache hits and
-``*.bad`` quarantine files survive untouched (the restart guarantees
-in docs/SERVICE.md).
+Crash safety has two tiers.  Results persist through the cache tier's
+atomic writes, so a SIGKILL'd daemon restarts into a consistent cache —
+resubmitted work is served as cache hits and ``*.bad`` quarantine files
+survive untouched.  Board state persists through the write-ahead log
+(:mod:`repro.service.wal`, stored under ``<cache>/wal/``): on startup
+the daemon replays the log, rebuilds every submission's journal,
+requeues in-flight jobs, compacts the history into one snapshot
+segment, and records the recovery stats for ``repro doctor``.  SIGTERM
+drains gracefully — queued batches finish, journals seal, the WAL
+compacts, and the socket is unlinked — while SIGKILL is the recovery
+path above (the restart guarantees in docs/SERVICE.md §Durability).
+
+Liveness is observable: a heartbeat sidecar rewritten ~1/s plus
+``service.scheduler.*`` stats let ``repro doctor`` and ``repro jobs
+--stats`` distinguish a *wedged* scheduler (stale activity with work
+queued) from a merely *busy* one.  Backpressure bounds queue depth:
+past ``--max-pending`` (``REPRO_SERVICE_MAX_PENDING``) submissions are
+rejected with a typed ``ServiceOverloaded`` error instead of growing
+memory without bound.
 
 An optional localhost HTTP shim mirrors ``ping`` / ``stats`` /
 ``jobs`` / ``submit`` for curl-friendly monitoring; the unix socket
@@ -31,18 +45,25 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import socket
 import threading
 import time
 from typing import Any, Dict, List, Optional
 
-from repro.errors import ProtocolError, ReproError, ServiceError
+from repro.errors import (
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    ServiceOverloaded,
+)
 from repro.experiments.campaign import (
     CampaignEngine,
     Job,
     JobEvent,
     ResultCache,
 )
+from repro.service import wal as wal_mod
 from repro.service.board import JobBoard
 from repro.service.protocol import (
     PROTOCOL_VERSION,
@@ -52,6 +73,10 @@ from repro.service.protocol import (
     read_frames,
 )
 from repro.telemetry.stats import StatGroup
+from repro.testing import faults
+
+#: Seconds between heartbeat sidecar rewrites.
+HEARTBEAT_INTERVAL = 1.0
 
 
 def _claim_socket(path: str) -> socket.socket:
@@ -101,10 +126,24 @@ class ServiceDaemon:
                  jobs: Optional[int] = None,
                  timeout: Optional[float] = None,
                  retries: int = 2,
-                 http_port: Optional[int] = None) -> None:
+                 http_port: Optional[int] = None,
+                 max_pending: Optional[int] = None) -> None:
         self.socket_path = socket_path
         self.cache = cache
-        self.board = JobBoard()
+        if max_pending is None:
+            max_pending = int(os.environ.get(
+                "REPRO_SERVICE_MAX_PENDING", "0") or 0)
+        self.max_pending = max_pending
+        # Durability rides on the cache tier: without one (--no-cache)
+        # there is nowhere to rehydrate results from, so the WAL is
+        # off and the board is memory-only, exactly as before PR 9.
+        self.wal: Optional[wal_mod.WriteAheadLog] = None
+        self.wal_root: Optional[str] = None
+        if cache is not None:
+            self.wal_root = os.path.join(cache.root,
+                                         wal_mod.WAL_DIRNAME)
+            self.wal = wal_mod.WriteAheadLog(self.wal_root)
+        self.board = JobBoard(wal=self.wal, max_pending=max_pending)
         self.engine = CampaignEngine(jobs=jobs, cache=cache,
                                      progress=self._on_engine_event,
                                      timeout=timeout, retries=retries,
@@ -116,6 +155,14 @@ class ServiceDaemon:
         self.accepted = 0
         self.deduped_inflight = 0
         self.deduped_cached = 0
+        self.rejected = 0
+        self.heartbeats = 0
+        #: Stats of the startup WAL recovery (zeros until it runs).
+        self.recovery: Dict[str, int] = {
+            "records": 0, "submissions": 0, "events": 0,
+            "requeued": 0, "sealed": 0, "torn": 0}
+        self._activity = time.time()
+        self._busy = False
         self._stats_lock = threading.Lock()
         self._stop = threading.Event()
         self._cleanup_lock = threading.Lock()
@@ -123,17 +170,26 @@ class ServiceDaemon:
         self._listener: Optional[socket.socket] = None
         self._http_server: Any = None
         self._scheduler: Optional[threading.Thread] = None
+        self._heartbeat: Optional[threading.Thread] = None
         self._conns: List[socket.socket] = []
 
     # -- lifecycle -----------------------------------------------------
     def serve_forever(self) -> None:
-        """Claim the socket and serve until ``shutdown`` (or
-        :meth:`stop`).  Blocks; run it on the main thread."""
+        """Claim the socket, recover board state from the WAL, and
+        serve until ``shutdown`` / SIGTERM (or :meth:`stop`).
+        Blocks; run it on the main thread."""
         self._listener = _claim_socket(self.socket_path)
+        self._recover()
+        self._install_signal_handlers()
         self._scheduler = threading.Thread(target=self._run_scheduler,
                                            name="repro-scheduler",
                                            daemon=True)
         self._scheduler.start()
+        if self.wal_root is not None:
+            self._heartbeat = threading.Thread(
+                target=self._heartbeat_loop, name="repro-heartbeat",
+                daemon=True)
+            self._heartbeat.start()
         if self.http_port is not None:
             self._start_http()
         try:
@@ -176,10 +232,92 @@ class ServiceDaemon:
                 conn.close()
             except OSError:  # pragma: no cover - client already gone
                 pass
+        if self.wal is not None:
+            # Scheduler is quiet: compact so the next start replays
+            # one clean snapshot instead of the full history, then
+            # seal it (the seal must follow the compaction — compacting
+            # replaces the history, so a seal written first would be
+            # erased with it).
+            try:
+                self.wal.compact(self.board.snapshot_records())
+                self.wal.seal()
+            except OSError:
+                pass  # a failed compaction leaves the log authoritative
+            self.wal.close()
+        if self.wal_root is not None:
+            wal_mod.clear_heartbeat(self.wal_root)
         try:
             os.unlink(self.socket_path)
         except OSError:
             pass
+
+    # -- durability ----------------------------------------------------
+    def _recover(self) -> None:
+        """Rebuild the board from the WAL (no-op without one): replay
+        trusted records, requeue in-flight work, compact the history
+        into one snapshot segment, and record the stats for ``repro
+        doctor`` / the ``stats`` op."""
+        if self.wal is None or self.wal_root is None:
+            return
+        records, torn = self.wal.replay()
+        stats = dict(self.board.restore(records, self._load_result))
+        stats["torn"] = torn
+        with self._stats_lock:
+            self.recovery = stats
+        if records or torn:
+            # One clean snapshot segment also drops any torn tail so
+            # later appends never land after a corrupt record.
+            self.wal.compact(self.board.snapshot_records())
+            wal_mod.write_recovery(self.wal_root, dict(stats))
+
+    def _load_result(self, key: str) -> Optional[Dict[str, Any]]:
+        """A cached result's wire payload by job key, bypassing the
+        cache's hit/miss accounting (recovery is not traffic)."""
+        if self.cache is None:
+            return None
+        try:
+            with open(self.cache.path(key), encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _install_signal_handlers(self) -> None:
+        """Arm graceful drain on SIGTERM (main thread only — the
+        in-process daemons the tests spin up skip this)."""
+        if threading.current_thread() is not threading.main_thread():
+            return
+        def _drain(signum: int, frame: Any) -> None:
+            self._stop.set()
+            self.board.close()
+            if self._listener is not None:
+                self._listener.close()  # unblocks the accept loop
+        signal.signal(signal.SIGTERM, _drain)
+
+    def _heartbeat_loop(self) -> None:
+        """Rewrite the heartbeat sidecar ~1/s so doctor can tell a
+        crashed daemon (stale file) from a live one, and a wedged
+        scheduler (old ``activity``) from a busy one."""
+        while not self._stop.wait(HEARTBEAT_INTERVAL):
+            if self.wal_root is None:
+                return
+            board = self.board.summary()
+            with self._stats_lock:
+                self.heartbeats += 1
+                beat = {"pid": os.getpid(),
+                        "state": "busy" if self._busy else "idle",
+                        "activity": self._activity,
+                        "queued_batches": board["queued_batches"],
+                        "pending": board["records"]["pending"],
+                        "running": board["records"]["running"]}
+            try:
+                wal_mod.write_heartbeat(self.wal_root, beat)
+            except OSError:  # pragma: no cover - disk full/unwritable
+                return
+
+    def _touch_activity(self) -> None:
+        with self._stats_lock:
+            self._activity = time.time()
 
     # -- scheduler -----------------------------------------------------
     def _run_scheduler(self) -> None:
@@ -189,6 +327,9 @@ class ServiceDaemon:
             batch = self.board.next_batch()
             if batch is None:
                 return
+            with self._stats_lock:
+                self._busy = True
+                self._activity = time.time()
             try:
                 self.engine.run_campaign(batch)
             # The scheduler must outlive any single campaign: an
@@ -200,10 +341,15 @@ class ServiceDaemon:
                     self.board.on_event(JobEvent(
                         job, "fail", 0, len(batch), None,
                         type(exc).__name__))
+            finally:
+                with self._stats_lock:
+                    self._busy = False
+                    self._activity = time.time()
 
     def _on_engine_event(self, event: JobEvent) -> None:
         """Engine progress hook: attach the result (the ledger is
         populated before the event fires) and forward to the board."""
+        self._touch_activity()
         result: Optional[Dict[str, Any]] = None
         if event.status in ("hit", "done") \
                 and self.engine.ledger is not None:
@@ -269,7 +415,10 @@ class ServiceDaemon:
             if not isinstance(sid, str) \
                     or sid not in self.board.submissions:
                 raise ProtocolError(f"unknown submission id {sid!r}")
-            self._stream_events(conn, sid, 0)
+            cursor = frame.get("cursor", 0)
+            if not isinstance(cursor, int) or cursor < 0:
+                raise ProtocolError("'cursor' must be an int >= 0")
+            self._stream_events(conn, sid, cursor)
         elif op == "jobs":
             self._send(conn, {"event": "jobs",
                               **self.board.summary()})
@@ -295,7 +444,11 @@ class ServiceDaemon:
         if self.board.closed:
             raise ServiceError("daemon is shutting down")
         self._bump("submissions")
-        submission = self.board.submit(jobs, priority)
+        try:
+            submission = self.board.submit(jobs, priority)
+        except ServiceOverloaded:
+            self._bump("rejected")
+            raise
         with self._stats_lock:
             self.accepted += submission.counts["new"]
             self.deduped_inflight += \
@@ -355,9 +508,30 @@ class ServiceDaemon:
 
     def _send(self, conn: socket.socket,
               frame: Dict[str, Any]) -> None:
-        """Write one frame; a vanished client ends its stream only."""
+        """Write one frame; a vanished client ends its stream only.
+
+        The ``frame-drop`` fault point fires here: the frame is
+        truncated mid-write and the connection severed, modelling a
+        dropped stream the client must recover from by reconnecting
+        and resuming from its journal cursor."""
+        encoded = encode_frame(frame)
+        if os.environ.get(faults.FAULTS_ENV):
+            label = " ".join(
+                str(frame[name]) for name in ("event", "status",
+                                              "label", "id")
+                if frame.get(name))
+            if faults.drop_frame(label):
+                try:
+                    conn.sendall(encoded[:max(1, len(encoded) // 2)])
+                finally:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                raise ReproError(
+                    f"injected frame drop on {label!r}")
         try:
-            conn.sendall(encode_frame(frame))
+            conn.sendall(encoded)
         except OSError as exc:
             raise ReproError("client connection lost") from exc
 
@@ -390,6 +564,40 @@ class ServiceDaemon:
                      board["records"]["done"])
         jobs.counter("failed", "records quarantined as failed",
                      board["records"]["failed"])
+        jobs.counter("rejected",
+                     "submissions rejected by backpressure",
+                     self.rejected)
+        wal = service.group("wal", "write-ahead log (durability)")
+        wal.counter("appends", "records durably appended",
+                    self.wal.appends if self.wal else 0)
+        wal.counter("bytes", "bytes appended (daemon lifetime)",
+                    self.wal.bytes_written if self.wal else 0)
+        wal.counter("segments", "segment files on disk",
+                    self.wal.segments() if self.wal else 0)
+        wal.counter("compactions", "snapshot compactions performed",
+                    self.wal.compactions if self.wal else 0)
+        recovery = service.group("recovery",
+                                 "last startup WAL recovery")
+        recovery.counter("records", "trusted WAL records replayed",
+                         self.recovery.get("records", 0))
+        recovery.counter("submissions", "submissions rebuilt",
+                         self.recovery.get("submissions", 0))
+        recovery.counter("requeued", "in-flight jobs requeued",
+                         self.recovery.get("requeued", 0))
+        recovery.counter("torn", "torn records dropped at replay",
+                         self.recovery.get("torn", 0))
+        scheduler = service.group("scheduler", "scheduler liveness")
+        scheduler.counter("heartbeats", "heartbeat sidecar rewrites",
+                          self.heartbeats)
+        with self._stats_lock:
+            age = time.time() - self._activity
+            busy = self._busy
+        scheduler.counter("busy", "1 while a batch is in the engine",
+                          int(busy))
+        scheduler.counter(
+            "activity-age",
+            "seconds since the last scheduler/engine event "
+            "(large + busy + queued work = wedged)", round(age, 3))
         tier = root.group("cache", "shared result-cache tier")
         cache = self.cache
         tier.counter("hits", "result-cache hits (daemon lifetime)",

@@ -13,7 +13,9 @@ Request vocabulary
 ``ping``       liveness probe → ``pong``
 ``submit``     enqueue jobs → ``accepted`` (+ streamed events when
                ``watch`` is true)
-``watch``      replay + follow a submission's event journal
+``watch``      replay + follow a submission's event journal; an
+               optional ``cursor`` (journal frames already seen)
+               resumes a reconnecting client mid-stream
 ``jobs``       queue / submission / record summary → ``jobs``
 ``stats``      daemon telemetry tree → ``stats``
 ``shutdown``   drain and stop the daemon → ``bye``
@@ -94,8 +96,26 @@ def decode_frame(line: bytes) -> Dict[str, Any]:
 
 
 def read_frames(stream: IO[bytes]) -> Iterator[Dict[str, Any]]:
-    """Yield frames from a socket file object until EOF."""
-    for line in stream:
+    """Yield frames from a socket file object until EOF.
+
+    Reads are bounded at :data:`MAX_FRAME_BYTES` per line so a
+    slow-loris peer trickling a newline-free stream can exhaust its
+    own patience, not the daemon's memory; an over-long line (and the
+    half-frame tail of a severed stream) raises
+    :class:`ProtocolError`."""
+    while True:
+        line = stream.readline(MAX_FRAME_BYTES + 1)
+        if not line:
+            return
+        if not line.endswith(b"\n"):
+            if len(line) > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame exceeds limit {MAX_FRAME_BYTES} without a "
+                    "newline")
+            # EOF mid-line: the peer died mid-frame.
+            raise ProtocolError(
+                f"stream severed mid-frame ({len(line)} bytes of an "
+                "unterminated line)")
         if line.strip():
             yield decode_frame(line)
 

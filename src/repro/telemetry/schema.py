@@ -98,6 +98,27 @@ SERVICE_SCHEMA: Dict[str, str] = {
     "service.jobs.deduped-cached": "counter",
     "service.jobs.completed": "counter",
     "service.jobs.failed": "counter",
+    "service.jobs.rejected": "counter",
+    # Durability tier (repro.service.wal via repro.service.daemon):
+    # write-ahead-log traffic and the stats of the last startup
+    # recovery (docs/SERVICE.md §Durability).
+    "service.wal": "group",
+    "service.wal.appends": "counter",
+    "service.wal.bytes": "counter",
+    "service.wal.segments": "counter",
+    "service.wal.compactions": "counter",
+    "service.recovery": "group",
+    "service.recovery.records": "counter",
+    "service.recovery.submissions": "counter",
+    "service.recovery.requeued": "counter",
+    "service.recovery.torn": "counter",
+    # Scheduler liveness (repro.service.daemon): heartbeat cadence and
+    # time since the last scheduler/engine event — how `repro doctor`
+    # and `repro jobs --stats` tell wedged from busy.
+    "service.scheduler": "group",
+    "service.scheduler.heartbeats": "counter",
+    "service.scheduler.busy": "counter",
+    "service.scheduler.activity-age": "counter",
     # Shared cache tier (repro.experiments.campaign.ResultCache
     # counters rendered by the daemon and ``repro cache stats``).
     "cache": "group",

@@ -21,11 +21,28 @@ pool uses.  Each spec matches jobs by a substring of their
   modelling a write torn by a crash or a non-atomic legacy writer
   (→ :class:`~repro.errors.CacheCorruption` quarantine on next read).
 
+PR 9 adds the *service-tier* fault points driven by the same plan
+(docs/SERVICE.md, docs/ROBUSTNESS.md):
+
+* ``wal-crash`` — the daemon dies hard (``os._exit``) immediately
+  *before* appending a matching write-ahead-log record, modelling a
+  SIGKILL between journal appends ("mid-journal").
+* ``wal-torn`` — the daemon writes only half of a matching WAL record
+  and then dies hard, modelling a write torn by the crash itself; the
+  recovery replay must drop the torn tail and requeue.
+* ``frame-drop`` — the daemon truncates a matching wire frame
+  mid-write and severs the connection, modelling a dropped TCP/unix
+  stream; clients must reconnect and resume from their journal cursor.
+
+WAL fault points match on record labels like ``"submit S0001"`` or
+``"event done astar/skylake/fvp"``; frame drops match on stream labels
+like ``"job done astar/skylake/fvp"``.
+
 Injection decisions for crash/hang/raise are pure functions of
 ``(label, attempt)`` — the engine passes the attempt number into the
 worker, so no cross-process shared state is needed and every retry
-sequence is deterministic.  Torn writes count down in-process (cache
-writes always happen in the campaign's own process).
+sequence is deterministic.  Torn writes, WAL faults, and frame drops
+count down in-process (they always fire in the owning process).
 
 Example::
 
@@ -41,6 +58,8 @@ from __future__ import annotations
 import contextlib
 import json
 import os
+import socket
+import threading
 import time
 from dataclasses import asdict, dataclass
 from typing import Dict, Iterator, List, Optional, Sequence
@@ -53,7 +72,8 @@ FAULTS_ENV = "REPRO_FAULTS"
 #: Process exit status used by injected worker crashes.
 CRASH_EXIT_CODE = 23
 
-KINDS = ("crash", "hang", "raise", "torn-write")
+KINDS = ("crash", "hang", "raise", "torn-write",
+         "wal-crash", "wal-torn", "frame-drop")
 
 
 @dataclass(frozen=True)
@@ -133,26 +153,86 @@ def inject_job_faults(label: str, attempt: int) -> None:
                 f"(attempt {attempt}/{spec.times})")
 
 
-#: In-process torn-write countdowns, keyed by spec identity.
+#: In-process fault countdowns, keyed by spec identity (shared by
+#: torn-write, wal-*, and frame-drop faults — each spec fires at most
+#: ``times`` times per process).
 _torn_remaining: Dict[FaultSpec, int] = {}
+
+
+def _countdown(kinds: Sequence[str], label: str) -> Optional[str]:
+    """Fire the first armed spec of one of ``kinds`` matching
+    ``label``, decrementing its in-process countdown; returns the
+    fired kind or ``None``."""
+    for spec in active_plan():
+        if spec.kind not in kinds or spec.match not in label:
+            continue
+        left = _torn_remaining.setdefault(spec, spec.times)
+        if left > 0:
+            _torn_remaining[spec] = left - 1
+            return spec.kind
+    return None
 
 
 def tear_write(label: str) -> bool:
     """Whether the next cache write for ``label`` should be torn
     (truncated mid-payload).  Counts down ``times`` per spec."""
-    for spec in active_plan():
-        if spec.kind != "torn-write" or spec.match not in label:
-            continue
-        left = _torn_remaining.setdefault(spec, spec.times)
-        if left > 0:
-            _torn_remaining[spec] = left - 1
-            return True
-    return False
+    return _countdown(("torn-write",), label) == "torn-write"
+
+
+def wal_fault(label: str) -> Optional[str]:
+    """The WAL fault armed for this append, if any: ``"wal-crash"``
+    (die before writing), ``"wal-torn"`` (write half, then die), or
+    ``None``.  ``label`` is the record label, e.g. ``"submit S0001"``
+    or ``"event done astar/skylake/fvp"``."""
+    return _countdown(("wal-crash", "wal-torn"), label)
+
+
+def drop_frame(label: str) -> bool:
+    """Whether the daemon should truncate this wire frame and sever
+    the connection.  ``label`` names the frame, e.g.
+    ``"job done astar/skylake/fvp"`` or ``"complete S0001"``."""
+    return _countdown(("frame-drop",), label) == "frame-drop"
 
 
 def reset() -> None:
-    """Clear in-process fault state (torn-write countdowns)."""
+    """Clear in-process fault state (injection countdowns)."""
     _torn_remaining.clear()
+
+
+@contextlib.contextmanager
+def slow_loris(path: str, interval: float = 0.2) -> Iterator[socket.socket]:
+    """Hold a half-open connection to the service socket, trickling a
+    valid ``ping`` frame one byte at a time and never sending the
+    terminating newline — the classic slow-loris probe.
+
+    Used by the service chaos tests to prove one stuck client can
+    neither wedge the daemon's other connections nor block its
+    shutdown (the daemon's bounded frame reads cap the damage)."""
+    conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    conn.connect(path)
+    payload = b'{"op":"ping","v":1}\n'
+    stop = threading.Event()
+
+    def _trickle() -> None:
+        for index in range(len(payload) - 1):  # withhold the newline
+            if stop.wait(interval):
+                return
+            try:
+                conn.sendall(payload[index:index + 1])
+            except OSError:
+                return
+
+    thread = threading.Thread(target=_trickle, daemon=True)
+    thread.start()
+    try:
+        yield conn
+    finally:
+        stop.set()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        thread.join(timeout=2.0)
 
 
 __all__ = [
@@ -162,9 +242,12 @@ __all__ = [
     "KINDS",
     "active_plan",
     "decode",
+    "drop_frame",
     "encode",
     "inject_job_faults",
     "installed",
     "reset",
+    "slow_loris",
     "tear_write",
+    "wal_fault",
 ]

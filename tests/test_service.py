@@ -17,6 +17,7 @@ from repro.errors import (
     ConfigError,
     ProtocolError,
     ServiceError,
+    ServiceOverloaded,
     ServiceUnavailable,
 )
 from repro.experiments.campaign import (
@@ -28,6 +29,7 @@ from repro.experiments.campaign import (
     parse_size,
 )
 from repro.service import client
+from repro.service import wal as wal_mod
 from repro.service.board import JobBoard
 from repro.service.daemon import ServiceDaemon
 from repro.service.protocol import (
@@ -250,6 +252,135 @@ class TestJobBoard:
 
 
 # ----------------------------------------------------------------------
+# Board durability: WAL log-then-apply, restore, backpressure.
+# ----------------------------------------------------------------------
+class TestBoardDurability:
+    def _wal(self, tmp_path):
+        return wal_mod.WriteAheadLog(str(tmp_path / "wal"))
+
+    def test_overload_rejected_atomically(self, tmp_path):
+        log = self._wal(tmp_path)
+        board = JobBoard(wal=log, max_pending=1)
+        jobs = [make_job(workload="astar"), make_job(workload="mcf")]
+        with pytest.raises(ServiceOverloaded):
+            board.submit(jobs)
+        # Nothing logged, nothing registered, no sid burned.
+        assert log.appends == 0
+        assert board.records == {} and board.submissions == {}
+        assert board.submit([jobs[0]]).sid == "S0001"
+
+    def test_overload_ignores_deduped_jobs(self):
+        board = JobBoard(max_pending=1)
+        job = make_job()
+        board.submit([job])
+        # Joining the in-flight record costs no queue depth...
+        assert board.submit([job]).counts["deduped_inflight"] == 1
+        board.on_event(JobEvent(job, "done", 1, 1, 0.1, None),
+                       result={"cycles": 1})
+        # ... and neither does a memory-tier answer.
+        assert board.submit([job]).counts["deduped_cached"] == 1
+
+    def test_zero_max_pending_is_unbounded(self):
+        board = JobBoard(max_pending=0)
+        board.submit([make_job(workload=w)
+                      for w in ("astar", "mcf", "milc")])
+
+    def test_restore_rebuilds_identical_journals(self, tmp_path):
+        log = self._wal(tmp_path)
+        board = JobBoard(wal=log)
+        a, b = make_job(workload="astar"), make_job(workload="mcf")
+        sub1 = board.submit([a, b], priority=2)
+        board.on_event(JobEvent(a, "start", 1, 2, None, None))
+        board.on_event(JobEvent(a, "done", 1, 2, 0.4, None),
+                       result={"cycles": 11})
+        sub2 = board.submit([a])  # answered from the memory tier
+        assert sub2.counts["deduped_cached"] == 1
+        log.close()
+
+        results = {job_key(a): {"cycles": 11}}
+        records, torn = wal_mod.replay_segments(str(tmp_path / "wal"))
+        assert torn == 0
+        fresh = JobBoard()
+        stats = fresh.restore(records, results.get)
+        assert stats["submissions"] == 2 and stats["sealed"] == 0
+        # Journals are bit-identical — the contract watchers rely on.
+        assert fresh.submissions[sub1.sid].events == sub1.events
+        assert fresh.submissions[sub2.sid].events == sub2.events
+        # The unfinished job is still runnable after the crash.
+        assert fresh.records[job_key(b)].state == "pending"
+        assert fresh.next_batch() == [b]
+        # The sid sequence continues where the dead daemon left off.
+        assert fresh.submit([make_job(workload="milc")]).sid == "S0003"
+
+    def test_restore_requeues_when_result_vanished(self, tmp_path):
+        log = self._wal(tmp_path)
+        board = JobBoard(wal=log)
+        job = make_job()
+        sub = board.submit([job])
+        board.on_event(JobEvent(job, "done", 1, 1, 0.1, None),
+                       result={"cycles": 5})
+        assert board.submissions[sub.sid].complete
+        log.close()
+        records, _ = wal_mod.replay_segments(str(tmp_path / "wal"))
+        fresh = JobBoard()
+        fresh.restore(records, lambda key: None)  # cache evicted
+        # The terminal event could not be honoured: the job is pending
+        # again and its submission stays open until the rerun.
+        assert fresh.records[job_key(job)].state == "pending"
+        assert not fresh.submissions[sub.sid].complete
+        assert fresh.next_batch() == [job]
+
+    def test_seal_marks_clean_shutdown(self, tmp_path):
+        log = self._wal(tmp_path)
+        board = JobBoard(wal=log)
+        board.submit([make_job()])
+        log.seal()
+        log.close()
+        records, _ = wal_mod.replay_segments(str(tmp_path / "wal"))
+        assert JobBoard().restore(records,
+                                  lambda key: None)["sealed"] == 1
+
+    def test_snapshot_restore_roundtrip(self):
+        board = JobBoard()
+        job = make_job()
+        sub = board.submit([job], priority=4)
+        board.on_event(JobEvent(job, "done", 1, 1, 0.2, None),
+                       result={"cycles": 7})
+        snapshot = board.snapshot_records()
+        # Snapshots never carry result payloads (they live in the
+        # cache tier); restore rehydrates them.
+        assert all("result" not in frame
+                   for record in snapshot if record.get("t") == "sub"
+                   for frame in record["frames"])
+        fresh = JobBoard()
+        fresh.restore(snapshot, {job_key(job): {"cycles": 7}}.get)
+        assert fresh.submissions[sub.sid].events == sub.events
+        assert fresh.records[job_key(job)].result == {"cycles": 7}
+
+    def test_snapshot_restore_requeues_evicted_result(self):
+        board = JobBoard()
+        job = make_job()
+        board.submit([job])
+        assert board.next_batch() == [job]  # scheduler claimed it
+        board.on_event(JobEvent(job, "done", 1, 1, 0.2, None),
+                       result={"cycles": 7})
+        fresh = JobBoard()
+        stats = fresh.restore(board.snapshot_records(),
+                              lambda key: None)
+        # A done record whose cached result was evicted is downgraded
+        # and requeued (it was no longer in any queued batch).
+        assert stats["requeued"] == 1
+        assert fresh.records[job_key(job)].state == "pending"
+        assert fresh.next_batch() == [job]
+
+    def test_restore_skips_unknown_record_types(self):
+        board = JobBoard()
+        stats = board.restore([{"t": "from-the-future", "x": 1}],
+                              lambda key: None)
+        assert stats["records"] == 1 and stats["submissions"] == 0
+
+
+# ----------------------------------------------------------------------
 # Daemon round-trips over a real unix socket (in-process daemon).
 # ----------------------------------------------------------------------
 @pytest.fixture
@@ -380,6 +511,148 @@ class TestDaemon:
     def test_client_reports_missing_daemon(self, tmp_path):
         with pytest.raises(ServiceUnavailable):
             client.ping(str(tmp_path / "nothing.sock"), timeout=1.0)
+
+
+# ----------------------------------------------------------------------
+# Daemon durability: WAL recovery, backpressure, heartbeat, timeouts.
+# ----------------------------------------------------------------------
+class TestDaemonDurability:
+    def _start(self, tmp_path, **kwargs):
+        sock = str(tmp_path / "d.sock")
+        cache = ResultCache(str(tmp_path / "cache"))
+        server = ServiceDaemon(sock, cache=cache, jobs=1, **kwargs)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        _wait_for_daemon(sock)
+        return server, thread
+
+    def _stop(self, server, thread):
+        server.stop()
+        thread.join(timeout=30)
+
+    def test_watch_cursor_resumes_mid_journal(self, daemon):
+        jobs = [make_job(spec=None), make_job(spec="fvp")]
+        live = list(client.submit(daemon.socket_path, jobs))
+        sid = live[0]["id"]
+        full = list(client.watch(daemon.socket_path, sid))
+        # A reconnecting client resumes past the frames it already
+        # consumed — no duplicates, no gaps.
+        resumed = list(client.watch(daemon.socket_path, sid, cursor=2))
+        assert resumed == full[2:]
+        assert resumed[-1]["event"] == "complete"
+
+    def test_overloaded_submission_rejected(self, tmp_path):
+        server, thread = self._start(tmp_path, max_pending=1)
+        try:
+            with pytest.raises(ServiceOverloaded):
+                list(client.submit(server.socket_path,
+                                   [make_job(workload="astar"),
+                                    make_job(workload="mcf")]))
+            # Within the bound the service behaves normally.
+            out = client.collect_results(
+                client.submit(server.socket_path,
+                              [make_job(spec=None)]))
+            assert out["complete"]["failed"] == 0
+            tree = client.fetch_stats(server.socket_path)["tree"]
+            jobs_stats = tree["children"]["service"]["children"][
+                "jobs"]["children"]
+            assert jobs_stats["rejected"]["value"] == 1
+        finally:
+            self._stop(server, thread)
+
+    def test_max_pending_env_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_MAX_PENDING", "7")
+        server = ServiceDaemon(str(tmp_path / "x.sock"))
+        assert server.max_pending == 7
+        assert server.board.max_pending == 7
+
+    def test_restart_replays_watchers_bit_identical(self, tmp_path):
+        server, thread = self._start(tmp_path)
+        job = make_job(spec=None)
+        live = list(client.submit(server.socket_path, [job]))
+        sid = live[0]["id"]
+        self._stop(server, thread)
+
+        server, thread = self._start(tmp_path)  # same cache dir + WAL
+        try:
+            assert server.recovery["sealed"] == 1
+            assert server.recovery["records"] > 0
+            # The journal a pre-crash watcher saw is replayed
+            # bit-identically — result payloads included.
+            replay = list(client.watch(server.socket_path, sid))
+            assert replay == live[1:]
+            # Dedup still holds across the restart: no resimulation.
+            again = client.collect_results(
+                client.submit(server.socket_path, [job]))
+            assert again["complete"]["simulated"] == 0
+            assert wal_mod.read_recovery(server.wal_root) is not None
+        finally:
+            self._stop(server, thread)
+
+    def test_heartbeat_sidecar_lifecycle(self, tmp_path):
+        server, thread = self._start(tmp_path)
+        deadline = time.time() + 10
+        beat = None
+        while beat is None and time.time() < deadline:
+            beat = wal_mod.read_heartbeat(server.wal_root)
+            time.sleep(0.1)
+        assert beat is not None, "heartbeat never written"
+        assert beat["pid"] == os.getpid()
+        assert beat["state"] in ("busy", "idle")
+        assert {"activity", "queued_batches", "pending",
+                "running"} <= set(beat)
+        self._stop(server, thread)
+        # Clean shutdown removes the sidecar: a leftover heartbeat is
+        # unambiguous crash evidence for doctor.
+        assert wal_mod.read_heartbeat(server.wal_root) is None
+
+    def test_no_cache_disables_wal(self, tmp_path):
+        sock = str(tmp_path / "nc.sock")
+        server = ServiceDaemon(sock, cache=None, jobs=1)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        _wait_for_daemon(sock)
+        try:
+            assert server.wal is None and server.wal_root is None
+            out = client.collect_results(
+                client.submit(sock, [make_job(spec=None)]))
+            assert out["complete"]["failed"] == 0
+            tree = client.fetch_stats(sock)["tree"]
+            walt = tree["children"]["service"]["children"]["wal"]
+            assert walt["children"]["appends"]["value"] == 0
+        finally:
+            self._stop(server, thread)
+
+    def test_ping_timeout_is_service_unavailable(self, tmp_path):
+        # A listener that accepts but never answers: the classic hang
+        # a finite timeout must convert into a typed error.
+        sock = str(tmp_path / "mute.sock")
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(sock)
+        listener.listen(1)
+        try:
+            with pytest.raises(ServiceUnavailable):
+                client.ping(sock, timeout=0.3)
+        finally:
+            listener.close()
+
+    def test_watch_timeout_is_service_unavailable(self, tmp_path):
+        sock = str(tmp_path / "mute.sock")
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(sock)
+        listener.listen(1)
+        try:
+            with pytest.raises(ServiceUnavailable):
+                list(client.watch(sock, "S0001", timeout=0.3,
+                                  reconnect=0))
+        finally:
+            listener.close()
+
+    def test_watch_has_finite_default_timeout(self):
+        assert client.DEFAULT_WATCH_TIMEOUT is not None
+        assert client.DEFAULT_SHUTDOWN_TIMEOUT is not None
 
 
 # ----------------------------------------------------------------------
@@ -747,6 +1020,49 @@ class TestDoctorHygiene:
         assert "service daemon live" in out
         assert "dead service socket" not in out
 
+    def test_wal_debris_findings_and_fix(self, tmp_path, capsys):
+        root = str(tmp_path / "cache")
+        wal_root = os.path.join(root, wal_mod.WAL_DIRNAME)
+        os.makedirs(wal_root)
+        # A heartbeat with no daemon behind it: the last one crashed.
+        wal_mod.write_heartbeat(wal_root, {"pid": 1, "state": "busy"})
+        heartbeat = wal_mod.heartbeat_path(wal_root)
+        # An interrupted compaction temporary...
+        orphan = os.path.join(wal_root, "segment-000002.wal.tmp")
+        with open(orphan, "w", encoding="utf-8") as fh:
+            fh.write("partial")
+        # ... a hopeless segment (zero decodable records) ...
+        corrupt = os.path.join(wal_root, "segment-000001.wal")
+        with open(corrupt, "w", encoding="utf-8") as fh:
+            fh.write("junk\n")
+        # ... and an intact segment holding live queue state.
+        intact = os.path.join(wal_root, "segment-000003.wal")
+        with open(intact, "wb") as fh:
+            fh.write(wal_mod.encode_record({"t": "seal"}))
+        wal_mod.write_recovery(wal_root, {"records": 4,
+                                          "submissions": 1,
+                                          "requeued": 2, "torn": 1})
+
+        code, out = self._doctor(capsys, "--cache-dir", root)
+        assert code == 0  # advisory
+        assert "stale service heartbeat" in out
+        assert "orphaned WAL temporary" in out
+        assert "corrupt WAL segment" in out
+        assert "last WAL recovery" in out
+        assert "2 job(s) requeued" in out
+        assert "1 torn record(s) dropped" in out
+
+        code, out = self._doctor(capsys, "--cache-dir", root, "--fix")
+        assert code == 0
+        assert not os.path.exists(heartbeat)
+        assert not os.path.exists(orphan)
+        assert not os.path.exists(corrupt)
+        # The recoverable segment is never touched.
+        assert os.path.exists(intact)
+
+        code, out = self._doctor(capsys, "--cache-dir", root)
+        assert "cache hygiene: clean" in out
+
 
 # ----------------------------------------------------------------------
 # CLI parser surface.
@@ -763,6 +1079,14 @@ class TestServiceParser:
         assert args.http == 8321
         assert args.jobs == 4
         assert build_parser().parse_args(["serve", "--stop"]).stop
+
+    def test_serve_max_pending_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--max-pending", "64"])
+        assert args.max_pending == 64
+        assert build_parser().parse_args(["serve"]).max_pending is None
 
     def test_submit_flags(self):
         from repro.cli import build_parser
