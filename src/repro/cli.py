@@ -1323,13 +1323,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint", help="simulator-aware static analysis "
-                     "(RL001-RL007; docs/LINTING.md)")
+                     "(RL001-RL010; docs/LINTING.md)")
     p_lint.add_argument("paths", nargs="*", metavar="PATH",
                         help="files/directories to lint "
                              "(default: src/repro tools)")
     p_lint.add_argument("--select", metavar="RLxxx[,RLyyy]", default=None,
                         help="comma-separated rule codes to run")
-    p_lint.add_argument("--format", choices=("text", "codes"),
+    p_lint.add_argument("--format", choices=("text", "codes", "json"),
                         default="text", help="finding render style")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")

@@ -9,6 +9,7 @@ job depends on.
 from __future__ import annotations
 
 import argparse
+import json
 from typing import List, Optional, Sequence
 
 from repro.lint.core import Finding, LintError, lint_paths
@@ -23,7 +24,7 @@ def build_parser() -> argparse.ArgumentParser:
     """The ``repro lint`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="simulator-aware static analysis (rules RL001-RL007; "
+        description="simulator-aware static analysis (rules RL001-RL010; "
                     "see docs/LINTING.md)")
     parser.add_argument(
         "paths", nargs="*", default=list(DEFAULT_PATHS),
@@ -33,8 +34,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--select", metavar="RLxxx[,RLyyy]", default=None,
         help="comma-separated rule codes to run (default: all)")
     parser.add_argument(
-        "--format", choices=("text", "codes"), default="text",
-        help="finding render: full text or bare 'path:line CODE' lines")
+        "--format", choices=("text", "codes", "json"), default="text",
+        help="finding render: full text, bare 'path:line CODE' lines, "
+             "or a JSON array of finding objects")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit")
@@ -63,6 +65,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except LintError as exc:
         print(f"reprolint: error: {exc}")
         return 2
+    if args.format == "json":
+        # Machine-readable: one JSON array, no trailing summary line,
+        # so tooling can json.loads() the whole stdout.
+        print(json.dumps([
+            {"file": f.path, "line": f.line, "col": f.col,
+             "code": f.code, "message": f.message, "hint": f.hint}
+            for f in findings], indent=2))
+        return 1 if findings else 0
     for finding in findings:
         print(_render(finding, args.format))
     if findings:

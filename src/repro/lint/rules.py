@@ -1,4 +1,4 @@
-"""The seven reprolint rules (RL001–RL007).
+"""The ten reprolint rules (RL001–RL010).
 
 Each rule enforces one simulator-specific contract that a generic
 linter cannot see; docs/LINTING.md is the user-facing catalogue with
@@ -11,6 +11,7 @@ with ``# reprolint: disable=RLxxx`` where the rule is wrong.
 from __future__ import annotations
 
 import ast
+import re
 from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from repro.lint.core import (Finding, Rule, dotted_name, import_map,
@@ -1101,6 +1102,521 @@ class TraceMaterializationRule(Rule):
             and name.split(".")[-1] == "TraceSource"
 
 
+# ----------------------------------------------------------------------
+# RL008 — lock discipline
+# ----------------------------------------------------------------------
+#: ``#: guarded-by: <lock>`` attribute annotation (line above the
+#: ``self.<attr> = ...`` assignment in ``__init__``).
+_GUARDED_BY_RE = re.compile(r"#:\s*guarded-by:\s*([A-Za-z_]\w*)")
+
+#: Docstring markers declaring a helper runs with a lock held:
+#: ``(lock held)`` grants every class lock, ``(<name> held)`` one.
+_HELD_RE = re.compile(r"\(([A-Za-z_]\w*) held\)")
+
+
+class LockDisciplineRule(Rule):
+    """Guarded service state is only touched with its lock held.
+
+    Each class in ``repro.service`` that creates locks declares a
+    guard map — a ``_GUARDED`` class table (``{"attr": "_lock"}``)
+    and/or ``#: guarded-by: <lock>`` comments above the ``__init__``
+    assignments.  The rule walks every method tracking the held-lock
+    set through ``with self.<lock>:`` scopes and flags: reads/writes
+    of a guarded attribute without its lock held; calls to helpers
+    whose docstring declares ``(lock held)`` from an unlocked site;
+    ``Condition.wait/notify`` outside the condition's own lock; and a
+    lock-owning class with no guard map at all.  A
+    ``threading.Condition(self._lock)`` aliases its wrapped lock, so
+    holding either satisfies guards on the other.  Nested functions
+    and lambdas are treated as escaping callbacks (they may run on
+    another thread) and are checked with an empty held set;
+    ``__init__`` is exempt — the instance is not yet shared.
+    """
+
+    code = "RL008"
+    name = "lock-discipline"
+    description = ("guarded service state is only read/written under "
+                   "its declared lock (with-scope tracking, helper "
+                   "escapes, Condition.wait/notify)")
+    scope = (("repro", "service"),)
+
+    LOCK_FACTORIES: Tuple[str, ...] = ("threading.Lock",
+                                       "threading.RLock",
+                                       "threading.Condition")
+    WAIT_METHODS: Tuple[str, ...] = ("wait", "wait_for", "notify",
+                                     "notify_all")
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        imports = import_map(tree)
+        lines = source.splitlines()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(
+                    self._check_class(node, imports, lines, path))
+        return findings
+
+    # -- declarations ---------------------------------------------------
+    def _lock_attrs(self, init: Optional[ast.FunctionDef],
+                    imports: Dict[str, str]
+                    ) -> Tuple[Set[str], Dict[str, Optional[str]]]:
+        """``(lock attribute names, condition -> wrapped lock)`` from
+        the constructor's ``self.<attr> = ...`` assignments (a
+        ``synccheck.wrap_lock(threading.Lock(), ...)`` wrapper still
+        contains the factory call and is recognised)."""
+        locks: Set[str] = set()
+        conds: Dict[str, Optional[str]] = {}
+        if init is None:
+            return locks, conds
+        for node in ast.walk(init):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [t.attr for t in node.targets
+                       if isinstance(t, ast.Attribute)
+                       and isinstance(t.value, ast.Name)
+                       and t.value.id == "self"]
+            if not targets:
+                continue
+            for sub in ast.walk(node.value):
+                if not isinstance(sub, ast.Call):
+                    continue
+                factory = resolve_dotted(sub.func, imports)
+                if factory not in self.LOCK_FACTORIES:
+                    continue
+                locks.update(targets)
+                if factory == "threading.Condition":
+                    wrapped: Optional[str] = None
+                    if sub.args \
+                            and isinstance(sub.args[0], ast.Attribute) \
+                            and isinstance(sub.args[0].value, ast.Name) \
+                            and sub.args[0].value.id == "self":
+                        wrapped = sub.args[0].attr
+                    for attr in targets:
+                        conds[attr] = wrapped
+                break
+        return locks, conds
+
+    @staticmethod
+    def _guard_map(cls: ast.ClassDef, init: Optional[ast.FunctionDef],
+                   lines: Sequence[str]) -> Dict[str, str]:
+        """Attribute -> lock name from the ``_GUARDED`` class table
+        and ``#: guarded-by:`` annotations."""
+        guards: Dict[str, str] = {}
+        for stmt in cls.body:
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign) and any(
+                    isinstance(t, ast.Name) and t.id == "_GUARDED"
+                    for t in stmt.targets):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name) \
+                    and stmt.target.id == "_GUARDED":
+                value = stmt.value
+            if isinstance(value, ast.Dict):
+                for key, val in zip(value.keys, value.values):
+                    if isinstance(key, ast.Constant) \
+                            and isinstance(key.value, str) \
+                            and isinstance(val, ast.Constant) \
+                            and isinstance(val.value, str):
+                        guards[key.value] = val.value
+        if init is not None:
+            for node in ast.walk(init):
+                if not isinstance(node, ast.Assign) \
+                        or node.lineno < 2:
+                    continue
+                above = lines[node.lineno - 2] \
+                    if node.lineno - 2 < len(lines) else ""
+                found = _GUARDED_BY_RE.search(above)
+                if not found:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute) \
+                            and isinstance(target.value, ast.Name) \
+                            and target.value.id == "self":
+                        guards[target.attr] = found.group(1)
+        return guards
+
+    @staticmethod
+    def _held_markers(cls: ast.ClassDef, locks: Set[str],
+                      base: Dict[str, str]) -> Dict[str, Set[str]]:
+        """Method name -> base locks its docstring declares held."""
+        markers: Dict[str, Set[str]] = {}
+        all_bases = {base[name] for name in locks}
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            doc = ast.get_docstring(stmt, clean=False) or ""
+            doc = re.sub(r"\s+", " ", doc)  # marker may wrap lines
+            granted: Set[str] = set()
+            for found in _HELD_RE.finditer(doc):
+                name = found.group(1)
+                if name == "lock":
+                    granted |= all_bases
+                elif name in locks:
+                    granted.add(base[name])
+            if granted:
+                markers[stmt.name] = granted
+        return markers
+
+    # -- the walk -------------------------------------------------------
+    def _check_class(self, cls: ast.ClassDef,
+                     imports: Dict[str, str], lines: Sequence[str],
+                     path: str) -> List[Finding]:
+        init = _method(cls, "__init__")
+        locks, conds = self._lock_attrs(init, imports)
+        guards = self._guard_map(cls, init, lines)
+        if not locks and not guards:
+            return []
+        findings: List[Finding] = []
+        if locks and not guards:
+            return [Finding(
+                self.code, path, cls.lineno, cls.col_offset,
+                f"class {cls.name} creates lock(s) "
+                f"{', '.join(sorted(locks))} but declares no guard "
+                "map",
+                "declare a _GUARDED class table (or '#: guarded-by: "
+                "<lock>' annotations in __init__) naming the state "
+                "each lock protects")]
+        # A condition aliases the lock it wraps: holding either is
+        # holding both, so guards resolve through the base lock.
+        base = {name: conds.get(name) or name for name in locks}
+        for guard in sorted(set(guards.values())):
+            if guard not in locks:
+                findings.append(Finding(
+                    self.code, path, cls.lineno, cls.col_offset,
+                    f"guard {guard!r} declared in {cls.name}'s guard "
+                    "map is not a lock created in __init__",
+                    "create the lock in the constructor or fix the "
+                    "guard name"))
+        markers = self._held_markers(cls, locks, base)
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)) \
+                    or stmt.name in ("__init__", "__post_init__"):
+                continue
+            held = frozenset(markers.get(stmt.name, frozenset()))
+            for child in stmt.body:
+                self._scan(child, held, guards, locks, conds, base,
+                           markers, path, findings)
+        return findings
+
+    def _scan(self, node: ast.AST, held: "frozenset[str]",
+              guards: Dict[str, str], locks: Set[str],
+              conds: Dict[str, Optional[str]], base: Dict[str, str],
+              markers: Dict[str, Set[str]], path: str,
+              findings: List[Finding]) -> None:
+        if isinstance(node, ast.ClassDef):
+            return  # nested classes are analyzed on their own
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            # Nested defs/lambdas escape as callbacks: they may run on
+            # another thread, so nothing is provably held inside.
+            body = node.body if isinstance(node.body, list) \
+                else [node.body]
+            for child in body:
+                self._scan(child, frozenset(), guards, locks, conds,
+                           base, markers, path, findings)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: Set[str] = set()
+            for item in node.items:
+                self._scan(item.context_expr, held, guards, locks,
+                           conds, base, markers, path, findings)
+                attr = self._self_attr(item.context_expr)
+                if attr is not None and attr in locks:
+                    acquired.add(base[attr])
+            inner = held | acquired
+            for child in node.body:
+                self._scan(child, frozenset(inner), guards, locks,
+                           conds, base, markers, path, findings)
+            return
+        self._check_node(node, held, guards, locks, conds, base,
+                         markers, path, findings)
+        for child in ast.iter_child_nodes(node):
+            self._scan(child, held, guards, locks, conds, base,
+                       markers, path, findings)
+
+    def _check_node(self, node: ast.AST, held: "frozenset[str]",
+                    guards: Dict[str, str], locks: Set[str],
+                    conds: Dict[str, Optional[str]],
+                    base: Dict[str, str],
+                    markers: Dict[str, Set[str]], path: str,
+                    findings: List[Finding]) -> None:
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self" \
+                and node.attr in guards:
+            guard = guards[node.attr]
+            if base.get(guard, guard) not in held:
+                findings.append(Finding(
+                    self.code, path, node.lineno, node.col_offset,
+                    f"self.{node.attr} accessed without its guard "
+                    f"{guard!r} held",
+                    f"wrap the access in `with self.{guard}:` (or "
+                    "document the helper '(lock held)' and call it "
+                    "under the lock)"))
+            return
+        if not isinstance(node, ast.Call):
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name) \
+                and func.value.id == "self" \
+                and func.attr in markers:
+            missing = sorted(markers[func.attr] - held)
+            if missing:
+                findings.append(Finding(
+                    self.code, path, node.lineno, node.col_offset,
+                    f"helper self.{func.attr}() is documented "
+                    f"'(lock held)' but {', '.join(missing)} is not "
+                    "held at this call site",
+                    f"acquire {missing[0]} before calling the "
+                    "helper"))
+        elif isinstance(func, ast.Attribute) \
+                and func.attr in self.WAIT_METHODS \
+                and isinstance(func.value, ast.Attribute) \
+                and isinstance(func.value.value, ast.Name) \
+                and func.value.value.id == "self" \
+                and func.value.attr in conds:
+            cond = func.value.attr
+            if base[cond] not in held:
+                findings.append(Finding(
+                    self.code, path, node.lineno, node.col_offset,
+                    f"self.{cond}.{func.attr}() outside the "
+                    "condition's lock",
+                    f"Condition.{func.attr} requires its lock: wrap "
+                    f"in `with self.{cond}:`"))
+
+    @staticmethod
+    def _self_attr(node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            return node.attr
+        return None
+
+
+# ----------------------------------------------------------------------
+# RL009 — thread lifecycle
+# ----------------------------------------------------------------------
+class ThreadLifecycleRule(Rule):
+    """Every service/testing thread has a shutdown story.
+
+    A ``threading.Thread`` created in scope must either be daemonized
+    *with* a documented rationale — a ``# daemon-thread: <why>``
+    comment on the constructor call or the line above — or be
+    provably ``join()``-ed somewhere in the module (the stop/drain
+    path).  Thread targets defined in the same module whose body is an
+    unbounded ``while True:`` loop must check a stop ``Event``
+    (``.wait(...)``/``.is_set()``) or contain a ``break``/``return``,
+    so :meth:`stop` can actually end them.
+    """
+
+    code = "RL009"
+    name = "thread-lifecycle"
+    description = ("threads are daemonized with a rationale or joined "
+                   "on the stop path; unbounded thread loops check a "
+                   "stop Event")
+    scope = (("repro", "service"), ("repro", "testing"))
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        imports = import_map(tree)
+        lines = source.splitlines()
+        parents = iter_parents(tree)
+        joined = self._joined_names(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) \
+                    or resolve_dotted(node.func, imports) \
+                    != "threading.Thread":
+                continue
+            if self._daemonized(node):
+                if not self._has_rationale(node, lines):
+                    findings.append(Finding(
+                        self.code, path, node.lineno, node.col_offset,
+                        "daemonized thread without a documented "
+                        "rationale",
+                        "add a `# daemon-thread: <why it may be "
+                        "abandoned at exit>` comment (or drop "
+                        "daemon=True and join it on the stop path)"))
+            else:
+                name = self._assigned_name(node, parents)
+                if name is None or name not in joined:
+                    findings.append(Finding(
+                        self.code, path, node.lineno, node.col_offset,
+                        "non-daemon thread is never join()ed in this "
+                        "module",
+                        "join it on the stop/drain path, or daemonize "
+                        "it with a `# daemon-thread:` rationale"))
+            findings.extend(self._check_target_loop(node, tree, path))
+        return findings
+
+    @staticmethod
+    def _daemonized(node: ast.Call) -> bool:
+        return any(kw.arg == "daemon"
+                   and isinstance(kw.value, ast.Constant)
+                   and kw.value.value is True
+                   for kw in node.keywords)
+
+    @staticmethod
+    def _has_rationale(node: ast.Call,
+                       lines: Sequence[str]) -> bool:
+        end = getattr(node, "end_lineno", node.lineno)
+        if any("daemon-thread:" in line
+               for line in lines[node.lineno - 1:end]):
+            return True
+        # Walk up through the contiguous comment block above the call
+        # — the marker may open a multi-line rationale.
+        index = node.lineno - 2
+        while index >= 0 and lines[index].lstrip().startswith("#"):
+            if "daemon-thread:" in lines[index]:
+                return True
+            index -= 1
+        return False
+
+    @staticmethod
+    def _assigned_name(node: ast.Call,
+                       parents: Dict[ast.AST, ast.AST]
+                       ) -> Optional[str]:
+        parent = parents.get(node)
+        if isinstance(parent, ast.Assign) and parent.value is node:
+            for target in parent.targets:
+                name = dotted_name(target)
+                if name is not None:
+                    return name
+        return None
+
+    @staticmethod
+    def _joined_names(tree: ast.Module) -> Set[str]:
+        """Dotted names ``x``/``self.x`` with an ``x.join(...)`` call
+        anywhere in the module."""
+        joined: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "join":
+                name = dotted_name(node.func.value)
+                if name is not None:
+                    joined.add(name)
+        return joined
+
+    def _check_target_loop(self, node: ast.Call, tree: ast.Module,
+                           path: str) -> List[Finding]:
+        target_name: Optional[str] = None
+        for kw in node.keywords:
+            if kw.arg != "target":
+                continue
+            if isinstance(kw.value, ast.Name):
+                target_name = kw.value.id
+            elif isinstance(kw.value, ast.Attribute):
+                target_name = kw.value.attr
+        if target_name is None:
+            return []
+        func = next(
+            (sub for sub in ast.walk(tree)
+             if isinstance(sub, ast.FunctionDef)
+             and sub.name == target_name), None)
+        if func is None:
+            return []  # target lives elsewhere; out of static reach
+        findings: List[Finding] = []
+        for loop in ast.walk(func):
+            if not isinstance(loop, ast.While) \
+                    or not isinstance(loop.test, ast.Constant) \
+                    or not loop.test.value:
+                continue
+            if not self._loop_can_stop(loop):
+                findings.append(Finding(
+                    self.code, path, loop.lineno, loop.col_offset,
+                    f"unbounded `while True` loop in thread target "
+                    f"{target_name} never checks a stop Event",
+                    "poll a stop Event (`.is_set()` / `.wait(...)`) "
+                    "or break/return so stop() can end the thread"))
+        return findings
+
+    @staticmethod
+    def _loop_can_stop(loop: ast.While) -> bool:
+        for sub in ast.walk(loop):
+            if isinstance(sub, (ast.Break, ast.Return)):
+                return True
+            if isinstance(sub, ast.Call) \
+                    and isinstance(sub.func, ast.Attribute) \
+                    and sub.func.attr in ("wait", "is_set"):
+                return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# RL010 — durability discipline
+# ----------------------------------------------------------------------
+class DurabilityDisciplineRule(Rule):
+    """Durable service state goes through the blessed writers.
+
+    The WAL's recovery guarantees rest on fsync'd appends and
+    tmp+rename compaction/sidecar writes (:mod:`repro.service.wal`);
+    the cache tier has its own atomic writer.  A direct writable
+    ``open()`` anywhere else in ``repro.service`` bypasses both — a
+    crash mid-write becomes silent corruption instead of a detected
+    torn record.  Mirrors RL007's escape-hatch design: the blessed
+    module itself (``ALLOWED_SUFFIXES``) is exempt, and a deliberate
+    boundary elsewhere takes a ``# reprolint: disable=RL010`` with its
+    rationale.
+    """
+
+    code = "RL010"
+    name = "durability-discipline"
+    description = ("no direct writable open() in the service tier — "
+                   "durable writes go through the WAL/sidecar helpers")
+    scope = (("repro", "service"),)
+
+    #: The blessed fsync/tmp+rename writers live here.
+    ALLOWED_SUFFIXES: Tuple[str, ...] = ("repro/service/wal.py",)
+    #: Mode characters that make an ``open()`` a write.
+    WRITE_CHARS: Tuple[str, ...] = ("w", "a", "x", "+")
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Finding]:
+        norm = path.replace("\\", "/")
+        if any(norm.endswith(suffix)
+               for suffix in self.ALLOWED_SUFFIXES):
+            return []
+        findings: List[Finding] = []
+        imports = import_map(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) \
+                    or resolve_dotted(node.func, imports) \
+                    not in ("open", "io.open"):
+                continue
+            mode = self._mode(node)
+            if mode is None \
+                    or not any(ch in mode for ch in self.WRITE_CHARS):
+                continue
+            findings.append(Finding(
+                self.code, path, node.lineno, node.col_offset,
+                f"direct open(..., {mode!r}) in the service tier "
+                "bypasses the durability discipline",
+                "route the write through repro.service.wal "
+                "(append/compact/write_heartbeat/write_recovery) or "
+                "the cache tier's atomic writer"))
+        return findings
+
+    @staticmethod
+    def _mode(node: ast.Call) -> Optional[str]:
+        mode: Optional[str] = None
+        if len(node.args) > 1 \
+                and isinstance(node.args[1], ast.Constant) \
+                and isinstance(node.args[1].value, str):
+            mode = node.args[1].value
+        for kw in node.keywords:
+            if kw.arg == "mode" \
+                    and isinstance(kw.value, ast.Constant) \
+                    and isinstance(kw.value.value, str):
+                mode = kw.value.value
+        return mode
+
+
 def default_rules() -> List[Rule]:
     """Fresh instances of every rule, in code order."""
     return [
@@ -1111,4 +1627,7 @@ def default_rules() -> List[Rule]:
         StatSchemaRule(),
         EnvRegistryRule(),
         TraceMaterializationRule(),
+        LockDisciplineRule(),
+        ThreadLifecycleRule(),
+        DurabilityDisciplineRule(),
     ]

@@ -49,6 +49,7 @@ from repro.errors import ServiceOverloaded
 from repro.experiments.campaign import Job, JobEvent, job_key
 from repro.service.protocol import job_from_wire, job_to_wire
 from repro.service.wal import WriteAheadLog
+from repro.testing import synccheck
 
 #: Job-record lifecycle states.
 STATES = ("pending", "running", "done", "failed")
@@ -116,11 +117,28 @@ class JobBoard:
     """Thread-safe submission/record registry with event streaming.
 
     ``wal`` makes the board durable (log-then-apply + :meth:`restore`);
-    ``max_pending`` bounds queue depth (0 = unbounded)."""
+    ``max_pending`` bounds queue depth (0 = unbounded).
+
+    Every mutable field lives under the single board lock (``_cond``
+    wraps the same lock, so holding either is holding both); ``wal``
+    and ``max_pending`` are set once in the constructor and read-only
+    afterwards.  The guard map below is enforced statically by RL008
+    and at runtime by ``REPRO_SYNC_CHECKS=1``."""
+
+    #: Attribute guard map (docs/LINTING.md §RL008).
+    _GUARDED = {
+        "records": "_lock",
+        "submissions": "_lock",
+        "_queue": "_lock",
+        "_seq": "_lock",
+        "_closed": "_lock",
+        "_replaying": "_lock",
+    }
 
     def __init__(self, wal: Optional[WriteAheadLog] = None,
                  max_pending: int = 0) -> None:
-        self._lock = threading.Lock()
+        self._lock = synccheck.wrap_lock(threading.Lock(),
+                                         "board._lock")
         self._cond = threading.Condition(self._lock)
         self.records: Dict[str, JobRecord] = {}
         self.submissions: Dict[str, Submission] = {}
@@ -130,6 +148,7 @@ class JobBoard:
         self.wal = wal
         self.max_pending = max_pending
         self._replaying = False
+        synccheck.guard_instance(self)
 
     def _log(self, record: Dict[str, Any]) -> None:
         """Durably log one record before applying it (lock held); a
@@ -546,6 +565,14 @@ class JobBoard:
             return frames, new_cursor, finished
 
     # -- introspection -------------------------------------------------
+    def has_submission(self, sid: str) -> bool:
+        """Whether ``sid`` names a known submission — the locked probe
+        the daemon's ``watch`` dispatch uses (reading
+        ``board.submissions`` directly from a handler thread would be
+        an unguarded cross-thread read)."""
+        with self._lock:
+            return sid in self.submissions
+
     def summary(self) -> Dict[str, Any]:
         """The ``jobs`` op's answer: queue depth, per-state record
         counts, and one row per submission."""

@@ -73,7 +73,7 @@ from repro.service.protocol import (
     read_frames,
 )
 from repro.telemetry.stats import StatGroup
-from repro.testing import faults
+from repro.testing import faults, synccheck
 
 #: Seconds between heartbeat sidecar rewrites.
 HEARTBEAT_INTERVAL = 1.0
@@ -119,7 +119,30 @@ class ServiceDaemon:
     ``cache`` the shared :class:`ResultCache` tier (budget included).
     ``http_port`` additionally serves the read-side ops over
     ``127.0.0.1:<port>``.
+
+    Locking (docs/SERVICE.md §Locking): ``_stats_lock`` guards the
+    request/submission counters and scheduler-liveness fields,
+    ``_conns_lock`` the live-connection list, and ``_cleanup_lock``
+    the shutdown latch — all three are leaves, never held while taking
+    another service lock.  The board and WAL carry their own locks.
     """
+
+    #: Attribute guard map enforced by RL008 and, under
+    #: ``REPRO_SYNC_CHECKS=1``, at runtime by repro.testing.synccheck.
+    _GUARDED = {
+        "requests": "_stats_lock",
+        "submissions": "_stats_lock",
+        "accepted": "_stats_lock",
+        "deduped_inflight": "_stats_lock",
+        "deduped_cached": "_stats_lock",
+        "rejected": "_stats_lock",
+        "heartbeats": "_stats_lock",
+        "recovery": "_stats_lock",
+        "_activity": "_stats_lock",
+        "_busy": "_stats_lock",
+        "_cleaned": "_cleanup_lock",
+        "_conns": "_conns_lock",
+    }
 
     def __init__(self, socket_path: str,
                  cache: Optional[ResultCache] = None,
@@ -163,29 +186,39 @@ class ServiceDaemon:
             "requeued": 0, "sealed": 0, "torn": 0}
         self._activity = time.time()
         self._busy = False
-        self._stats_lock = threading.Lock()
+        self._stats_lock = synccheck.wrap_lock(
+            threading.Lock(), "daemon._stats_lock")
         self._stop = threading.Event()
-        self._cleanup_lock = threading.Lock()
+        self._cleanup_lock = synccheck.wrap_lock(
+            threading.Lock(), "daemon._cleanup_lock")
         self._cleaned = False
         self._listener: Optional[socket.socket] = None
         self._http_server: Any = None
         self._scheduler: Optional[threading.Thread] = None
         self._heartbeat: Optional[threading.Thread] = None
+        self._conns_lock = synccheck.wrap_lock(
+            threading.Lock(), "daemon._conns_lock")
         self._conns: List[socket.socket] = []
+        synccheck.guard_instance(self)
 
     # -- lifecycle -----------------------------------------------------
     def serve_forever(self) -> None:
         """Claim the socket, recover board state from the WAL, and
         serve until ``shutdown`` / SIGTERM (or :meth:`stop`).
         Blocks; run it on the main thread."""
-        self._listener = _claim_socket(self.socket_path)
+        listener = self._listener = _claim_socket(self.socket_path)
         self._recover()
         self._install_signal_handlers()
+        # daemon-thread: joined in stop(); daemonized so a wedged
+        # engine batch cannot keep the interpreter alive past exit.
         self._scheduler = threading.Thread(target=self._run_scheduler,
                                            name="repro-scheduler",
                                            daemon=True)
         self._scheduler.start()
         if self.wal_root is not None:
+            # daemon-thread: joined in stop() *before* the heartbeat
+            # sidecar is cleared, so a final rewrite cannot land after
+            # clear_heartbeat and make a clean shutdown look crashed.
             self._heartbeat = threading.Thread(
                 target=self._heartbeat_loop, name="repro-heartbeat",
                 daemon=True)
@@ -195,12 +228,17 @@ class ServiceDaemon:
         try:
             while not self._stop.is_set():
                 try:
-                    conn, _ = self._listener.accept()
+                    conn, _ = listener.accept()
                 except socket.timeout:
                     continue  # poll the stop flag
                 except OSError:
                     break  # listener closed by stop()
-                self._conns.append(conn)
+                with self._conns_lock:
+                    self._conns.append(conn)
+                # daemon-thread: handler threads block on client
+                # sockets; stop() closes every tracked connection
+                # (which unblocks them), and daemonization covers a
+                # client that never hangs up.
                 threading.Thread(target=self._serve_connection,
                                  args=(conn,), daemon=True).start()
         finally:
@@ -225,9 +263,18 @@ class ServiceDaemon:
                 pass
         if self._scheduler is not None:
             self._scheduler.join(timeout=60)
+        # Join the heartbeat before clearing its sidecar: an unjoined
+        # heartbeat thread could rewrite heartbeat.json *after*
+        # clear_heartbeat below, leaving crash evidence behind a clean
+        # shutdown for doctor to misread.  (_stop is already set, so
+        # the loop's wait() returns immediately.)
+        if self._heartbeat is not None:
+            self._heartbeat.join(timeout=10)
         if self._http_server is not None:
             self._http_server.shutdown()
-        for conn in self._conns:
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
             try:
                 conn.close()
             except OSError:  # pragma: no cover - client already gone
@@ -413,7 +460,7 @@ class ServiceDaemon:
         elif op == "watch":
             sid = frame.get("id")
             if not isinstance(sid, str) \
-                    or sid not in self.board.submissions:
+                    or not self.board.has_submission(sid):
                 raise ProtocolError(f"unknown submission id {sid!r}")
             cursor = frame.get("cursor", 0)
             if not isinstance(cursor, int) or cursor < 0:
@@ -545,59 +592,86 @@ class ServiceDaemon:
         :data:`repro.telemetry.schema.SERVICE_SCHEMA` (the ``stats``
         op and ``repro jobs --stats`` render it)."""
         board = self.board.summary()
+        wal_counts = self.wal.counters() if self.wal else \
+            {"appends": 0, "bytes": 0, "compactions": 0}
+        # One consistent snapshot: handler threads and the scheduler
+        # bump these concurrently, so every counter read happens under
+        # the same lock the writers take (RL008).
+        with self._stats_lock:
+            requests = self.requests
+            submissions = self.submissions
+            accepted = self.accepted
+            deduped_inflight = self.deduped_inflight
+            deduped_cached = self.deduped_cached
+            rejected = self.rejected
+            heartbeats = self.heartbeats
+            recovered = dict(self.recovery)
+            age = time.time() - self._activity
+            busy = self._busy
         root = StatGroup("daemon")
         service = root.group("service", "campaign service daemon")
         service.counter("requests", "request frames handled",
-                        self.requests)
+                        requests)
         service.counter("submissions", "submit frames accepted",
-                        self.submissions)
+                        submissions)
         jobs = service.group("jobs", "job-record accounting")
         jobs.counter("accepted", "distinct new jobs enqueued",
-                     self.accepted)
+                     accepted)
         jobs.counter("deduped-inflight",
                      "submissions joined to in-flight records",
-                     self.deduped_inflight)
+                     deduped_inflight)
         jobs.counter("deduped-cached",
                      "submissions answered from completed records",
-                     self.deduped_cached)
+                     deduped_cached)
         jobs.counter("completed", "records in the done state",
                      board["records"]["done"])
         jobs.counter("failed", "records quarantined as failed",
                      board["records"]["failed"])
         jobs.counter("rejected",
                      "submissions rejected by backpressure",
-                     self.rejected)
+                     rejected)
         wal = service.group("wal", "write-ahead log (durability)")
         wal.counter("appends", "records durably appended",
-                    self.wal.appends if self.wal else 0)
+                    wal_counts["appends"])
         wal.counter("bytes", "bytes appended (daemon lifetime)",
-                    self.wal.bytes_written if self.wal else 0)
+                    wal_counts["bytes"])
         wal.counter("segments", "segment files on disk",
                     self.wal.segments() if self.wal else 0)
         wal.counter("compactions", "snapshot compactions performed",
-                    self.wal.compactions if self.wal else 0)
+                    wal_counts["compactions"])
         recovery = service.group("recovery",
                                  "last startup WAL recovery")
         recovery.counter("records", "trusted WAL records replayed",
-                         self.recovery.get("records", 0))
+                         recovered.get("records", 0))
         recovery.counter("submissions", "submissions rebuilt",
-                         self.recovery.get("submissions", 0))
+                         recovered.get("submissions", 0))
         recovery.counter("requeued", "in-flight jobs requeued",
-                         self.recovery.get("requeued", 0))
+                         recovered.get("requeued", 0))
         recovery.counter("torn", "torn records dropped at replay",
-                         self.recovery.get("torn", 0))
+                         recovered.get("torn", 0))
         scheduler = service.group("scheduler", "scheduler liveness")
         scheduler.counter("heartbeats", "heartbeat sidecar rewrites",
-                          self.heartbeats)
-        with self._stats_lock:
-            age = time.time() - self._activity
-            busy = self._busy
+                          heartbeats)
         scheduler.counter("busy", "1 while a batch is in the engine",
                           int(busy))
         scheduler.counter(
             "activity-age",
             "seconds since the last scheduler/engine event "
             "(large + busy + queued work = wedged)", round(age, 3))
+        sync_counts = synccheck.counters()
+        sync = service.group(
+            "sync", "runtime lock sanitizer (REPRO_SYNC_CHECKS)")
+        sync.counter("enabled", "1 when the sanitizer is armed",
+                     sync_counts["enabled"])
+        sync.counter("locks",
+                     "service locks wrapped in checking proxies",
+                     sync_counts["locks"])
+        sync.counter("acquisitions",
+                     "lock acquisitions recorded in the order graph",
+                     sync_counts["acquisitions"])
+        sync.counter("violations",
+                     "inversions/unguarded accesses caught",
+                     sync_counts["violations"])
         tier = root.group("cache", "shared result-cache tier")
         cache = self.cache
         tier.counter("hits", "result-cache hits (daemon lifetime)",
@@ -684,8 +758,13 @@ class ServiceDaemon:
                                   "total": submission.total,
                                   **submission.counts})
 
+        port = self.http_port
+        if port is None:  # pragma: no cover - guarded by the caller
+            return
         self._http_server = ThreadingHTTPServer(
-            ("127.0.0.1", self.http_port), Handler)
+            ("127.0.0.1", port), Handler)
+        # daemon-thread: shut down via _http_server.shutdown() in
+        # stop(); daemonized so a stuck keep-alive cannot block exit.
         threading.Thread(target=self._http_server.serve_forever,
                          name="repro-http", daemon=True).start()
 

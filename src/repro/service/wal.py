@@ -51,11 +51,12 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 import zlib
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.testing import faults
+from repro.testing import faults, synccheck
 
 #: Subdirectory of the cache dir holding the log and sidecar files.
 WAL_DIRNAME = "wal"
@@ -114,16 +115,34 @@ def fault_label(record: Dict[str, Any]) -> str:
 # The log.
 # ----------------------------------------------------------------------
 class WriteAheadLog:
-    """Append-only, fsync'd, torn-write-tolerant record log."""
+    """Append-only, fsync'd, torn-write-tolerant record log.
+
+    Appends arrive from both the scheduler (engine events) and handler
+    threads (submits), and the daemon's stats op reads the counters
+    concurrently, so the handle and counters live under ``_lock`` —
+    the innermost lock of the service hierarchy (docs/SERVICE.md
+    §Locking): it is only ever taken last and never held across a call
+    back into the board or daemon."""
+
+    #: Attribute guard map enforced by RL008 and, under
+    #: ``REPRO_SYNC_CHECKS=1``, at runtime by repro.testing.synccheck.
+    _GUARDED = {
+        "_handle": "_lock",
+        "appends": "_lock",
+        "bytes_written": "_lock",
+        "compactions": "_lock",
+    }
 
     def __init__(self, root: str, fsync: bool = True) -> None:
         self.root = root
         self._fsync = fsync
+        self._lock = synccheck.wrap_lock(threading.Lock(), "wal._lock")
         self._handle: Optional[Any] = None
         self.appends = 0
         self.bytes_written = 0
         self.compactions = 0
         os.makedirs(root, exist_ok=True)
+        synccheck.guard_instance(self)
 
     # -- segment bookkeeping -------------------------------------------
     def segment_paths(self) -> List[str]:
@@ -151,25 +170,27 @@ class WriteAheadLog:
         record and then kills the process — both model a SIGKILL
         landing mid-journal (docs/ROBUSTNESS.md)."""
         line = encode_record(record)
-        if os.environ.get(faults.FAULTS_ENV):
-            action = faults.wal_fault(fault_label(record))
-            if action == "wal-crash":
-                os._exit(faults.CRASH_EXIT_CODE)
-            if action == "wal-torn":
-                handle = self._open()
-                handle.write(line[:max(1, len(line) // 2)])
-                handle.flush()
+        with self._lock:
+            if os.environ.get(faults.FAULTS_ENV):
+                action = faults.wal_fault(fault_label(record))
+                if action == "wal-crash":
+                    os._exit(faults.CRASH_EXIT_CODE)
+                if action == "wal-torn":
+                    handle = self._open()
+                    handle.write(line[:max(1, len(line) // 2)])
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    os._exit(faults.CRASH_EXIT_CODE)
+            handle = self._open()
+            handle.write(line)
+            handle.flush()
+            if self._fsync:
                 os.fsync(handle.fileno())
-                os._exit(faults.CRASH_EXIT_CODE)
-        handle = self._open()
-        handle.write(line)
-        handle.flush()
-        if self._fsync:
-            os.fsync(handle.fileno())
-        self.appends += 1
-        self.bytes_written += len(line)
+            self.appends += 1
+            self.bytes_written += len(line)
 
     def _open(self) -> Any:
+        """The active segment handle, opened lazily (lock held)."""
         if self._handle is None:
             self._handle = open(self._active_path(), "ab")
         return self._handle
@@ -193,25 +214,26 @@ class WriteAheadLog:
         A crash before the rename leaves the old history authoritative;
         a crash after it leaves at worst stale segments that the next
         compaction (or ``repro doctor --fix``) removes."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
-        existing = self.segment_paths()
-        next_seq = _segment_seq(existing[-1]) + 1 if existing else 1
-        final = self._segment_path(next_seq)
-        tmp = final + ".tmp"
-        with open(tmp, "wb") as handle:
-            for record in records:
-                handle.write(encode_record(record))
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, final)
-        for path in existing:
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
-        self.compactions += 1
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            existing = self.segment_paths()
+            next_seq = _segment_seq(existing[-1]) + 1 if existing else 1
+            final = self._segment_path(next_seq)
+            tmp = final + ".tmp"
+            with open(tmp, "wb") as handle:
+                for record in records:
+                    handle.write(encode_record(record))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, final)
+            for path in existing:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            self.compactions += 1
 
     # -- lifecycle -----------------------------------------------------
     def seal(self) -> None:
@@ -220,9 +242,20 @@ class WriteAheadLog:
 
     def close(self) -> None:
         """Close the active segment handle."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # -- introspection -------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        """A consistent snapshot of the append/compaction counters
+        (the daemon's ``stats`` op reads these while the scheduler
+        appends, so the read takes the same lock the writers do)."""
+        with self._lock:
+            return {"appends": self.appends,
+                    "bytes": self.bytes_written,
+                    "compactions": self.compactions}
 
 
 # ----------------------------------------------------------------------

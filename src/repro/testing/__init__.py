@@ -1,1 +1,3 @@
-"""Test support: deterministic fault injection (:mod:`repro.testing.faults`)."""
+"""Test support: deterministic fault injection
+(:mod:`repro.testing.faults`) and the runtime lock sanitizer
+(:mod:`repro.testing.synccheck`, armed by ``REPRO_SYNC_CHECKS=1``)."""

@@ -222,6 +222,8 @@ def slow_loris(path: str, interval: float = 0.2) -> Iterator[socket.socket]:
             except OSError:
                 return
 
+    # daemon-thread: joined in the finally below; daemonized so an
+    # interrupted test cannot leak a trickling thread past exit.
     thread = threading.Thread(target=_trickle, daemon=True)
     thread.start()
     try:

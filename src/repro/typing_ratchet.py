@@ -32,6 +32,12 @@ STRICT_MODULES: Tuple[str, ...] = (
     "repro.lint.cli",
     "repro.lint.core",
     "repro.lint.rules",
+    "repro.service",
+    "repro.service.board",
+    "repro.service.client",
+    "repro.service.daemon",
+    "repro.service.protocol",
+    "repro.service.wal",
     "repro.telemetry.schema",
     "repro.telemetry.stalls",
     "repro.typing_ratchet",

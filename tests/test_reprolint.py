@@ -1,4 +1,4 @@
-"""Fixture-based coverage for the reprolint rules (RL001-RL007).
+"""Fixture-based coverage for the reprolint rules (RL001-RL010).
 
 Every rule has at least one *bad* fixture (a snippet the rule must
 flag) and one *good* fixture (a snippet it must leave alone); the
@@ -292,6 +292,181 @@ FIXTURES = {
              "    return os.environ.get(name)\n"),
         ],
     },
+    "RL008": {
+        "bad": [
+            ("missing-guard-map",
+             "import threading\n\n\nclass Box:\n"
+             "    def __init__(self):\n"
+             "        self._lock = threading.Lock()\n"
+             "        self.items = []\n"),
+            ("unguarded-write",
+             "import threading\n\n\nclass Counter:\n"
+             "    _GUARDED = {'count': '_lock'}\n\n"
+             "    def __init__(self):\n"
+             "        self._lock = threading.Lock()\n"
+             "        self.count = 0\n\n"
+             "    def bump(self):\n"
+             "        self.count += 1\n"),
+            ("wait-outside-lock",
+             "import threading\n\n\nclass Box:\n"
+             "    _GUARDED = {'items': '_lock'}\n\n"
+             "    def __init__(self):\n"
+             "        self._lock = threading.Lock()\n"
+             "        self._cond = threading.Condition(self._lock)\n"
+             "        self.items = []\n\n"
+             "    def wake(self):\n"
+             "        self._cond.notify_all()\n"),
+            ("helper-called-unlocked",
+             "import threading\n\n\nclass Board:\n"
+             "    _GUARDED = {'jobs': '_lock'}\n\n"
+             "    def __init__(self):\n"
+             "        self._lock = threading.Lock()\n"
+             "        self.jobs = []\n\n"
+             "    def _append(self, job):\n"
+             "        \"\"\"Add one job (lock held).\"\"\"\n"
+             "        self.jobs.append(job)\n\n"
+             "    def add(self, job):\n"
+             "        self._append(job)\n"),
+            ("callback-escape",
+             "import threading\n\n\nclass Publisher:\n"
+             "    _GUARDED = {'value': '_lock'}\n\n"
+             "    def __init__(self):\n"
+             "        self._lock = threading.Lock()\n"
+             "        self.value = 0\n\n"
+             "    def make_reader(self):\n"
+             "        with self._lock:\n"
+             "            def read():\n"
+             "                return self.value\n"
+             "            return read\n"),
+            ("unknown-guard-name",
+             "import threading\n\n\nclass Odd:\n"
+             "    _GUARDED = {'state': '_mutex'}\n\n"
+             "    def __init__(self):\n"
+             "        self._lock = threading.Lock()\n"
+             "        self.state = 0\n"),
+        ],
+        "good": [
+            ("guarded-access",
+             "import threading\n\n\nclass Counter:\n"
+             "    _GUARDED = {'count': '_lock'}\n\n"
+             "    def __init__(self):\n"
+             "        self._lock = threading.Lock()\n"
+             "        self.count = 0\n\n"
+             "    def bump(self):\n"
+             "        with self._lock:\n"
+             "            self.count += 1\n\n"
+             "    def snapshot(self):\n"
+             "        with self._lock:\n"
+             "            return self.count\n"),
+            ("guarded-by-comment",
+             "import threading\n\n\nclass Gauge:\n"
+             "    def __init__(self):\n"
+             "        self._lock = threading.Lock()\n"
+             "        #: guarded-by: _lock\n"
+             "        self.level = 0\n\n"
+             "    def raise_to(self, value):\n"
+             "        with self._lock:\n"
+             "            self.level = value\n"),
+            ("condition-alias",
+             "import threading\n\n\nclass Mailbox:\n"
+             "    _GUARDED = {'items': '_lock'}\n\n"
+             "    def __init__(self):\n"
+             "        self._lock = threading.Lock()\n"
+             "        self._cond = threading.Condition(self._lock)\n"
+             "        self.items = []\n\n"
+             "    def put(self, item):\n"
+             "        with self._cond:\n"
+             "            self.items.append(item)\n"
+             "            self._cond.notify()\n\n"
+             "    def take(self):\n"
+             "        with self._cond:\n"
+             "            while not self.items:\n"
+             "                self._cond.wait()\n"
+             "            return self.items.pop(0)\n"),
+            ("documented-helper",
+             "import threading\n\n\nclass Board:\n"
+             "    _GUARDED = {'jobs': '_lock'}\n\n"
+             "    def __init__(self):\n"
+             "        self._lock = threading.Lock()\n"
+             "        self.jobs = []\n\n"
+             "    def _append(self, job):\n"
+             "        \"\"\"Add one job (lock held).\"\"\"\n"
+             "        self.jobs.append(job)\n\n"
+             "    def add(self, job):\n"
+             "        with self._lock:\n"
+             "            self._append(job)\n"),
+        ],
+    },
+    "RL009": {
+        "bad": [
+            ("daemon-no-rationale",
+             "import threading\n\n\ndef start(fn):\n"
+             "    thread = threading.Thread(target=fn, daemon=True)\n"
+             "    thread.start()\n    return thread\n"),
+            ("never-joined",
+             "import threading\n\n\ndef start(fn):\n"
+             "    worker = threading.Thread(target=fn)\n"
+             "    worker.start()\n    return worker\n"),
+            ("unstoppable-loop",
+             "import threading\nimport time\n\n\ndef _spin():\n"
+             "    while True:\n        time.sleep(0.1)\n\n\n"
+             "def start():\n"
+             "    # daemon-thread: fixture rationale\n"
+             "    thread = threading.Thread(target=_spin, daemon=True)\n"
+             "    thread.start()\n    return thread\n"),
+        ],
+        "good": [
+            ("daemon-with-rationale",
+             "import threading\n\n\ndef start(fn):\n"
+             "    # daemon-thread: abandoned at exit by design\n"
+             "    thread = threading.Thread(target=fn, daemon=True)\n"
+             "    thread.start()\n    return thread\n"),
+            ("joined-on-stop",
+             "import threading\n\n\nclass Runner:\n"
+             "    def __init__(self, fn):\n"
+             "        self._thread = threading.Thread(target=fn)\n\n"
+             "    def start(self):\n"
+             "        self._thread.start()\n\n"
+             "    def stop(self):\n"
+             "        self._thread.join()\n"),
+            ("loop-checks-event",
+             "import threading\n\n\nclass Beat:\n"
+             "    def __init__(self):\n"
+             "        self._stop = threading.Event()\n"
+             "        # daemon-thread: exits once _stop is set\n"
+             "        self._thread = threading.Thread(\n"
+             "            target=self._loop, daemon=True)\n\n"
+             "    def _loop(self):\n"
+             "        while True:\n"
+             "            if self._stop.wait(0.1):\n"
+             "                return\n\n"
+             "    def stop(self):\n"
+             "        self._stop.set()\n"
+             "        self._thread.join()\n"),
+        ],
+    },
+    "RL010": {
+        "bad": [
+            ("direct-write-open",
+             "def checkpoint(path, payload):\n"
+             "    with open(path, 'w', encoding='utf-8') as handle:\n"
+             "        handle.write(payload)\n"),
+            ("append-mode-kwarg",
+             "def journal(path, line):\n"
+             "    handle = open(path, mode='ab')\n"
+             "    handle.write(line)\n    handle.close()\n"),
+        ],
+        "good": [
+            ("read-only-open",
+             "def load(path):\n"
+             "    with open(path, encoding='utf-8') as handle:\n"
+             "        return handle.read()\n"),
+            ("explicit-read-mode",
+             "def load(path):\n"
+             "    with open(path, 'rb') as handle:\n"
+             "        return handle.read()\n"),
+        ],
+    },
     "RL007": {
         "bad": [
             ("list-of-as-source",
@@ -327,6 +502,16 @@ FIXTURES = {
 }
 
 
+#: Rules scoped outside the default pipeline path lint their fixtures
+#: at a path inside their own enforcement scope.
+FIXTURE_PATHS = {
+    "RL008": "src/repro/service/snippet.py",
+    "RL009": "src/repro/service/snippet.py",
+    "RL010": "src/repro/service/snippet.py",
+}
+DEFAULT_FIXTURE_PATH = "src/repro/pipeline/snippet.py"
+
+
 def _cases(kind):
     for code in sorted(FIXTURES):
         for label, src in FIXTURES[code][kind]:
@@ -335,7 +520,9 @@ def _cases(kind):
 
 @pytest.mark.parametrize("code,src", _cases("bad"))
 def test_bad_fixture_is_caught(code, src):
-    findings = lint_source(src, select=[code])
+    findings = lint_source(
+        src, path=FIXTURE_PATHS.get(code, DEFAULT_FIXTURE_PATH),
+        select=[code])
     assert findings, f"{code} fixture expected at least one finding"
     assert {f.code for f in findings} == {code}
     assert all(f.message for f in findings)
@@ -343,7 +530,9 @@ def test_bad_fixture_is_caught(code, src):
 
 @pytest.mark.parametrize("code,src", _cases("good"))
 def test_good_fixture_is_clean(code, src):
-    findings = lint_source(src, select=[code])
+    findings = lint_source(
+        src, path=FIXTURE_PATHS.get(code, DEFAULT_FIXTURE_PATH),
+        select=[code])
     assert findings == [], "\n".join(f.format() for f in findings)
 
 
@@ -582,6 +771,40 @@ def test_cli_codes_format(tmp_path, capsys):
     assert main(["--format", "codes", str(dirty)]) == 1
     first = capsys.readouterr().out.splitlines()[0]
     assert first.endswith("RL004") and ":2 " in first
+
+
+def test_cli_json_format(tmp_path, capsys):
+    import json
+
+    from repro.lint.cli import main
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f():\n    raise RuntimeError('boom')\n")
+    assert main(["--format", "json", str(dirty)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert isinstance(payload, list) and payload
+    entry = payload[0]
+    assert entry["code"] == "RL004" and entry["line"] == 2
+    assert set(entry) == {"file", "line", "col", "code",
+                          "message", "hint"}
+
+    clean = tmp_path / "clean.py"
+    clean.write_text("GOOD = 1\n")
+    assert main(["--format", "json", str(clean)]) == 0
+    assert json.loads(capsys.readouterr().out) == []
+
+
+def test_rl010_blessed_module_is_exempt():
+    # The WAL module *is* the blessed durable writer; the same direct
+    # write one directory over is a finding.
+    src = ("def save(path, data):\n"
+           "    with open(path, 'w') as handle:\n"
+           "        handle.write(data)\n")
+    assert lint_source(src, path="src/repro/service/wal.py",
+                       select=["RL010"]) == []
+    flagged = lint_source(src, path="src/repro/service/extra.py",
+                          select=["RL010"])
+    assert [f.code for f in flagged] == ["RL010"]
 
 
 def test_cli_list_rules(capsys):

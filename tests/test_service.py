@@ -265,7 +265,7 @@ class TestBoardDurability:
         with pytest.raises(ServiceOverloaded):
             board.submit(jobs)
         # Nothing logged, nothing registered, no sid burned.
-        assert log.appends == 0
+        assert log.counters()["appends"] == 0
         assert board.records == {} and board.submissions == {}
         assert board.submit([jobs[0]]).sid == "S0001"
 

@@ -1,0 +1,219 @@
+"""The runtime lock sanitizer (repro.testing.synccheck).
+
+Proves the three contracts docs/LINTING.md and docs/SERVICE.md lean
+on: a seeded lock-order inversion raises before it can deadlock, an
+unguarded write to ``_GUARDED`` state raises with the guard named,
+and with ``REPRO_SYNC_CHECKS`` unset the whole module is inert —
+``wrap_lock`` hands back the raw lock and ``guard_instance`` is an
+identity, so production pays nothing.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import SyncViolation
+from repro.testing import synccheck
+
+
+@pytest.fixture(autouse=True)
+def _armed(monkeypatch):
+    monkeypatch.setenv(synccheck.ENV_FLAG, "1")
+    synccheck.reset()
+    yield
+    synccheck.reset()
+
+
+class Toy:
+    _GUARDED = {"value": "_lock"}
+
+    def __init__(self):
+        self._lock = synccheck.wrap_lock(threading.Lock(), "toy._lock")
+        self.value = 0
+        synccheck.guard_instance(self)
+
+
+# ----------------------------------------------------------------------
+# Lock-order inversions.
+# ----------------------------------------------------------------------
+def test_inversion_caught_in_one_thread():
+    a = synccheck.wrap_lock(threading.Lock(), "A")
+    b = synccheck.wrap_lock(threading.Lock(), "B")
+    with a:
+        with b:
+            pass
+    with pytest.raises(SyncViolation, match="lock-order-inversion"):
+        with b:
+            with a:
+                pass
+    reports = synccheck.reports()
+    assert len(reports) == 1
+    assert "A -> B" in reports[0]
+    assert synccheck.counters()["violations"] == 1
+
+
+def test_inversion_caught_across_threads():
+    # Thread 1 records A -> B; the probing thread then tries B -> A.
+    a = synccheck.wrap_lock(threading.Lock(), "A")
+    b = synccheck.wrap_lock(threading.Lock(), "B")
+
+    def _record():
+        with a:
+            with b:
+                pass
+
+    recorder = threading.Thread(target=_record)
+    recorder.start()
+    recorder.join()
+
+    caught = []
+
+    def _probe():
+        try:
+            with b:
+                with a:
+                    pass
+        except SyncViolation as exc:
+            caught.append(exc)
+
+    prober = threading.Thread(target=_probe)
+    prober.start()
+    prober.join()
+    assert len(caught) == 1
+
+
+def test_consistent_order_is_clean():
+    a = synccheck.wrap_lock(threading.Lock(), "A")
+    b = synccheck.wrap_lock(threading.Lock(), "B")
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    assert synccheck.reports() == []
+    counts = synccheck.counters()
+    assert counts["violations"] == 0
+    assert counts["acquisitions"] == 6
+    assert counts["locks"] == 2
+
+
+# ----------------------------------------------------------------------
+# Guarded-attribute enforcement.
+# ----------------------------------------------------------------------
+def test_unguarded_write_caught():
+    toy = Toy()
+    with toy._lock:
+        toy.value = 1  # guard held: fine
+    with pytest.raises(SyncViolation, match="unguarded-access"):
+        toy.value = 2
+    assert "'_lock'" in synccheck.reports()[0]
+
+
+def test_unguarded_read_caught():
+    toy = Toy()
+    with toy._lock:
+        assert toy.value == 0
+    with pytest.raises(SyncViolation, match="unguarded-access"):
+        _ = toy.value
+
+
+def test_guard_held_in_another_thread_does_not_count():
+    # Held sets are per-thread: thread 2 owning the lock does not
+    # license thread 1's access.
+    toy = Toy()
+    entered = threading.Event()
+    release = threading.Event()
+
+    def _holder():
+        with toy._lock:
+            entered.set()
+            release.wait(5)
+
+    holder = threading.Thread(target=_holder)
+    holder.start()
+    assert entered.wait(5)
+    try:
+        with pytest.raises(SyncViolation, match="unguarded-access"):
+            _ = toy.value
+    finally:
+        release.set()
+        holder.join()
+
+
+def test_condition_over_proxy():
+    # threading.Condition grabs the proxy's acquire/release/_is_owned
+    # at construction; wait/notify must work and stay guard-clean.
+    lock = synccheck.wrap_lock(threading.Lock(), "C")
+    cond = threading.Condition(lock)
+    with cond:
+        cond.notify_all()
+        assert not cond.wait(timeout=0.01)
+    assert synccheck.reports() == []
+
+
+# ----------------------------------------------------------------------
+# The service tier under the sanitizer.
+# ----------------------------------------------------------------------
+def test_board_runs_sanitized(tmp_path):
+    from repro.experiments.campaign import Job, JobEvent
+    from repro.service.board import JobBoard
+    from repro.service.wal import WriteAheadLog
+
+    log = WriteAheadLog(str(tmp_path))
+    board = JobBoard(wal=log)
+    job = Job("astar", "skylake", "fvp", 500, 100)
+    sub = board.submit([job])
+    batch = board.next_batch()
+    assert batch == [job]
+    board.on_event(JobEvent(job, "done", 1, 1, elapsed=0.1),
+                   {"cycles": 1})
+    assert board.has_submission(sub.sid)
+    assert board.summary()["records"]["done"] == 1
+    assert log.counters()["appends"] >= 2
+    log.close()
+    assert synccheck.reports() == []
+
+
+def test_direct_board_read_is_a_violation(tmp_path):
+    from repro.service.board import JobBoard
+
+    board = JobBoard()
+    with pytest.raises(SyncViolation, match="unguarded-access"):
+        _ = board.records
+
+
+# ----------------------------------------------------------------------
+# Inert when off.
+# ----------------------------------------------------------------------
+def test_off_returns_raw_lock(monkeypatch):
+    monkeypatch.delenv(synccheck.ENV_FLAG, raising=False)
+    raw = threading.Lock()
+    assert synccheck.wrap_lock(raw, "X") is raw
+    toy = Toy.__new__(Toy)
+    toy._lock = raw
+    toy.value = 0
+    assert synccheck.guard_instance(toy) is toy
+    assert type(toy) is Toy
+    toy.value = 1  # no guard, no violation
+    assert synccheck.counters()["enabled"] == 0
+
+
+def test_zero_is_off(monkeypatch):
+    monkeypatch.setenv(synccheck.ENV_FLAG, "0")
+    assert not synccheck.enabled()
+    raw = threading.Lock()
+    assert synccheck.wrap_lock(raw, "X") is raw
+
+
+def test_reset_clears_graph_and_reports():
+    a = synccheck.wrap_lock(threading.Lock(), "A")
+    b = synccheck.wrap_lock(threading.Lock(), "B")
+    with a:
+        with b:
+            pass
+    synccheck.reset()
+    assert synccheck.counters()["acquisitions"] == 0
+    # The old A -> B edge is gone, so the reverse order is legal now.
+    with b:
+        with a:
+            pass
+    assert synccheck.reports() == []
